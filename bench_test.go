@@ -1,0 +1,265 @@
+// Benchmarks regenerating every figure and table in the paper's
+// evaluation (one benchmark per experiment; see DESIGN.md for the index
+// and EXPERIMENTS.md for the paper-vs-measured record), plus component
+// micro-benchmarks of the substrates they run on.
+//
+// Custom metrics carry the experiment outcomes: e.g. BenchmarkFig5
+// reports switches/interval for the three configurations, and
+// BenchmarkE3 reports the raw and compressed wire rates.
+package espeaker
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/codec"
+	"repro/internal/experiments"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/vad"
+	"repro/internal/vclock"
+)
+
+// BenchmarkFig4CompressionCPU regenerates Figure 4: CPU load of
+// compressing 4 vs 8 CD-quality streams.
+func BenchmarkFig4CompressionCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(io.Discard, 2, 4, 8)
+		b.ReportMetric(res.MeanCPU[4], "cpu%/4streams")
+		b.ReportMetric(res.MeanCPU[8], "cpu%/8streams")
+	}
+}
+
+// BenchmarkFig5ContextSwitches regenerates Figure 5: context-switch
+// rates of the three configurations.
+func BenchmarkFig5ContextSwitches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(io.Discard, 20)
+		b.ReportMetric(res.Mean[experiments.Fig5Unloaded], "sw/interval-unloaded")
+		b.ReportMetric(res.Mean[experiments.Fig5KernelThreaded], "sw/interval-kernel")
+		b.ReportMetric(res.Mean[experiments.Fig5UserLevel], "sw/interval-user")
+	}
+}
+
+// BenchmarkE3NetworkOverhead regenerates the §2.2 bitrate table.
+func BenchmarkE3NetworkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E3Bitrate(io.Discard, 2)
+		for _, row := range res.Rows {
+			switch row.Label {
+			case "raw PCM":
+				b.ReportMetric(row.WireMbps, "Mbps-raw")
+			case "ovl q=10 (paper's setting)":
+				b.ReportMetric(row.WireMbps, "Mbps-ovl10")
+			}
+		}
+		b.ReportMetric(float64(res.MaxRawStreams), "rawstreams/10Mbps")
+	}
+}
+
+// BenchmarkE4RateLimiter regenerates the §3.1 comparison.
+func BenchmarkE4RateLimiter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E4RateLimiter(io.Discard, 20*time.Second)
+		b.ReportMetric(res.On.SendElapsed.Seconds(), "s-send-limited")
+		b.ReportMetric(res.Off.SendElapsed.Seconds(), "s-send-unlimited")
+		b.ReportMetric(res.Off.PlayedFrac*100, "%played-unlimited")
+	}
+}
+
+// BenchmarkE5Synchronization regenerates the §3.2 skew measurements.
+func BenchmarkE5Synchronization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E5Sync(io.Discard, []time.Duration{10 * time.Millisecond})
+		b.ReportMetric(res.Rows[0].MaxSkewMs, "ms-maxskew-sync")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].MaxSkewMs, "ms-maxskew-nosync")
+	}
+}
+
+// BenchmarkE6BufferSize regenerates the §3.4 buffer-size sweep.
+func BenchmarkE6BufferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E6BufferSize(io.Discard, []int{1400, 36000})
+		for _, r := range res.Rows {
+			if r.CPU == "geode" && r.RecvBuffer == 36000 {
+				b.ReportMetric(float64(r.Glitches+r.DroppedLate), "badevents-geode-36k")
+			}
+			if r.CPU == "geode" && r.RecvBuffer == 1400 {
+				b.ReportMetric(float64(r.Glitches+r.DroppedLate), "badevents-geode-1400")
+			}
+		}
+	}
+}
+
+// BenchmarkE7JoinLatency regenerates the §2.3 tune-in measurement.
+func BenchmarkE7JoinLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E7JoinLatency(io.Discard,
+			[]time.Duration{500 * time.Millisecond, 2 * time.Second})
+		b.ReportMetric(res.Rows[0].MeanJoin.Seconds()*1000, "ms-join-500ms-ctl")
+		b.ReportMetric(res.Rows[1].MeanJoin.Seconds()*1000, "ms-join-2s-ctl")
+	}
+}
+
+// BenchmarkE8Generations regenerates the §2.2 generation-loss table.
+func BenchmarkE8Generations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E8Generations(io.Discard, 3)
+		for _, r := range res.Rows {
+			if r.Quality == 10 && r.Generation == 3 {
+				b.ReportMetric(r.SNR, "dB-snr-q10-gen3")
+			}
+		}
+	}
+}
+
+// BenchmarkE9AuthCost regenerates the §5.1 authentication table.
+func BenchmarkE9AuthCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E9Auth(io.Discard, 500)
+		for _, r := range res.Rows {
+			switch r.Scheme {
+			case "hmac":
+				b.ReportMetric(r.VerifyNs, "ns-verify-hmac")
+			case "hors":
+				b.ReportMetric(r.VerifyNs, "ns-verify-hors")
+				b.ReportMetric(r.GarbageNs, "ns-reject-hors")
+			}
+		}
+	}
+}
+
+// BenchmarkE10LossResilience regenerates the §2.3 loss sweep.
+func BenchmarkE10LossResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E10Loss(io.Discard, []float64{0, 0.02})
+		b.ReportMetric(float64(res.Rows[1].Glitches), "glitches-2%loss")
+	}
+}
+
+// ---- Component micro-benchmarks ----
+
+// BenchmarkOVLEncode measures the transform encoder on CD audio — the
+// per-second cost Figure 4 integrates.
+func BenchmarkOVLEncode(b *testing.B) {
+	p := audio.CDQuality
+	enc, err := codec.NewEncoder("ovl", p, codec.MaxQuality)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, p.SampleRate*p.Channels/10) // 100ms
+	src.ReadSamples(samples)
+	raw := audio.Encode(p, samples)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOVLDecode measures the matching decoder (the speaker side).
+func BenchmarkOVLDecode(b *testing.B) {
+	p := audio.CDQuality
+	enc, _ := codec.NewEncoder("ovl", p, codec.MaxQuality)
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, p.SampleRate*p.Channels/10)
+	src.ReadSamples(samples)
+	pkt, err := enc.Encode(audio.Encode(p, samples))
+	if err != nil || len(pkt) == 0 {
+		b.Fatal("no packet")
+	}
+	dec, _ := codec.NewDecoder("ovl", p)
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoDataMarshal measures wire encoding of a full data
+// packet.
+func BenchmarkProtoDataMarshal(b *testing.B) {
+	d := &proto.Data{Channel: 1, Epoch: 1, Seq: 42, PlayAt: 123456789,
+		Payload: make([]byte, 1400)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoDataUnmarshal measures the speaker's parse path.
+func BenchmarkProtoDataUnmarshal(b *testing.B) {
+	d := &proto.Data{Channel: 1, Epoch: 1, Seq: 42, PlayAt: 123456789,
+		Payload: make([]byte, 1400)}
+	pkt, _ := d.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.UnmarshalData(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentMulticast measures simulated-LAN fan-out to eight
+// receivers.
+func BenchmarkSegmentMulticast(b *testing.B) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	src, _ := seg.Attach("10.0.0.1:5000")
+	group := lan.Addr("239.1.1.1:5004")
+	for i := 0; i < 8; i++ {
+		c, err := seg.Attach(lan.Addr("10.0.0." + string(rune('2'+i)) + ":5004"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Join(group)
+		sim.Go("drain", func() {
+			for {
+				if _, err := c.Recv(0); err != nil {
+					return
+				}
+			}
+		})
+	}
+	payload := make([]byte, 1400)
+	b.SetBytes(1400 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(group, payload)
+	}
+}
+
+// BenchmarkEndToEndPipeline measures a full simulated second of system
+// time: VAD -> rebroadcast -> LAN -> speaker -> DAC, per op.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := NewSimSystem(lan.SegmentConfig{})
+		ch, err := sys.AddChannel(rebroadcast.Config{
+			ID: 1, Name: "bench", Group: "239.72.1.1:5004", Codec: "raw",
+		}, vad.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.AddSpeaker(speaker.Config{Name: "es", Group: "239.72.1.1:5004"}); err != nil {
+			b.Fatal(err)
+		}
+		p := audio.Voice
+		sys.Clock.Go("player", func() {
+			ch.Play(p, audio.NewTone(p.SampleRate, 1, 440, 0.5), time.Second)
+			sys.Clock.Sleep(2 * time.Second)
+			sys.Shutdown()
+		})
+		sys.Sim.WaitIdle()
+	}
+}

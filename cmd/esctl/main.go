@@ -1,0 +1,107 @@
+// Command esctl is the management console (§5.3): get, set and walk the
+// MIB of a running Ethernet Speaker, or broadcast settings to every
+// speaker on the control group at once — including the central override
+// that preempts all programmes with an announcement channel.
+//
+// Examples:
+//
+//	esctl -target 10.0.0.7:5005 walk es
+//	esctl -target 10.0.0.7:5005 get es.audio.volume
+//	esctl -target 10.0.0.7:5005 set es.tuner.channel 239.72.1.2:5004
+//	esctl broadcast es.override.begin 239.72.1.9:5004
+//	esctl broadcast es.override.end 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/lan"
+	"repro/internal/mgmt"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		target = flag.String("target", "", "speaker management address (host:port)")
+		local  = flag.String("local", "0.0.0.0:0", "local bind address")
+	)
+	flag.Parse()
+	log.SetPrefix("esctl: ")
+	log.SetFlags(0)
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	client, err := mgmt.NewClient(vclock.System, &lan.UDPNetwork{}, lan.Addr(*local))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	verb := args[0]
+	switch verb {
+	case "get":
+		requireTarget(*target)
+		requireArgs(args, 2)
+		v, err := client.Get(lan.Addr(*target), args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(v)
+	case "set":
+		requireTarget(*target)
+		requireArgs(args, 3)
+		v, err := client.Set(lan.Addr(*target), args[1], args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(v)
+	case "walk":
+		requireTarget(*target)
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		pairs, err := client.Walk(lan.Addr(*target), prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range pairs {
+			fmt.Printf("%-28s %s\n", p.Name, p.Value)
+		}
+	case "broadcast":
+		requireArgs(args, 3)
+		if err := client.SetAll(mgmt.Pair{Name: args[1], Value: args[2]}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("broadcast sent (no acknowledgement by design)")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  esctl -target host:port get <name>
+  esctl -target host:port set <name> <value>
+  esctl -target host:port walk [prefix]
+  esctl broadcast <name> <value>`)
+	os.Exit(2)
+}
+
+func requireTarget(t string) {
+	if t == "" {
+		fmt.Fprintln(os.Stderr, "esctl: -target required for this verb")
+		os.Exit(2)
+	}
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}

@@ -1,0 +1,111 @@
+// Command esd is the Ethernet Speaker daemon (§2.4) for real
+// deployments: it joins a channel's multicast group over UDP, waits for
+// a control packet, synchronizes against the producer's wall clock, and
+// plays the decoded audio by writing raw PCM to a file or stdout (pipe
+// it into aplay/sox/pacat for actual sound). A management agent serves
+// the §5.3 MIB so esctl can retune it, change the volume, or override it
+// centrally.
+//
+// Example:
+//
+//	esd -group 239.72.1.1:5004 -mgmt 0.0.0.0:5005 | aplay -f cd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/audiodev"
+	"repro/internal/lan"
+	"repro/internal/mgmt"
+	"repro/internal/speaker"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		group  = flag.String("group", "239.72.1.1:5004", "channel multicast group")
+		local  = flag.String("local", "0.0.0.0:5004", "local bind address")
+		mgmtAt = flag.String("mgmt", "", "management agent bind address (empty disables)")
+		name   = flag.String("name", "es", "speaker name")
+		out    = flag.String("out", "-", "raw PCM output: '-' for stdout, or a file path")
+		statsI = flag.Duration("stats", 10*time.Second, "stats report interval (0 disables)")
+	)
+	flag.Parse()
+	log.SetPrefix("esd: ")
+	log.SetFlags(0)
+
+	var sink *os.File
+	switch *out {
+	case "-":
+		sink = os.Stdout
+	case "":
+		sink = nil
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	clock := vclock.System
+	net := &lan.UDPNetwork{}
+	sp, err := speaker.New(clock, net, speaker.Config{
+		Name:  *name,
+		Local: lan.Addr(*local),
+		Group: lan.Addr(*group),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sink != nil {
+		sp.OnPlay(func(b audiodev.PlayedBlock) {
+			sink.Write(b.Data)
+		})
+	}
+
+	if *mgmtAt != "" {
+		mib := mgmt.SpeakerMIB(*name, sp)
+		agent, err := mgmt.NewAgent(clock, net, lan.Addr(*mgmtAt), mib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clock.Go("mgmt-agent", agent.Run)
+		log.Printf("management agent on %s", agent.Addr())
+		defer agent.Stop()
+	}
+
+	if *statsI > 0 {
+		clock.Go("stats", func() {
+			for {
+				clock.Sleep(*statsI)
+				st := sp.Stats()
+				fmt.Fprintf(os.Stderr,
+					"esd: ctl=%d data=%d played=%dB late=%d gaps=%d auth-drop=%d\n",
+					st.ControlPackets, st.DataPackets, st.BytesPlayed,
+					st.DroppedLate, st.GapFills, st.DroppedAuth)
+			}
+		})
+	}
+
+	done := make(chan struct{})
+	go func() {
+		sp.Run()
+		close(done)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		log.Print("interrupted, shutting down")
+		sp.Stop()
+		<-done
+	case <-done:
+	}
+}

@@ -1,0 +1,131 @@
+// Command eslab regenerates the paper's figures, tables and quantified
+// claims. Each experiment prints a table; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	eslab -exp all          # run everything (takes a few minutes)
+//	eslab -exp fig4         # one experiment
+//	eslab -list             # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// experiment is one runnable entry.
+type experiment struct {
+	name string
+	desc string
+	run  func(quick bool)
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "experiment to run (or 'all')")
+	listFlag := flag.Bool("list", false, "list experiments")
+	quickFlag := flag.Bool("quick", false, "reduced workloads (for smoke tests)")
+	flag.Parse()
+
+	w := os.Stdout
+	exps := []experiment{
+		{"fig4", "Figure 4: compression CPU load vs. stream count", func(q bool) {
+			secs := 60
+			if q {
+				secs = 5
+			}
+			experiments.Fig4(w, secs, 4, 8)
+		}},
+		{"fig5", "Figure 5: context-switch rate, in-kernel vs. user-level VAD", func(q bool) {
+			secs := 60
+			if q {
+				secs = 10
+			}
+			experiments.Fig5(w, secs)
+		}},
+		{"bitrate", "E3 (§2.2): network overhead per transport", func(q bool) {
+			secs := 10
+			if q {
+				secs = 2
+			}
+			experiments.E3Bitrate(w, secs)
+		}},
+		{"ratelimit", "E4 (§3.1): the rate limiter", func(q bool) {
+			clip := 5 * time.Minute
+			if q {
+				clip = 20 * time.Second
+			}
+			experiments.E4RateLimiter(w, clip)
+		}},
+		{"sync", "E5 (§3.2): inter-speaker skew and epsilon sweep", func(q bool) {
+			var eps []time.Duration
+			if q {
+				eps = []time.Duration{5 * time.Millisecond, 50 * time.Millisecond}
+			}
+			experiments.E5Sync(w, eps)
+		}},
+		{"bufsize", "E6 (§3.4): receive-buffer size vs. skipped audio", func(q bool) {
+			var bufs []int
+			if q {
+				bufs = []int{1400, 89600}
+			}
+			experiments.E6BufferSize(w, bufs)
+		}},
+		{"join", "E7 (§2.3): control cadence vs. tune-in latency", func(q bool) {
+			var ivs []time.Duration
+			if q {
+				ivs = []time.Duration{250 * time.Millisecond, time.Second}
+			}
+			experiments.E7JoinLatency(w, ivs)
+		}},
+		{"generations", "E8 (§2.2): multi-generation lossy coding", func(q bool) {
+			gens := 5
+			if q {
+				gens = 3
+			}
+			experiments.E8Generations(w, gens)
+		}},
+		{"auth", "E9 (§5.1): packet authentication cost and DoS resistance", func(q bool) {
+			iters := 5000
+			if q {
+				iters = 500
+			}
+			experiments.E9Auth(w, iters)
+		}},
+		{"loss", "E10 (§2.3): packet loss vs. audible glitches", func(q bool) {
+			var rates []float64
+			if q {
+				rates = []float64{0, 0.02}
+			}
+			experiments.E10Loss(w, rates)
+		}},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
+
+	if *listFlag {
+		for _, e := range exps {
+			fmt.Printf("  %-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	if *expFlag == "" {
+		fmt.Fprintln(os.Stderr, "usage: eslab -exp <name|all> [-quick]; eslab -list")
+		os.Exit(2)
+	}
+	ran := false
+	for _, e := range exps {
+		if *expFlag == "all" || *expFlag == e.name {
+			e.run(*quickFlag)
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "eslab: unknown experiment %q (try -list)\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,135 @@
+// Command rebroadcastd is the Audio Stream Rebroadcaster daemon (§2.2)
+// for real deployments: it plays the audio on standard input into a
+// virtual audio device and multicasts the resulting stream onto the LAN
+// over UDP.
+//
+// Example — rebroadcast a WAV file at CD quality:
+//
+//	rebroadcastd -group 239.72.1.1:5004 -wav < music.wav
+//
+// Example — raw PCM from any player that can write to a pipe:
+//
+//	mpg123 -s song.mp3 | rebroadcastd -group 239.72.1.1:5004 \
+//	    -rate 44100 -channels 2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/audio"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/vad"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		group    = flag.String("group", "239.72.1.1:5004", "multicast group to transmit on")
+		local    = flag.String("local", "0.0.0.0:0", "local bind address")
+		id       = flag.Uint("id", 1, "channel id")
+		name     = flag.String("name", "channel", "channel name")
+		codecN   = flag.String("codec", "", "codec (raw|ulaw|ovl); empty = automatic by bitrate")
+		quality  = flag.Int("quality", 10, "ovl quality index 0..10")
+		rate     = flag.Int("rate", 44100, "sample rate of stdin PCM")
+		channels = flag.Int("channels", 2, "channels of stdin PCM")
+		wav      = flag.Bool("wav", false, "parse stdin as a WAV file instead of raw PCM")
+	)
+	flag.Parse()
+	log.SetPrefix("rebroadcastd: ")
+	log.SetFlags(0)
+
+	clock := vclock.System
+	net := &lan.UDPNetwork{}
+	conn, err := net.Attach(lan.Addr(*local))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	reb, err := rebroadcast.New(clock, conn, rebroadcast.Config{
+		ID:      uint32(*id),
+		Name:    *name,
+		Group:   lan.Addr(*group),
+		Codec:   *codecN,
+		Quality: *quality,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v := vad.New(clock, vad.Config{})
+	done := make(chan struct{})
+	clock.Go("rebroadcast", func() {
+		reb.Run(v.Master())
+		close(done)
+	})
+
+	params := audio.Params{
+		SampleRate: *rate,
+		Channels:   *channels,
+		Encoding:   audio.EncodingSLinear16LE,
+	}
+	in := bufio.NewReaderSize(os.Stdin, 1<<16)
+	if *wav {
+		p, samples, err := audio.ReadWAV(in)
+		if err != nil {
+			log.Fatalf("reading WAV: %v", err)
+		}
+		params = p
+		if err := playBytes(v, params, audio.Encode(p, samples)); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := playStream(v, params, in); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v.Close()
+	<-done
+	st := reb.Stats()
+	fmt.Printf("sent %d control + %d data packets, %d payload bytes (source %d)\n",
+		st.ControlPackets, st.DataPackets, st.PayloadBytes, st.SourceBytes)
+}
+
+// playBytes writes a complete clip into the VAD slave.
+func playBytes(v *vad.VAD, p audio.Params, data []byte) error {
+	slave := v.Slave()
+	if err := slave.Open(p); err != nil {
+		return err
+	}
+	defer slave.Close()
+	if _, err := slave.Write(data); err != nil {
+		return err
+	}
+	return slave.Drain()
+}
+
+// playStream copies stdin into the VAD slave until EOF.
+func playStream(v *vad.VAD, p audio.Params, in io.Reader) error {
+	slave := v.Slave()
+	if err := slave.Open(p); err != nil {
+		return err
+	}
+	defer slave.Close()
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := in.Read(buf)
+		if n > 0 {
+			if _, werr := slave.Write(buf[:n]); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF {
+			return slave.Drain()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package espeaker is the public facade of the Ethernet Speaker system,
+// a reproduction of "The Ethernet Speaker System" (Turner & Prevelakis,
+// FREENIX / USENIX ATC 2005): a distributed audio amplifier for a single
+// Ethernet LAN.
+//
+// The system has three elements (paper §1):
+//
+//   - a Virtual Audio Device (VAD) that lets unmodified audio
+//     applications play into the network instead of a sound card,
+//   - the Audio Stream Rebroadcaster, which rate-limits, compresses and
+//     multicasts the stream with periodic control packets, and
+//   - Ethernet Speakers: receive-only devices that tune into a multicast
+//     group, synchronize against the producer's wall clock, and play.
+//
+// Quick start (simulated time and network — deterministic, instant):
+//
+//	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{})
+//	ch, _ := sys.AddChannel(espeaker.ChannelConfig{
+//	    ID: 1, Name: "demo", Group: "239.72.1.1:5004",
+//	}, espeaker.VADConfig{})
+//	sp, _ := sys.AddSpeaker(espeaker.SpeakerConfig{
+//	    Name: "kitchen", Group: "239.72.1.1:5004",
+//	})
+//	sys.Clock.Go("player", func() {
+//	    ch.Play(espeaker.CDQuality, espeaker.Music(44100, 2), 10*time.Second)
+//	    sys.Shutdown()
+//	})
+//	sys.Sim.WaitIdle()
+//	fmt.Println(sp.Stats())
+//
+// The same components run on the real clock and real UDP multicast by
+// constructing the system with NewSystem(vclock.System, &lan.UDPNetwork{}).
+// See the runnable programs under examples/ and cmd/.
+package espeaker
+
+import (
+	"repro/internal/audio"
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/vad"
+	"repro/internal/vclock"
+)
+
+// Re-exported configuration and component types. The aliases are the
+// supported public API; the internal packages behind them may reorganize
+// freely.
+type (
+	// System assembles channels and speakers on one LAN.
+	System = core.System
+	// Channel is a VAD + rebroadcaster pair.
+	Channel = core.Channel
+	// ChannelConfig parameterizes a rebroadcast channel.
+	ChannelConfig = rebroadcast.Config
+	// VADConfig parameterizes the channel's virtual audio device.
+	VADConfig = vad.Config
+	// SpeakerConfig parameterizes an Ethernet Speaker.
+	SpeakerConfig = speaker.Config
+	// Speaker is one Ethernet Speaker.
+	Speaker = speaker.Speaker
+	// SegmentConfig parameterizes the simulated Ethernet segment.
+	SegmentConfig = lan.SegmentConfig
+	// Params is an audio stream configuration.
+	Params = audio.Params
+	// Source produces PCM16 audio.
+	Source = audio.Source
+	// Clock abstracts time (real or simulated).
+	Clock = vclock.Clock
+	// Network abstracts the LAN (simulated segment or UDP multicast).
+	Network = lan.Network
+	// Addr is a host:port or group:port endpoint.
+	Addr = lan.Addr
+)
+
+// Common audio configurations.
+var (
+	// CDQuality is 44.1 kHz stereo 16-bit — the paper's test workload.
+	CDQuality = audio.CDQuality
+	// Voice is 8 kHz µ-law mono — the uncompressed low-bitrate channel.
+	Voice = audio.Voice
+)
+
+// NewSimSystem builds a system on fresh simulated time and a simulated
+// Ethernet segment — deterministic and suitable for tests, experiments
+// and the benchmark harness.
+func NewSimSystem(cfg SegmentConfig) *System { return core.NewSim(cfg) }
+
+// NewSystem builds a system on an arbitrary clock and network, e.g.
+// NewSystem(RealClock(), UDPMulticast()) for an actual deployment.
+func NewSystem(clock Clock, network Network) *System { return core.New(clock, network) }
+
+// RealClock returns the system wall clock.
+func RealClock() Clock { return vclock.System }
+
+// UDPMulticast returns the real-network backend (UDP + IGMP joins).
+func UDPMulticast() Network { return &lan.UDPNetwork{} }
+
+// Music returns the deterministic program-like test signal used by the
+// paper-reproduction experiments.
+func Music(rate, channels int) Source { return audio.Music(rate, channels) }
+
+// Tone returns a sine source.
+func Tone(rate, channels int, freq, amplitude float64) Source {
+	return audio.NewTone(rate, channels, freq, amplitude)
+}

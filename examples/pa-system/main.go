@@ -1,0 +1,123 @@
+// PA system: the paper's motivating deployment — background music
+// throughout a building, preempted by a central announcement (§5.3's
+// "crew announcements" scenario), with the §5.2 automatic volume
+// control adapting each room's speaker to its ambient noise.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/lan"
+	"repro/internal/mgmt"
+	"repro/internal/speaker"
+)
+
+func main() {
+	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{Latency: 150 * time.Microsecond})
+
+	music, err := sys.AddChannel(espeaker.ChannelConfig{
+		ID: 1, Name: "background-music", Group: "239.72.1.1:5004",
+		ControlInterval: 250 * time.Millisecond,
+	}, espeaker.VADConfig{})
+	check(err)
+	announce, err := sys.AddChannel(espeaker.ChannelConfig{
+		ID: 2, Name: "announcements", Group: "239.72.1.9:5004",
+		ControlInterval: 250 * time.Millisecond,
+	}, espeaker.VADConfig{})
+	check(err)
+	check(sys.StartCatalog(time.Second))
+
+	// Six rooms with different noise environments; every speaker runs
+	// the auto-volume controller and a management agent.
+	rooms := []struct {
+		name    string
+		ambient float64 // noise RMS
+	}{
+		{"lobby", 2500}, {"cafeteria", 6000}, {"library", 300},
+		{"machine-shop", 12000}, {"office-2f", 1200}, {"office-3f", 1500},
+	}
+	var agents []*mgmt.Agent
+	var speakers []*speaker.Speaker
+	client, err := mgmt.NewClient(sys.Clock, sys.Net, "10.0.99.1:5005")
+	check(err)
+	for i, room := range rooms {
+		sp, err := sys.AddSpeaker(espeaker.SpeakerConfig{
+			Name:       room.name,
+			Group:      "239.72.1.1:5004",
+			AutoVolume: &speaker.AutoVolume{},
+		})
+		check(err)
+		sp.SetAmbient(room.ambient)
+		speakers = append(speakers, sp)
+		agent, err := mgmt.NewAgent(sys.Clock, sys.Net,
+			lan.Addr(fmt.Sprintf("10.0.99.%d:5005", i+10)), mgmt.SpeakerMIB(room.name, sp))
+		check(err)
+		agents = append(agents, agent)
+		sys.Clock.Go("agent-"+room.name, agent.Run)
+	}
+
+	// Programme: continuous music; announcements twice.
+	p := espeaker.CDQuality
+	voice := espeaker.Voice
+	sys.Clock.Go("music", func() {
+		music.Play(p, espeaker.Music(p.SampleRate, p.Channels), 30*time.Second)
+	})
+	sys.Clock.Go("announcer", func() {
+		sys.Clock.Sleep(8 * time.Second)
+		announce.Play(voice, espeaker.Tone(voice.SampleRate, 1, 600, 0.8), 4*time.Second)
+	})
+
+	// The console: begin the override during the announcement window,
+	// end it afterwards, and report what each room did.
+	sys.Clock.Go("console", func() {
+		sys.Clock.Sleep(6 * time.Second)
+		fmt.Println("t=6s   volumes after auto-volume settles:")
+		for i, sp := range speakers {
+			fmt.Printf("  %-13s ambient %6.0f  volume %.2f\n",
+				rooms[i].name, rooms[i].ambient, sp.Volume())
+		}
+		sys.Clock.Sleep(2 * time.Second)
+		fmt.Println("t=8s   ANNOUNCEMENT: overriding all rooms to channel 2")
+		check(client.SetAll(mgmt.Pair{Name: "es.override.begin", Value: "239.72.1.9:5004"}))
+		sys.Clock.Sleep(5 * time.Second)
+		tuned := 0
+		for _, sp := range speakers {
+			if sp.Group() == "239.72.1.9:5004" {
+				tuned++
+			}
+		}
+		fmt.Printf("t=13s  %d/6 rooms on the announcement channel\n", tuned)
+		check(client.SetAll(mgmt.Pair{Name: "es.override.end", Value: "1"}))
+		sys.Clock.Sleep(4 * time.Second)
+		restored := 0
+		for _, sp := range speakers {
+			if sp.Group() == "239.72.1.1:5004" {
+				restored++
+			}
+		}
+		fmt.Printf("t=17s  override ended, %d/6 rooms back on music\n", restored)
+		sys.Clock.Sleep(15 * time.Second)
+		for _, a := range agents {
+			a.Stop()
+		}
+		client.Close()
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	fmt.Println("final per-room stats:")
+	for i, sp := range speakers {
+		st := sp.Stats()
+		fmt.Printf("  %-13s played %5.1fs  tunes %d  volume %.2f\n",
+			rooms[i].name, float64(st.BytesPlayed)/float64(p.BytesPerSecond()),
+			st.Tunes, sp.Volume())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

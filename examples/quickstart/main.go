@@ -1,0 +1,71 @@
+// Quickstart: one rebroadcast channel and two Ethernet Speakers on a
+// simulated LAN, playing ten seconds of CD-quality audio. Everything
+// runs in simulated time, so it completes instantly and identically on
+// every machine.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A campus LAN: fast Ethernet with a little propagation delay.
+	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{
+		BandwidthBps: 100_000_000,
+		Latency:      200 * time.Microsecond,
+	})
+
+	// The producer: an unmodified audio application plays into the
+	// channel's virtual audio device; the rebroadcaster compresses and
+	// multicasts it (CD quality exceeds the threshold, so OVL is chosen
+	// automatically).
+	ch, err := sys.AddChannel(espeaker.ChannelConfig{
+		ID:    1,
+		Name:  "quickstart",
+		Group: "239.72.1.1:5004",
+	}, espeaker.VADConfig{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Two speakers in different rooms join the group.
+	var speakers []*espeaker.Speaker
+	for _, name := range []string{"kitchen", "workshop"} {
+		sp, err := sys.AddSpeaker(espeaker.SpeakerConfig{
+			Name:  name,
+			Group: "239.72.1.1:5004",
+		})
+		if err != nil {
+			panic(err)
+		}
+		speakers = append(speakers, sp)
+	}
+
+	// Play ten seconds of the test program and let it drain.
+	p := espeaker.CDQuality
+	sys.Clock.Go("player", func() {
+		if err := ch.Play(p, espeaker.Music(p.SampleRate, p.Channels), 10*time.Second); err != nil {
+			fmt.Println("play:", err)
+		}
+		sys.Clock.Sleep(12 * time.Second)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	fmt.Println("quickstart: 10s of CD audio to two speakers")
+	rst := ch.Reb.Stats()
+	fmt.Printf("  producer: %d data packets, %d control packets, %.0f kbps on the wire (%.0f%% of raw)\n",
+		rst.DataPackets, rst.ControlPackets,
+		float64(rst.PayloadBytes)*8/10/1000,
+		100*float64(rst.PayloadBytes)/float64(rst.SourceBytes))
+	for i, sp := range speakers {
+		st := sp.Stats()
+		fmt.Printf("  %-9s played %5.1fs, late drops %d, gap fills %d\n",
+			[]string{"kitchen", "workshop"}[i],
+			float64(st.BytesPlayed)/float64(p.BytesPerSecond()),
+			st.DroppedLate, st.GapFills)
+	}
+}

@@ -1,0 +1,99 @@
+// Timeshift: the §3.3 payoff of keeping the VAD general — "applications
+// may be developed to process the audio stream (e.g., time-shifting
+// Internet radio transmissions)". A recorder reads the master side of a
+// VAD while a player streams into the slave, stores the programme, and
+// replays it later onto a live channel; the VAD imposes no rate limit,
+// so recording runs at wire speed (§3.1).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/audio"
+	"repro/internal/vad"
+)
+
+func main() {
+	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{})
+
+	// Stage 1: record. The "internet radio" application plays a
+	// 30-second programme into a standalone VAD; the recorder drains the
+	// master at wire speed.
+	recVAD := vad.New(sys.Clock, vad.Config{})
+	var recorded []byte
+	var recParams audio.Params
+	recordStart := sys.Clock.Now()
+	var recordElapsed time.Duration
+	sys.Clock.Go("recorder", func() {
+		for {
+			blk, ok := recVAD.Master().ReadBlock()
+			if !ok {
+				recordElapsed = sys.Clock.Since(recordStart)
+				return
+			}
+			if blk.Config {
+				recParams = blk.Params
+				continue
+			}
+			recorded = append(recorded, blk.Data...)
+		}
+	})
+	p := espeaker.Voice
+	sys.Clock.Go("radio", func() {
+		slave := recVAD.Slave()
+		if err := slave.Open(p); err != nil {
+			panic(err)
+		}
+		total := p.BytesFor(30 * time.Second)
+		src := espeaker.Tone(p.SampleRate, 1, 440, 0.6)
+		buf := make([]int16, 4096)
+		written := 0
+		for written < total {
+			n, _ := src.ReadSamples(buf)
+			raw := audio.Encode(p, buf[:n])
+			if written+len(raw) > total {
+				raw = raw[:total-written]
+			}
+			slave.Write(raw)
+			written += len(raw)
+		}
+		slave.Drain()
+		recVAD.Close()
+	})
+	sys.Sim.WaitIdle()
+
+	fmt.Printf("recorded %.1fs of %s in %v of simulated time (no rate limit on the VAD)\n",
+		float64(len(recorded))/float64(recParams.BytesPerSecond()),
+		recParams, recordElapsed.Round(time.Millisecond))
+
+	// Stage 2: replay the stored programme onto a live channel — this
+	// time the rebroadcaster's limiter paces it to real time.
+	ch, err := sys.AddChannel(espeaker.ChannelConfig{
+		ID: 1, Name: "timeshifted", Group: "239.72.1.1:5004",
+	}, espeaker.VADConfig{})
+	if err != nil {
+		panic(err)
+	}
+	sp, err := sys.AddSpeaker(espeaker.SpeakerConfig{Name: "living-room", Group: "239.72.1.1:5004"})
+	if err != nil {
+		panic(err)
+	}
+	replayStart := sys.Clock.Now()
+	var replayElapsed time.Duration
+	sys.Clock.Go("replay", func() {
+		ch.Play(recParams, &audio.SliceSource{Samples: audio.Decode(recParams, recorded)},
+			30*time.Second)
+		replayElapsed = sys.Clock.Since(replayStart)
+		sys.Clock.Sleep(32 * time.Second)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	st := sp.Stats()
+	fmt.Printf("replayed in %v of simulated time (rate-limited to real time)\n",
+		replayElapsed.Round(time.Second))
+	fmt.Printf("speaker played %.1fs, late drops %d\n",
+		float64(st.BytesPlayed)/float64(recParams.BytesPerSecond()), st.DroppedLate)
+}

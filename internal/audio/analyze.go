@@ -1,0 +1,81 @@
+package audio
+
+import "math"
+
+// Signal-quality analysis used by the codec and multi-generation
+// experiments.
+
+// RMS returns the root-mean-square level of the samples (0 for empty).
+func RMS(samples []int16) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, s := range samples {
+		v := float64(s)
+		acc += v * v
+	}
+	return math.Sqrt(acc / float64(len(samples)))
+}
+
+// Peak returns the maximum absolute sample value.
+func Peak(samples []int16) int {
+	max := 0
+	for _, s := range samples {
+		v := int(s)
+		if v < 0 {
+			v = -v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// SNR returns the signal-to-noise ratio in dB of test against the
+// reference ref, comparing the shorter common prefix. +Inf means the
+// signals are identical; 0-length input yields 0.
+func SNR(ref, test []int16) float64 {
+	n := len(ref)
+	if len(test) < n {
+		n = len(test)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sig, noise float64
+	for i := 0; i < n; i++ {
+		r := float64(ref[i])
+		d := r - float64(test[i])
+		sig += r * r
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	if sig == 0 {
+		return 0
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// DB converts an amplitude ratio to decibels.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}
+
+// CountClipped returns how many samples sit at full scale, a cheap
+// distortion indicator for the auto-volume controller.
+func CountClipped(samples []int16) int {
+	n := 0
+	for _, s := range samples {
+		if s == 32767 || s == -32768 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,400 @@
+package audio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func linearEncodings() []Encoding {
+	return []Encoding{
+		EncodingSLinear16LE, EncodingSLinear16BE,
+		EncodingULinear16LE, EncodingULinear16BE,
+	}
+}
+
+func TestEncodeDecode16BitLossless(t *testing.T) {
+	for _, enc := range linearEncodings() {
+		p := Params{SampleRate: 44100, Channels: 2, Encoding: enc}
+		f := func(samples []int16) bool {
+			got := Decode(p, Encode(p, samples))
+			if len(got) != len(samples) {
+				return false
+			}
+			for i := range got {
+				if got[i] != samples[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", enc, err)
+		}
+	}
+}
+
+func TestEncodeDecode8BitBounded(t *testing.T) {
+	for _, enc := range []Encoding{EncodingSLinear8, EncodingULinear8} {
+		p := Params{SampleRate: 8000, Channels: 1, Encoding: enc}
+		f := func(samples []int16) bool {
+			got := Decode(p, Encode(p, samples))
+			for i := range got {
+				diff := int32(samples[i]) - int32(got[i])
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff >= 256 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", enc, err)
+		}
+	}
+}
+
+func TestDecodeIgnoresTrailingPartialSample(t *testing.T) {
+	p := Params{SampleRate: 44100, Channels: 1, Encoding: EncodingSLinear16LE}
+	got := Decode(p, []byte{0x01, 0x02, 0x03})
+	if len(got) != 1 {
+		t.Fatalf("decoded %d samples from 3 bytes, want 1", len(got))
+	}
+}
+
+func TestDecodeInvalidEncoding(t *testing.T) {
+	p := Params{SampleRate: 44100, Channels: 1, Encoding: Encoding(50)}
+	if got := Decode(p, []byte{1, 2, 3, 4}); got != nil {
+		t.Fatalf("Decode with bad encoding = %v, want nil", got)
+	}
+	if got := Encode(p, []int16{1, 2}); got != nil {
+		t.Fatalf("Encode with bad encoding = %v, want nil", got)
+	}
+}
+
+func TestFillSilenceDecodesToNearZero(t *testing.T) {
+	for _, enc := range []Encoding{
+		EncodingULaw, EncodingALaw, EncodingSLinear8, EncodingULinear8,
+		EncodingSLinear16LE, EncodingSLinear16BE, EncodingULinear16LE, EncodingULinear16BE,
+	} {
+		p := Params{SampleRate: 8000, Channels: 1, Encoding: enc}
+		buf := make([]byte, 64)
+		for i := range buf {
+			buf[i] = 0xAA // garbage
+		}
+		FillSilence(enc, buf)
+		for i, s := range Decode(p, buf) {
+			if s > 128 || s < -128 {
+				t.Errorf("%s: silence sample %d decodes to %d", enc, i, s)
+			}
+		}
+	}
+}
+
+func TestRemapChannelsDownmix(t *testing.T) {
+	// Stereo [L=100,R=200] downmixes to mono 150.
+	out := RemapChannels([]int16{100, 200, -100, -200}, 2, 1)
+	if len(out) != 2 || out[0] != 150 || out[1] != -150 {
+		t.Fatalf("downmix = %v, want [150 -150]", out)
+	}
+}
+
+func TestRemapChannelsUpmix(t *testing.T) {
+	out := RemapChannels([]int16{7, 9}, 1, 2)
+	if len(out) != 4 || out[0] != 7 || out[1] != 7 || out[2] != 9 || out[3] != 9 {
+		t.Fatalf("upmix = %v, want [7 7 9 9]", out)
+	}
+}
+
+func TestRemapChannelsIdentity(t *testing.T) {
+	in := []int16{1, 2, 3, 4}
+	if out := RemapChannels(in, 2, 2); &out[0] != &in[0] {
+		t.Fatal("identity remap should not copy")
+	}
+}
+
+func TestResampleLengthRatio(t *testing.T) {
+	in := make([]int16, 4410*2) // 100ms stereo at 44100
+	out := Resample(in, 2, 44100, 22050)
+	if got := len(out) / 2; got != 2205 {
+		t.Fatalf("downsample frames = %d, want 2205", got)
+	}
+	out = Resample(in, 2, 44100, 88200)
+	if got := len(out) / 2; got != 8820 {
+		t.Fatalf("upsample frames = %d, want 8820", got)
+	}
+}
+
+func TestResamplePreservesTone(t *testing.T) {
+	// A 1 kHz tone resampled 44100 -> 48000 should keep its RMS level
+	// within 1 dB.
+	src := NewTone(44100, 1, 1000, 0.5)
+	in := make([]int16, 44100)
+	src.ReadSamples(in)
+	out := Resample(in, 1, 44100, 48000)
+	inRMS, outRMS := RMS(in), RMS(out)
+	diff := math.Abs(DB(outRMS / inRMS))
+	if diff > 1.0 {
+		t.Fatalf("resample RMS shift %.2f dB, want <= 1 dB", diff)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	in := []int16{1, 2, 3}
+	if out := Resample(in, 1, 8000, 8000); &out[0] != &in[0] {
+		t.Fatal("identity resample should not copy")
+	}
+}
+
+func TestConvertEndToEnd(t *testing.T) {
+	from := Params{SampleRate: 44100, Channels: 2, Encoding: EncodingSLinear16LE}
+	to := Params{SampleRate: 22050, Channels: 1, Encoding: EncodingULaw}
+	src := NewTone(44100, 2, 440, 0.5)
+	samples := make([]int16, 44100*2)
+	src.ReadSamples(samples)
+	data := Encode(from, samples)
+	out, err := Convert(from, to, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the frames, 1 byte per frame.
+	if want := 22050; len(out) != want {
+		t.Fatalf("converted %d bytes, want %d", len(out), want)
+	}
+	// Output should still carry signal energy.
+	if rms := RMS(Decode(to, out)); rms < 1000 {
+		t.Fatalf("converted signal RMS %.0f, want > 1000", rms)
+	}
+}
+
+func TestConvertRejectsBadParams(t *testing.T) {
+	if _, err := Convert(Params{}, CDQuality, nil); err == nil {
+		t.Fatal("expected error for bad source params")
+	}
+	if _, err := Convert(CDQuality, Params{}, nil); err == nil {
+		t.Fatal("expected error for bad target params")
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	p := Params{SampleRate: 8000, Channels: 2, Encoding: EncodingSLinear16LE}
+	samples := []int16{0, 100, -100, 32767, -32768, 7}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, p, samples); err != nil {
+		t.Fatal(err)
+	}
+	gotP, gotS, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotP.SampleRate != 8000 || gotP.Channels != 2 {
+		t.Fatalf("params = %v", gotP)
+	}
+	if len(gotS) != len(samples) {
+		t.Fatalf("got %d samples, want %d", len(gotS), len(samples))
+	}
+	for i := range samples {
+		if gotS[i] != samples[i] {
+			t.Fatalf("sample %d = %d, want %d", i, gotS[i], samples[i])
+		}
+	}
+}
+
+func TestWAVRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	if _, _, err := ReadWAV(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestWAVSkipsUnknownChunks(t *testing.T) {
+	p := Params{SampleRate: 8000, Channels: 1, Encoding: EncodingSLinear16LE}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, p, []int16{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a LIST chunk between fmt and data.
+	raw := buf.Bytes()
+	var out bytes.Buffer
+	out.Write(raw[:36]) // RIFF header + fmt chunk
+	out.WriteString("LIST")
+	out.Write([]byte{4, 0, 0, 0})
+	out.WriteString("INFO")
+	out.Write(raw[36:])
+	_, gotS, err := ReadWAV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotS) != 3 {
+		t.Fatalf("got %d samples, want 3", len(gotS))
+	}
+}
+
+func TestToneGeneratorFrequency(t *testing.T) {
+	// Count zero crossings of a 100 Hz tone over 1 second: ~200.
+	tone := NewTone(8000, 1, 100, 0.9)
+	buf := make([]int16, 8000)
+	tone.ReadSamples(buf)
+	crossings := 0
+	for i := 1; i < len(buf); i++ {
+		if (buf[i-1] < 0) != (buf[i] < 0) {
+			crossings++
+		}
+	}
+	if crossings < 195 || crossings > 205 {
+		t.Fatalf("zero crossings = %d, want ~200", crossings)
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	a := NewNoise(7, 0.5)
+	b := NewNoise(7, 0.5)
+	ba, bb := make([]int16, 512), make([]int16, 512)
+	a.ReadSamples(ba)
+	b.ReadSamples(bb)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatal("same-seed noise diverged")
+		}
+	}
+	c := NewNoise(8, 0.5)
+	bc := make([]int16, 512)
+	c.ReadSamples(bc)
+	same := 0
+	for i := range ba {
+		if ba[i] == bc[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds too similar: %d/512 equal", same)
+	}
+}
+
+func TestLimitedSource(t *testing.T) {
+	l := Limit(NewTone(8000, 1, 440, 0.5), 100)
+	buf := make([]int16, 64)
+	n1, err1 := l.ReadSamples(buf)
+	if n1 != 64 || err1 != nil {
+		t.Fatalf("first read = (%d, %v)", n1, err1)
+	}
+	n2, err2 := l.ReadSamples(buf)
+	if n2 != 36 || err2 != io.EOF {
+		t.Fatalf("second read = (%d, %v), want (36, EOF)", n2, err2)
+	}
+	n3, err3 := l.ReadSamples(buf)
+	if n3 != 0 || err3 != io.EOF {
+		t.Fatalf("third read = (%d, %v), want (0, EOF)", n3, err3)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &SliceSource{Samples: []int16{1, 2, 3, 4, 5}}
+	buf := make([]int16, 3)
+	n, err := s.ReadSamples(buf)
+	if n != 3 || err != nil {
+		t.Fatalf("read = (%d, %v)", n, err)
+	}
+	n, err = s.ReadSamples(buf)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("read = (%d, %v), want (2, EOF)", n, err)
+	}
+}
+
+func TestMixSaturates(t *testing.T) {
+	m := NewMix(
+		&SliceSource{Samples: []int16{30000, -30000}},
+		&SliceSource{Samples: []int16{30000, -30000}},
+	)
+	buf := make([]int16, 2)
+	m.ReadSamples(buf)
+	if buf[0] != 32767 || buf[1] != -32768 {
+		t.Fatalf("mix = %v, want saturated [32767 -32768]", buf)
+	}
+}
+
+func TestReadAllMusicFinite(t *testing.T) {
+	src := Limit(Music(8000, 1), 8000)
+	all := ReadAll(src)
+	if len(all) != 8000 {
+		t.Fatalf("ReadAll = %d samples, want 8000", len(all))
+	}
+	if RMS(all) < 1000 {
+		t.Fatalf("music RMS %.0f too quiet", RMS(all))
+	}
+}
+
+func TestSweepCoversBand(t *testing.T) {
+	sw := NewSweep(8000, 1, 100, 3000, 8000, 0.8)
+	buf := make([]int16, 8000)
+	sw.ReadSamples(buf)
+	// Early zero-crossing rate should be much lower than late.
+	early, late := 0, 0
+	for i := 1; i < 1000; i++ {
+		if (buf[i-1] < 0) != (buf[i] < 0) {
+			early++
+		}
+	}
+	for i := 7001; i < 8000; i++ {
+		if (buf[i-1] < 0) != (buf[i] < 0) {
+			late++
+		}
+	}
+	if late <= early*2 {
+		t.Fatalf("sweep did not rise: early=%d late=%d", early, late)
+	}
+	// After DurFrames it must be silent.
+	buf2 := make([]int16, 100)
+	sw.ReadSamples(buf2)
+	for _, v := range buf2 {
+		if v != 0 {
+			t.Fatal("sweep not silent after duration")
+		}
+	}
+}
+
+func TestSNR(t *testing.T) {
+	ref := []int16{1000, -1000, 1000, -1000}
+	if snr := SNR(ref, ref); !math.IsInf(snr, 1) {
+		t.Fatalf("identical SNR = %v, want +Inf", snr)
+	}
+	noisy := []int16{1010, -990, 1010, -990}
+	snr := SNR(ref, noisy)
+	want := 20 * math.Log10(1000.0/10.0) // 40 dB
+	if math.Abs(snr-want) > 0.5 {
+		t.Fatalf("SNR = %.1f dB, want ~%.1f", snr, want)
+	}
+	if got := SNR(nil, nil); got != 0 {
+		t.Fatalf("empty SNR = %v, want 0", got)
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	cases := map[int32]int16{
+		0: 0, 32767: 32767, 32768: 32767, 100000: 32767,
+		-32768: -32768, -32769: -32768, -100000: -32768,
+	}
+	for in, want := range cases {
+		if got := Saturate(in); got != want {
+			t.Errorf("Saturate(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRMSAndPeak(t *testing.T) {
+	if got := RMS(nil); got != 0 {
+		t.Errorf("RMS(nil) = %v", got)
+	}
+	if got := Peak([]int16{-5, 3, -7, 2}); got != 7 {
+		t.Errorf("Peak = %d, want 7", got)
+	}
+	if got := CountClipped([]int16{32767, 0, -32768, 5}); got != 2 {
+		t.Errorf("CountClipped = %d, want 2", got)
+	}
+}

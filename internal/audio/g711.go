@@ -1,0 +1,83 @@
+package audio
+
+// G.711 µ-law and A-law companding, implemented from the ITU-T G.711
+// segment definitions. These are the low-bitrate encodings that the
+// rebroadcaster leaves uncompressed (§2.2): at 64 kbps the transform
+// codec's CPU cost and latency are not worth paying.
+
+const ulawBias = 0x84 // 132, the µ-law bias
+const ulawClip = 32635
+
+// LinearToULaw compands a 16-bit linear sample to 8-bit µ-law.
+func LinearToULaw(s int16) byte {
+	x := int32(s)
+	var sign byte
+	if x < 0 {
+		x = -x
+		sign = 0x80
+	}
+	if x > ulawClip {
+		x = ulawClip
+	}
+	x += ulawBias
+	// Segment: index of the highest set bit among bits 7..14.
+	exp := 7
+	for mask := int32(0x4000); exp > 0 && x&mask == 0; exp-- {
+		mask >>= 1
+	}
+	mant := byte((x >> (uint(exp) + 3)) & 0x0F)
+	return ^(sign | byte(exp)<<4 | mant)
+}
+
+// ULawToLinear expands an 8-bit µ-law sample to 16-bit linear.
+func ULawToLinear(u byte) int16 {
+	u = ^u
+	sign := u & 0x80
+	exp := (u >> 4) & 7
+	mant := int32(u & 0x0F)
+	x := ((mant << 3) + ulawBias) << exp
+	x -= ulawBias
+	if sign != 0 {
+		x = -x
+	}
+	return int16(x)
+}
+
+// LinearToALaw compands a 16-bit linear sample to 8-bit A-law.
+func LinearToALaw(s int16) byte {
+	var mask byte = 0xD5 // sign bit set (positive) after the 0x55 toggle
+	x := int32(s)
+	if x < 0 {
+		mask = 0x55
+		x = -x - 1
+	}
+	var a byte
+	if x < 256 {
+		a = byte(x >> 4)
+	} else {
+		seg := 0
+		for v := x >> 8; v != 0; v >>= 1 {
+			seg++
+		}
+		a = byte(seg<<4) | byte((x>>(uint(seg)+3))&0x0F)
+	}
+	return a ^ mask
+}
+
+// ALawToLinear expands an 8-bit A-law sample to 16-bit linear.
+func ALawToLinear(a byte) int16 {
+	a ^= 0x55
+	sign := a & 0x80
+	seg := (a >> 4) & 7
+	mant := int32(a & 0x0F)
+	var x int32
+	if seg == 0 {
+		x = mant<<4 + 8
+	} else {
+		x = (mant<<4 + 0x108) << (seg - 1)
+	}
+	if sign == 0 {
+		x = -x
+	}
+	return int16(x)
+}

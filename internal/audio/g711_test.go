@@ -1,0 +1,119 @@
+package audio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestULawRoundTripBounded(t *testing.T) {
+	// µ-law quantization error must be bounded by the segment step size.
+	f := func(s int16) bool {
+		got := ULawToLinear(LinearToULaw(s))
+		diff := int32(s) - int32(got)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Largest µ-law segment step is 256 at the top of the range (plus
+		// clipping above 32635 costs a little more).
+		return diff <= 1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestULawSilence(t *testing.T) {
+	if got := ULawToLinear(0xFF); got != 0 {
+		t.Errorf("ULawToLinear(0xFF) = %d, want 0", got)
+	}
+	if got := LinearToULaw(0); got != 0xFF {
+		t.Errorf("LinearToULaw(0) = %#x, want 0xFF", got)
+	}
+}
+
+func TestULawMonotone(t *testing.T) {
+	// Decoding all 256 codes must produce a strictly monotone ramp when
+	// ordered by decoded value sign+magnitude within each half.
+	prev := ULawToLinear(0x80) // most negative after inversion? iterate raw codes instead
+	_ = prev
+	// Positive codes (sign bit 0 after inversion): decoded values for
+	// codes 0xFF down to 0x80 are the non-negative ramp.
+	last := int16(-1)
+	for code := 0xFF; code >= 0x80; code-- {
+		v := ULawToLinear(byte(code))
+		if v < 0 {
+			t.Fatalf("code %#x decoded negative: %d", code, v)
+		}
+		if v <= last && code != 0xFF {
+			t.Fatalf("non-monotone at code %#x: %d <= %d", code, v, last)
+		}
+		last = v
+	}
+}
+
+func TestULawCodecSymmetry(t *testing.T) {
+	f := func(s int16) bool {
+		if s == -32768 {
+			s = -32767
+		}
+		a := ULawToLinear(LinearToULaw(s))
+		b := ULawToLinear(LinearToULaw(-s))
+		return a == -b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALawRoundTripBounded(t *testing.T) {
+	f := func(s int16) bool {
+		got := ALawToLinear(LinearToALaw(s))
+		diff := int32(s) - int32(got)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Largest A-law segment step is 1024 in the top segment.
+		return diff <= 1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALawSilenceByte(t *testing.T) {
+	// 0xD5 is the canonical A-law silence byte.
+	if got := ALawToLinear(0xD5); got > 16 || got < -16 {
+		t.Errorf("ALawToLinear(0xD5) = %d, want near 0", got)
+	}
+}
+
+func TestALawIdempotent(t *testing.T) {
+	// Companding is idempotent: encode(decode(encode(x))) == encode(x).
+	for s := -32768; s <= 32767; s += 97 {
+		e1 := LinearToALaw(int16(s))
+		e2 := LinearToALaw(ALawToLinear(e1))
+		if e1 != e2 {
+			t.Fatalf("A-law not idempotent at %d: %#x vs %#x", s, e1, e2)
+		}
+	}
+}
+
+func TestULawIdempotent(t *testing.T) {
+	for s := -32768; s <= 32767; s += 97 {
+		e1 := LinearToULaw(int16(s))
+		e2 := LinearToULaw(ULawToLinear(e1))
+		if e1 != e2 {
+			t.Fatalf("µ-law not idempotent at %d: %#x vs %#x", s, e1, e2)
+		}
+	}
+}
+
+func TestG711Extremes(t *testing.T) {
+	for _, s := range []int16{-32768, -32767, -1, 0, 1, 32767} {
+		// Must not panic and must stay in range.
+		u := ULawToLinear(LinearToULaw(s))
+		a := ALawToLinear(LinearToALaw(s))
+		_ = u
+		_ = a
+	}
+}

@@ -1,0 +1,255 @@
+package audio
+
+import (
+	"io"
+	"math"
+)
+
+// Source produces interleaved PCM16 audio. Implementations are
+// deterministic so experiments replay identically.
+type Source interface {
+	// ReadSamples fills p with interleaved samples and returns the number
+	// of samples written. It returns io.EOF (possibly with n > 0) when
+	// the source is exhausted.
+	ReadSamples(p []int16) (n int, err error)
+}
+
+// Tone is an infinite sine generator.
+type Tone struct {
+	Rate      int     // sample rate in Hz
+	Channels  int     // interleaved channels
+	Freq      float64 // tone frequency in Hz
+	Amplitude float64 // 0..1 of full scale
+	phase     float64
+}
+
+// NewTone returns a full-scale-relative sine source.
+func NewTone(rate, channels int, freq, amplitude float64) *Tone {
+	return &Tone{Rate: rate, Channels: channels, Freq: freq, Amplitude: amplitude}
+}
+
+// ReadSamples implements Source.
+func (t *Tone) ReadSamples(p []int16) (int, error) {
+	ch := t.Channels
+	if ch <= 0 {
+		ch = 1
+	}
+	step := 2 * math.Pi * t.Freq / float64(t.Rate)
+	amp := t.Amplitude * 32767
+	frames := len(p) / ch
+	for f := 0; f < frames; f++ {
+		v := int16(amp * math.Sin(t.phase))
+		t.phase += step
+		if t.phase > 2*math.Pi {
+			t.phase -= 2 * math.Pi
+		}
+		for c := 0; c < ch; c++ {
+			p[f*ch+c] = v
+		}
+	}
+	return frames * ch, nil
+}
+
+// Noise is an infinite deterministic white-noise generator backed by a
+// 64-bit xorshift PRNG.
+type Noise struct {
+	Amplitude float64
+	state     uint64
+}
+
+// NewNoise returns a noise source with the given seed and amplitude.
+func NewNoise(seed uint64, amplitude float64) *Noise {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Noise{Amplitude: amplitude, state: seed}
+}
+
+func (n *Noise) next() uint64 {
+	x := n.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	n.state = x
+	return x
+}
+
+// ReadSamples implements Source.
+func (n *Noise) ReadSamples(p []int16) (int, error) {
+	amp := n.Amplitude * 32767
+	for i := range p {
+		// Map to [-1, 1).
+		v := float64(int64(n.next()>>11))/(1<<52) - 1
+		p[i] = int16(amp * v)
+	}
+	return len(p), nil
+}
+
+// Sweep is a linear chirp from FreqStart to FreqEnd over Dur seconds of
+// audio, then silence. It exercises the codec across the whole band.
+type Sweep struct {
+	Rate      int
+	Channels  int
+	FreqStart float64
+	FreqEnd   float64
+	DurFrames int
+	Amplitude float64
+	frame     int
+	phase     float64
+}
+
+// NewSweep returns a chirp source running for durFrames frames.
+func NewSweep(rate, channels int, f0, f1 float64, durFrames int, amplitude float64) *Sweep {
+	return &Sweep{Rate: rate, Channels: channels, FreqStart: f0, FreqEnd: f1,
+		DurFrames: durFrames, Amplitude: amplitude}
+}
+
+// ReadSamples implements Source.
+func (s *Sweep) ReadSamples(p []int16) (int, error) {
+	ch := s.Channels
+	if ch <= 0 {
+		ch = 1
+	}
+	amp := s.Amplitude * 32767
+	frames := len(p) / ch
+	for f := 0; f < frames; f++ {
+		var v int16
+		if s.frame < s.DurFrames {
+			t := float64(s.frame) / float64(s.DurFrames)
+			freq := s.FreqStart + (s.FreqEnd-s.FreqStart)*t
+			s.phase += 2 * math.Pi * freq / float64(s.Rate)
+			if s.phase > 2*math.Pi {
+				s.phase -= 2 * math.Pi
+			}
+			v = int16(amp * math.Sin(s.phase))
+		}
+		s.frame++
+		for c := 0; c < ch; c++ {
+			p[f*ch+c] = v
+		}
+	}
+	return frames * ch, nil
+}
+
+// Mix sums several sources sample-by-sample with saturation, modelling a
+// musical program (e.g. harmonics plus a noise floor) for codec quality
+// experiments.
+type Mix struct {
+	Sources []Source
+	scratch []int16
+}
+
+// NewMix returns a mixing source.
+func NewMix(sources ...Source) *Mix { return &Mix{Sources: sources} }
+
+// ReadSamples implements Source. It is exhausted when all inputs are.
+func (m *Mix) ReadSamples(p []int16) (int, error) {
+	if cap(m.scratch) < len(p) {
+		m.scratch = make([]int16, len(p))
+	}
+	buf := m.scratch[:len(p)]
+	acc := make([]int32, len(p))
+	maxN := 0
+	live := 0
+	for _, src := range m.Sources {
+		n, err := src.ReadSamples(buf)
+		if n > maxN {
+			maxN = n
+		}
+		if err == nil {
+			live++
+		}
+		for i := 0; i < n; i++ {
+			acc[i] += int32(buf[i])
+		}
+	}
+	for i := 0; i < maxN; i++ {
+		p[i] = Saturate(acc[i])
+	}
+	if live == 0 {
+		return maxN, io.EOF
+	}
+	return maxN, nil
+}
+
+// Limited wraps a source and cuts it off after a fixed number of samples.
+type Limited struct {
+	Src       Source
+	Remaining int
+}
+
+// Limit returns src truncated to n samples.
+func Limit(src Source, n int) *Limited { return &Limited{Src: src, Remaining: n} }
+
+// ReadSamples implements Source.
+func (l *Limited) ReadSamples(p []int16) (int, error) {
+	if l.Remaining <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > l.Remaining {
+		p = p[:l.Remaining]
+	}
+	n, err := l.Src.ReadSamples(p)
+	l.Remaining -= n
+	if err == nil && l.Remaining == 0 {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// SliceSource replays a fixed sample buffer once.
+type SliceSource struct {
+	Samples []int16
+	off     int
+}
+
+// ReadSamples implements Source.
+func (s *SliceSource) ReadSamples(p []int16) (int, error) {
+	if s.off >= len(s.Samples) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.Samples[s.off:])
+	s.off += n
+	if s.off >= len(s.Samples) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAll drains src into a single buffer, reading in chunks of 4096.
+func ReadAll(src Source) []int16 {
+	var out []int16
+	buf := make([]int16, 4096)
+	for {
+		n, err := src.ReadSamples(buf)
+		out = append(out, buf[:n]...)
+		if err != nil || n == 0 {
+			return out
+		}
+	}
+}
+
+// Saturate clamps a 32-bit accumulator to the int16 range.
+func Saturate(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// Music returns a deterministic program-like test signal: a fundamental
+// with decaying harmonics plus a low noise floor, the stand-in for the
+// "favourite MP3 file" in the multi-generation loss experiment (§2.2).
+func Music(rate, channels int) Source {
+	return NewMix(
+		NewTone(rate, channels, 220, 0.30),
+		NewTone(rate, channels, 440, 0.20),
+		NewTone(rate, channels, 880, 0.12),
+		NewTone(rate, channels, 1760, 0.07),
+		NewTone(rate, channels, 3520, 0.04),
+		NewNoise(42, 0.01),
+	)
+}

@@ -1,0 +1,134 @@
+// Package audio provides the audio data substrate for the Ethernet
+// Speaker system: sample formats and encodings mirroring OpenBSD
+// audio(4), conversion between wire encodings and internal PCM16,
+// deterministic signal generators, WAV file I/O, a resampler, mixing and
+// gain, and signal-quality analysis used by the codec experiments.
+package audio
+
+import (
+	"fmt"
+	"time"
+)
+
+// Encoding identifies a sample encoding, mirroring the encodings exposed
+// by OpenBSD's audio(4) AUDIO_SETINFO ioctl.
+type Encoding uint8
+
+// Supported encodings.
+const (
+	EncodingULaw        Encoding = iota + 1 // G.711 µ-law, 8-bit
+	EncodingALaw                            // G.711 A-law, 8-bit
+	EncodingSLinear8                        // signed linear, 8-bit
+	EncodingULinear8                        // unsigned linear, 8-bit
+	EncodingSLinear16LE                     // signed linear, 16-bit little-endian
+	EncodingSLinear16BE                     // signed linear, 16-bit big-endian
+	EncodingULinear16LE                     // unsigned linear, 16-bit little-endian
+	EncodingULinear16BE                     // unsigned linear, 16-bit big-endian
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingULaw:
+		return "ulaw"
+	case EncodingALaw:
+		return "alaw"
+	case EncodingSLinear8:
+		return "slinear8"
+	case EncodingULinear8:
+		return "ulinear8"
+	case EncodingSLinear16LE:
+		return "slinear16le"
+	case EncodingSLinear16BE:
+		return "slinear16be"
+	case EncodingULinear16LE:
+		return "ulinear16le"
+	case EncodingULinear16BE:
+		return "ulinear16be"
+	default:
+		return fmt.Sprintf("encoding(%d)", uint8(e))
+	}
+}
+
+// BytesPerSample returns the storage size of one sample in this encoding.
+func (e Encoding) BytesPerSample() int {
+	switch e {
+	case EncodingULaw, EncodingALaw, EncodingSLinear8, EncodingULinear8:
+		return 1
+	case EncodingSLinear16LE, EncodingSLinear16BE, EncodingULinear16LE, EncodingULinear16BE:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether e is a known encoding.
+func (e Encoding) Valid() bool { return e.BytesPerSample() != 0 }
+
+// Params describes an audio stream configuration, the set of values an
+// application establishes on the device with AUDIO_SETINFO and that the
+// VAD must forward to the master side so the rebroadcaster — and
+// ultimately every Ethernet Speaker — can decode the stream correctly.
+type Params struct {
+	SampleRate int      // frames per second, e.g. 44100
+	Channels   int      // interleaved channels, 1 or 2
+	Encoding   Encoding // wire encoding of each sample
+}
+
+// CDQuality is the configuration the paper's experiments use: CD-quality
+// stereo (44.1 kHz, 16-bit signed little-endian), ~1.4 Mbps raw.
+var CDQuality = Params{SampleRate: 44100, Channels: 2, Encoding: EncodingSLinear16LE}
+
+// Voice is a low-bitrate telephony configuration (8 kHz µ-law mono,
+// 64 kbps) representative of the channels the paper leaves uncompressed.
+var Voice = Params{SampleRate: 8000, Channels: 1, Encoding: EncodingULaw}
+
+// Validate reports whether the parameters describe a playable stream.
+func (p Params) Validate() error {
+	if p.SampleRate < 1000 || p.SampleRate > 192000 {
+		return fmt.Errorf("audio: sample rate %d out of range [1000,192000]", p.SampleRate)
+	}
+	if p.Channels < 1 || p.Channels > 8 {
+		return fmt.Errorf("audio: channel count %d out of range [1,8]", p.Channels)
+	}
+	if !p.Encoding.Valid() {
+		return fmt.Errorf("audio: invalid encoding %d", p.Encoding)
+	}
+	return nil
+}
+
+// BytesPerFrame returns the size of one frame (one sample per channel).
+func (p Params) BytesPerFrame() int { return p.Encoding.BytesPerSample() * p.Channels }
+
+// BytesPerSecond returns the raw stream bitrate in bytes per second.
+func (p Params) BytesPerSecond() int { return p.BytesPerFrame() * p.SampleRate }
+
+// BitsPerSecond returns the raw stream bitrate in bits per second.
+func (p Params) BitsPerSecond() int { return p.BytesPerSecond() * 8 }
+
+// FramesIn returns how many whole frames fit in n bytes.
+func (p Params) FramesIn(n int) int { return n / p.BytesPerFrame() }
+
+// Duration returns the play time of n bytes of audio in this format —
+// the quantity the rebroadcaster's rate limiter sleeps for (§3.1).
+func (p Params) Duration(n int) time.Duration {
+	bps := p.BytesPerSecond()
+	if bps == 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second / time.Duration(bps)
+}
+
+// BytesFor returns the number of whole-frame bytes covering duration d.
+func (p Params) BytesFor(d time.Duration) int {
+	frames := int(int64(d) * int64(p.SampleRate) / int64(time.Second))
+	return frames * p.BytesPerFrame()
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("%dHz/%dch/%s", p.SampleRate, p.Channels, p.Encoding)
+}
+
+// Equal reports whether two configurations match exactly.
+func (p Params) Equal(q Params) bool { return p == q }

@@ -1,0 +1,102 @@
+package audio
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"cd", CDQuality, true},
+		{"voice", Voice, true},
+		{"zero", Params{}, false},
+		{"low rate", Params{SampleRate: 100, Channels: 1, Encoding: EncodingULaw}, false},
+		{"high rate", Params{SampleRate: 400000, Channels: 1, Encoding: EncodingULaw}, false},
+		{"no channels", Params{SampleRate: 8000, Channels: 0, Encoding: EncodingULaw}, false},
+		{"too many channels", Params{SampleRate: 8000, Channels: 9, Encoding: EncodingULaw}, false},
+		{"bad encoding", Params{SampleRate: 8000, Channels: 1, Encoding: Encoding(99)}, false},
+		{"8ch ok", Params{SampleRate: 48000, Channels: 8, Encoding: EncodingSLinear16BE}, true},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestParamsRates(t *testing.T) {
+	if got := CDQuality.BytesPerFrame(); got != 4 {
+		t.Errorf("CD frame = %d bytes, want 4", got)
+	}
+	if got := CDQuality.BytesPerSecond(); got != 176400 {
+		t.Errorf("CD rate = %d B/s, want 176400", got)
+	}
+	// The paper's ~1.3-1.4 Mbps raw CD figure.
+	if got := CDQuality.BitsPerSecond(); got != 1411200 {
+		t.Errorf("CD rate = %d b/s, want 1411200", got)
+	}
+	if got := Voice.BytesPerSecond(); got != 8000 {
+		t.Errorf("voice rate = %d B/s, want 8000", got)
+	}
+}
+
+func TestParamsDuration(t *testing.T) {
+	// One second of CD audio is 176400 bytes.
+	if d := CDQuality.Duration(176400); d != time.Second {
+		t.Errorf("Duration(176400) = %v, want 1s", d)
+	}
+	if d := CDQuality.Duration(0); d != 0 {
+		t.Errorf("Duration(0) = %v, want 0", d)
+	}
+	// Round trip duration -> bytes -> duration.
+	n := CDQuality.BytesFor(250 * time.Millisecond)
+	if n != 44100 {
+		t.Errorf("BytesFor(250ms) = %d, want 44100", n)
+	}
+	if d := CDQuality.Duration(n); d != 250*time.Millisecond {
+		t.Errorf("round trip = %v, want 250ms", d)
+	}
+}
+
+func TestParamsBytesForWholeFrames(t *testing.T) {
+	// BytesFor must always return whole frames.
+	p := Params{SampleRate: 44100, Channels: 2, Encoding: EncodingSLinear16LE}
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 17 * time.Millisecond} {
+		n := p.BytesFor(d)
+		if n%p.BytesPerFrame() != 0 {
+			t.Errorf("BytesFor(%v) = %d not frame aligned", d, n)
+		}
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	known := []Encoding{EncodingULaw, EncodingALaw, EncodingSLinear8, EncodingULinear8,
+		EncodingSLinear16LE, EncodingSLinear16BE, EncodingULinear16LE, EncodingULinear16BE}
+	seen := map[string]bool{}
+	for _, e := range known {
+		s := e.String()
+		if seen[s] {
+			t.Errorf("duplicate encoding name %q", s)
+		}
+		seen[s] = true
+		if !e.Valid() {
+			t.Errorf("%s reported invalid", s)
+		}
+	}
+	if Encoding(0).Valid() || Encoding(99).Valid() {
+		t.Error("invalid encodings reported valid")
+	}
+}
+
+func TestFramesIn(t *testing.T) {
+	if got := CDQuality.FramesIn(4096); got != 1024 {
+		t.Errorf("FramesIn(4096) = %d, want 1024", got)
+	}
+	if got := CDQuality.FramesIn(3); got != 0 {
+		t.Errorf("FramesIn(3) = %d, want 0", got)
+	}
+}

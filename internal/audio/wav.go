@@ -1,0 +1,115 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WAV (RIFF) read/write for the time-shifting example and for inspecting
+// experiment output. Only uncompressed PCM (format 1) is supported; the
+// writer always emits 16-bit PCM.
+
+var errNotWAV = errors.New("audio: not a RIFF/WAVE file")
+
+// WriteWAV writes samples as a 16-bit PCM WAV file.
+func WriteWAV(w io.Writer, p Params, samples []int16) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	dataLen := len(samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)
+	binary.LittleEndian.PutUint16(hdr[20:22], 1) // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], uint16(p.Channels))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(p.SampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(p.SampleRate*p.Channels*2))
+	binary.LittleEndian.PutUint16(hdr[32:34], uint16(p.Channels*2))
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, dataLen)
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(s))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV parses a PCM WAV file and returns its parameters and samples.
+// 8-bit files decode as unsigned linear, 16-bit as signed little-endian.
+func ReadWAV(r io.Reader) (Params, []int16, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Params{}, nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return Params{}, nil, errNotWAV
+	}
+	var p Params
+	var bits uint16
+	haveFmt := false
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Params{}, nil, errors.New("audio: WAV missing data chunk")
+			}
+			return Params{}, nil, err
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return Params{}, nil, errors.New("audio: short fmt chunk")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return Params{}, nil, err
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			if format != 1 {
+				return Params{}, nil, fmt.Errorf("audio: unsupported WAV format %d", format)
+			}
+			p.Channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			p.SampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = binary.LittleEndian.Uint16(body[14:16])
+			switch bits {
+			case 8:
+				p.Encoding = EncodingULinear8
+			case 16:
+				p.Encoding = EncodingSLinear16LE
+			default:
+				return Params{}, nil, fmt.Errorf("audio: unsupported WAV bit depth %d", bits)
+			}
+			haveFmt = true
+		case "data":
+			if !haveFmt {
+				return Params{}, nil, errors.New("audio: WAV data before fmt")
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return Params{}, nil, err
+			}
+			return p, Decode(p, body), nil
+		default:
+			// Skip unknown chunk (word-aligned).
+			skip := int64(size)
+			if skip%2 == 1 {
+				skip++
+			}
+			if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+				return Params{}, nil, err
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package audiodev
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/vclock"
+)
+
+// newTestDevice builds a device over simulated time with a collector.
+func newTestDevice(t *testing.T) (*vclock.Sim, *Device, *BlockCollector) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	col := &BlockCollector{}
+	hw := NewSimHardware(sim, col.Sink())
+	dev := NewDevice(sim, hw)
+	return sim, dev, col
+}
+
+func TestDeviceOpenClose(t *testing.T) {
+	_, dev, _ := newTestDevice(t)
+	if err := dev.Open(audio.CDQuality); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Open(audio.CDQuality); err != ErrBusy {
+		t.Fatalf("double open = %v, want ErrBusy", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != ErrClosed {
+		t.Fatalf("double close = %v, want ErrClosed", err)
+	}
+	if _, err := dev.Write([]byte{1}); err != ErrClosed {
+		t.Fatalf("write on closed = %v", err)
+	}
+}
+
+func TestDeviceRejectsBadParams(t *testing.T) {
+	_, dev, _ := newTestDevice(t)
+	if err := dev.Open(audio.Params{}); err == nil {
+		t.Fatal("opened with invalid params")
+	}
+}
+
+func TestDevicePlaysAtHardwareRate(t *testing.T) {
+	// A five-second clip must take five seconds of simulated time: the
+	// hardware rate limit of §3.1.
+	sim, dev, col := newTestDevice(t)
+	p := audio.Voice // 8000 B/s: cheap
+	if err := dev.Open(p); err != nil {
+		t.Fatal(err)
+	}
+	clip := make([]byte, p.BytesFor(5*time.Second))
+	start := sim.Now()
+	var elapsed time.Duration
+	sim.Go("writer", func() {
+		if _, err := dev.Write(clip); err != nil {
+			t.Error(err)
+		}
+		if err := dev.Drain(); err != nil {
+			t.Error(err)
+		}
+		elapsed = sim.Since(start)
+	})
+	sim.WaitIdle()
+	// Drain completes after the clip plus the silent-halt blocks.
+	blockDur := p.Duration(dev.BlockSize())
+	min := 5 * time.Second
+	max := 5*time.Second + time.Duration(silentHaltRun+1)*blockDur
+	if elapsed < min || elapsed > max {
+		t.Fatalf("5s clip drained in %v, want [%v, %v]", elapsed, min, max)
+	}
+	// All data must have come out the DAC.
+	var played int
+	for _, b := range col.DataBlocks() {
+		played += len(b.Data)
+	}
+	if played < len(clip) {
+		t.Fatalf("played %d bytes, want >= %d", played, len(clip))
+	}
+}
+
+func TestDeviceWriteBlocksWhenRingFull(t *testing.T) {
+	// Writing 10x the ring capacity must take ~the play duration of the
+	// excess, proving Write blocks rather than discarding.
+	sim, dev, _ := newTestDevice(t)
+	p := audio.Voice
+	if err := dev.Open(p); err != nil {
+		t.Fatal(err)
+	}
+	total := dev.BlockSize() * DefaultRingBlocks * 10
+	start := sim.Now()
+	var writeDone time.Duration
+	sim.Go("writer", func() {
+		if _, err := dev.Write(make([]byte, total)); err != nil {
+			t.Error(err)
+		}
+		writeDone = sim.Since(start)
+		dev.Close()
+	})
+	sim.WaitIdle()
+	// Write returns once all but one ring-full is consumed (plus one
+	// block in flight inside the DAC); at least the play time of
+	// (total - ring capacity - one block) must have elapsed.
+	minDur := p.Duration(total - dev.BlockSize()*(DefaultRingBlocks+1))
+	if writeDone < minDur {
+		t.Fatalf("write returned after %v, want >= %v", writeDone, minDur)
+	}
+}
+
+func TestDeviceUnderrunInsertsSilence(t *testing.T) {
+	sim, dev, col := newTestDevice(t)
+	p := audio.Voice
+	if err := dev.Open(p); err != nil {
+		t.Fatal(err)
+	}
+	// Write one block, pause longer than the ring, write another.
+	blk := dev.BlockSize()
+	sim.Go("writer", func() {
+		dev.Write(make([]byte, blk))
+		sim.Sleep(p.Duration(blk * 6))
+		dev.Write(make([]byte, blk))
+		dev.Drain()
+		dev.Close()
+	})
+	sim.WaitIdle()
+	st := dev.GetStats()
+	if st.SilenceBlocks == 0 {
+		t.Fatal("no silence inserted during starvation")
+	}
+	var sawSilence bool
+	for _, b := range col.Blocks() {
+		if b.Silence {
+			sawSilence = true
+			// Silence must decode to near-zero samples.
+			for _, s := range audio.Decode(p, b.Data) {
+				if s > 128 || s < -128 {
+					t.Fatalf("silence block decodes to %d", s)
+				}
+			}
+		}
+	}
+	if !sawSilence {
+		t.Fatal("collector saw no silence blocks")
+	}
+	if st.Triggers < 2 {
+		t.Fatalf("triggers = %d, want >= 2 (auto-halt then re-trigger)", st.Triggers)
+	}
+}
+
+func TestDeviceDrainOnIdleReturnsImmediately(t *testing.T) {
+	sim, dev, _ := newTestDevice(t)
+	if err := dev.Open(audio.Voice); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	sim.Go("drainer", func() { err = dev.Drain() })
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceFlushDiscards(t *testing.T) {
+	sim, dev, col := newTestDevice(t)
+	p := audio.Voice
+	dev.Open(p)
+	sim.Go("writer", func() {
+		// Less than one block: playback never starts.
+		dev.Write(make([]byte, dev.BlockSize()/2))
+		if dev.Buffered() == 0 {
+			t.Error("nothing buffered")
+		}
+		dev.Flush()
+		if dev.Buffered() != 0 {
+			t.Error("flush left data")
+		}
+		dev.Close()
+	})
+	sim.WaitIdle()
+	if len(col.DataBlocks()) != 0 {
+		t.Fatal("flushed data was played")
+	}
+}
+
+func TestDeviceSetParamsWhileIdle(t *testing.T) {
+	sim, dev, _ := newTestDevice(t)
+	dev.Open(audio.Voice)
+	if err := dev.SetParams(audio.CDQuality); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Params(); got != audio.CDQuality {
+		t.Fatalf("params = %v", got)
+	}
+	// During playback it must fail.
+	sim.Go("writer", func() {
+		dev.Write(make([]byte, dev.BlockSize()*2))
+		if err := dev.SetParams(audio.Voice); err == nil {
+			t.Error("SetParams succeeded during playback")
+		}
+		dev.Close()
+	})
+	sim.WaitIdle()
+}
+
+func TestDeviceSetBlockSize(t *testing.T) {
+	_, dev, _ := newTestDevice(t)
+	dev.Open(audio.CDQuality)
+	if err := dev.SetBlockSize(1024); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.BlockSize(); got != 1024 {
+		t.Fatalf("block size = %d", got)
+	}
+	// Must stay frame-aligned.
+	if err := dev.SetBlockSize(1023); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.BlockSize(); got%audio.CDQuality.BytesPerFrame() != 0 {
+		t.Fatalf("unaligned block %d", got)
+	}
+	if err := dev.SetBlockSize(0); err == nil {
+		t.Fatal("accepted zero block size")
+	}
+}
+
+func TestDeviceStatsAccounting(t *testing.T) {
+	sim, dev, _ := newTestDevice(t)
+	p := audio.Voice
+	dev.Open(p)
+	total := dev.BlockSize() * 4
+	sim.Go("writer", func() {
+		dev.Write(make([]byte, total))
+		dev.Drain()
+		dev.Close()
+	})
+	sim.WaitIdle()
+	st := dev.GetStats()
+	if st.BytesWritten != int64(total) {
+		t.Fatalf("written = %d, want %d", st.BytesWritten, total)
+	}
+	if st.BytesPlayed != int64(total) {
+		t.Fatalf("played = %d, want %d", st.BytesPlayed, total)
+	}
+	if st.BlocksPlayed != 4 {
+		t.Fatalf("blocks = %d, want 4", st.BlocksPlayed)
+	}
+}
+
+func TestDeviceBlockTimingIsRegular(t *testing.T) {
+	// Consecutive data blocks must be exactly one block-duration apart.
+	sim, dev, col := newTestDevice(t)
+	p := audio.Voice
+	dev.Open(p)
+	sim.Go("writer", func() {
+		dev.Write(make([]byte, dev.BlockSize()*6))
+		dev.Drain()
+		dev.Close()
+	})
+	sim.WaitIdle()
+	blocks := col.DataBlocks()
+	if len(blocks) < 6 {
+		t.Fatalf("played %d blocks", len(blocks))
+	}
+	want := p.Duration(dev.BlockSize())
+	for i := 1; i < 6; i++ {
+		gap := blocks[i].Time.Sub(blocks[i-1].Time)
+		if gap != want {
+			t.Fatalf("gap %d = %v, want %v", i, gap, want)
+		}
+	}
+}
+
+func TestSimHardwareSpeedSkew(t *testing.T) {
+	// A DAC running 2% fast consumes audio 2% faster.
+	sim := vclock.NewSim(time.Time{})
+	col := &BlockCollector{}
+	hw := NewSimHardware(sim, col.Sink())
+	hw.SetSpeed(1.02)
+	dev := NewDevice(sim, hw)
+	p := audio.Voice
+	dev.Open(p)
+	sim.Go("writer", func() {
+		dev.Write(make([]byte, p.BytesFor(2*time.Second)))
+		dev.Drain()
+		dev.Close()
+	})
+	sim.WaitIdle()
+	blocks := col.DataBlocks()
+	if len(blocks) < 2 {
+		t.Fatalf("played %d blocks", len(blocks))
+	}
+	// Span between first and last data-block start at 2% fast: the
+	// nominal span divided by 1.02.
+	span := blocks[len(blocks)-1].Time.Sub(blocks[0].Time)
+	nominal := p.Duration(dev.BlockSize()) * time.Duration(len(blocks)-1)
+	if span >= nominal {
+		t.Fatalf("fast DAC span %v, want < nominal %v", span, nominal)
+	}
+	wantMin := time.Duration(float64(nominal) / 1.03)
+	if span < wantMin {
+		t.Fatalf("fast DAC span %v, want >= %v", span, wantMin)
+	}
+}

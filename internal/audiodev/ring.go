@@ -1,0 +1,71 @@
+// Package audiodev models the OpenBSD audio subsystem in user space: the
+// device-independent high-level driver (audio(4) semantics — ring buffer,
+// blocking writes, silence insertion on underrun) and the audio(9)
+// low-level driver contract (TriggerOutput called once when the first
+// block is ready, after which the hardware autonomously consumes blocks
+// and "interrupts" back). The paper's VAD is a low-level driver with no
+// hardware behind it, and every design problem in §3.3 falls out of this
+// contract — so we reproduce the contract itself.
+package audiodev
+
+// Ring is a fixed-capacity byte ring buffer, the high-level driver's
+// play queue. It is not synchronized; Device guards it.
+type Ring struct {
+	buf   []byte
+	head  int // read position
+	count int // bytes buffered
+}
+
+// NewRing returns a ring holding up to capacity bytes.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("audiodev: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]byte, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered bytes.
+func (r *Ring) Len() int { return r.count }
+
+// Free returns the remaining space.
+func (r *Ring) Free() int { return len(r.buf) - r.count }
+
+// Write copies as much of p as fits and returns the number of bytes
+// consumed.
+func (r *Ring) Write(p []byte) int {
+	n := len(p)
+	if free := r.Free(); n > free {
+		n = free
+	}
+	w := (r.head + r.count) % len(r.buf)
+	first := copy(r.buf[w:], p[:n])
+	if first < n {
+		copy(r.buf, p[first:n])
+	}
+	r.count += n
+	return n
+}
+
+// Read copies up to len(p) buffered bytes into p and returns the count.
+func (r *Ring) Read(p []byte) int {
+	n := len(p)
+	if n > r.count {
+		n = r.count
+	}
+	first := copy(p[:n], r.buf[r.head:])
+	if first < n {
+		copy(p[first:n], r.buf)
+	}
+	r.head = (r.head + n) % len(r.buf)
+	r.count -= n
+	return n
+}
+
+// Reset discards all buffered bytes.
+func (r *Ring) Reset() {
+	r.head = 0
+	r.count = 0
+}

@@ -1,0 +1,99 @@
+package audiodev
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 || r.Len() != 0 || r.Free() != 8 {
+		t.Fatalf("fresh ring: cap=%d len=%d free=%d", r.Cap(), r.Len(), r.Free())
+	}
+	if n := r.Write([]byte{1, 2, 3}); n != 3 {
+		t.Fatalf("write = %d", n)
+	}
+	buf := make([]byte, 2)
+	if n := r.Read(buf); n != 2 || buf[0] != 1 || buf[1] != 2 {
+		t.Fatalf("read = %d %v", n, buf)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	r.Write([]byte{1, 2, 3})
+	buf := make([]byte, 2)
+	r.Read(buf)
+	// Now head=2, writing 3 bytes wraps.
+	if n := r.Write([]byte{4, 5, 6}); n != 3 {
+		t.Fatalf("wrap write = %d", n)
+	}
+	out := make([]byte, 4)
+	if n := r.Read(out); n != 4 || !bytes.Equal(out, []byte{3, 4, 5, 6}) {
+		t.Fatalf("wrap read = %d %v", n, out)
+	}
+}
+
+func TestRingOverfill(t *testing.T) {
+	r := NewRing(4)
+	if n := r.Write([]byte{1, 2, 3, 4, 5, 6}); n != 4 {
+		t.Fatalf("overfill accepted %d", n)
+	}
+	if r.Free() != 0 {
+		t.Fatalf("free = %d", r.Free())
+	}
+	if n := r.Write([]byte{9}); n != 0 {
+		t.Fatalf("write to full ring = %d", n)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(4)
+	r.Write([]byte{1, 2})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not empty ring")
+	}
+	buf := make([]byte, 4)
+	if n := r.Read(buf); n != 0 {
+		t.Fatalf("read after reset = %d", n)
+	}
+}
+
+func TestRingFIFOProperty(t *testing.T) {
+	// Arbitrary interleavings of writes and reads preserve FIFO order.
+	f := func(chunks [][]byte) bool {
+		r := NewRing(64)
+		var wrote, read []byte
+		for _, c := range chunks {
+			if len(c) > 0 {
+				n := r.Write(c)
+				wrote = append(wrote, c[:n]...)
+			}
+			buf := make([]byte, 7)
+			n := r.Read(buf)
+			read = append(read, buf[:n]...)
+		}
+		// Drain the rest.
+		buf := make([]byte, 64)
+		n := r.Read(buf)
+		read = append(read, buf[:n]...)
+		return bytes.Equal(wrote, read)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(0)
+}

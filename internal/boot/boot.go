@@ -1,0 +1,307 @@
+// Package boot simulates the Ethernet Speaker provisioning path of
+// §2.4: maintenance-free speakers netboot a ramdisk kernel (PXE), obtain
+// their network identity from a DHCP-style lease server, and fetch a
+// machine-specific configuration tar that is expanded over the ramdisk's
+// skeleton /etc — machine-specific files overwrite the common ones. The
+// boot server's public key lives in the ramdisk, standing in for the ssh
+// host keys the paper bakes in for scp.
+package boot
+
+import (
+	"archive/tar"
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is a tiny in-memory filesystem: path -> contents. Paths are
+// slash-separated and cleaned.
+type FS map[string][]byte
+
+// Clone deep-copies the filesystem.
+func (f FS) Clone() FS {
+	out := make(FS, len(f))
+	for p, data := range f {
+		out[p] = append([]byte(nil), data...)
+	}
+	return out
+}
+
+// Paths returns the sorted file list.
+func (f FS) Paths() []string {
+	out := make([]string, 0, len(f))
+	for p := range f {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clean canonicalizes a path and rejects escapes.
+func clean(p string) (string, error) {
+	c := path.Clean("/" + p)
+	if strings.Contains(c, "..") {
+		return "", fmt.Errorf("boot: path %q escapes the root", p)
+	}
+	return strings.TrimPrefix(c, "/"), nil
+}
+
+// PackTar serializes an FS as a tar archive (sorted for determinism).
+func PackTar(fs FS) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, p := range fs.Paths() {
+		hdr := &tar.Header{Name: p, Mode: 0o644, Size: int64(len(fs[p]))}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, err
+		}
+		if _, err := tw.Write(fs[p]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnpackTar parses a tar archive into an FS, rejecting path escapes.
+func UnpackTar(data []byte) (FS, error) {
+	fs := make(FS)
+	tr := tar.NewReader(bytes.NewReader(data))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return fs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("boot: reading tar: %w", err)
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		name, err := clean(hdr.Name)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, err
+		}
+		fs[name] = body
+	}
+}
+
+// Overlay returns base with overlay's files written over it (§2.4: "the
+// machine-specific information overwrites any common configuration").
+func Overlay(base, over FS) FS {
+	out := base.Clone()
+	for p, data := range over {
+		out[p] = append([]byte(nil), data...)
+	}
+	return out
+}
+
+// Lease is a DHCP-style assignment.
+type Lease struct {
+	MAC     string
+	IP      string
+	Gateway string
+	// BootServer is where the kernel/ramdisk and config come from.
+	BootServer string
+}
+
+// Ramdisk is the network-booted image: a kernel version plus the root
+// filesystem with the common programs and skeleton configuration. The
+// embedded server key authenticates configuration bundles (the ssh host
+// key of §2.4).
+type Ramdisk struct {
+	Version   int
+	Root      FS
+	ServerKey []byte
+}
+
+// Server is the boot server: leases, the current ramdisk, and per-MAC
+// configuration bundles.
+type Server struct {
+	mu        sync.Mutex
+	subnet    string // e.g. "10.0.7." — hosts allocated sequentially
+	nextHost  int
+	leases    map[string]Lease // by MAC
+	ramdisk   Ramdisk
+	key       []byte
+	configs   map[string]FS // per-MAC configuration overlays
+	common    FS            // skeleton /etc shipped in the ramdisk
+	downloads int64
+}
+
+// NewServer creates a boot server for a subnet prefix such as "10.0.7.".
+func NewServer(subnet string, key []byte) *Server {
+	s := &Server{
+		subnet:   subnet,
+		nextHost: 10,
+		leases:   make(map[string]Lease),
+		key:      append([]byte(nil), key...),
+		configs:  make(map[string]FS),
+		common:   make(FS),
+	}
+	s.rebuildRamdisk()
+	return s
+}
+
+// SetCommonConfig installs the skeleton configuration shared by all
+// speakers and rebuilds the ramdisk (a new image version).
+func (s *Server) SetCommonConfig(fs FS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.common = fs.Clone()
+	s.rebuildRamdisk()
+}
+
+// SetMachineConfig installs one machine's configuration overlay.
+func (s *Server) SetMachineConfig(mac string, fs FS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.configs[mac] = fs.Clone()
+}
+
+// rebuildRamdisk regenerates the image, bumping the version. Caller
+// holds s.mu.
+func (s *Server) rebuildRamdisk() {
+	root := make(FS)
+	// The programs common to every ES (§2.4: "a set of utilities which
+	// include the rebroadcast software").
+	root["bin/esd"] = []byte("esd binary\n")
+	root["bin/esctl"] = []byte("esctl binary\n")
+	for p, data := range s.common {
+		root["etc/"+p] = append([]byte(nil), data...)
+	}
+	s.ramdisk = Ramdisk{
+		Version:   s.ramdisk.Version + 1,
+		Root:      root,
+		ServerKey: append([]byte(nil), s.key...),
+	}
+}
+
+// RamdiskVersion returns the current image version.
+func (s *Server) RamdiskVersion() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ramdisk.Version
+}
+
+// Downloads counts config bundle fetches (for update-rollout tests).
+func (s *Server) Downloads() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.downloads
+}
+
+// DHCP assigns (or renews) a lease for a MAC address.
+func (s *Server) DHCP(mac string) Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.leases[mac]; ok {
+		return l
+	}
+	l := Lease{
+		MAC:        mac,
+		IP:         fmt.Sprintf("%s%d", s.subnet, s.nextHost),
+		Gateway:    s.subnet + "1",
+		BootServer: s.subnet + "2",
+	}
+	s.nextHost++
+	s.leases[mac] = l
+	return l
+}
+
+// FetchRamdisk is the PXE/TFTP stage: the kernel+ramdisk image.
+func (s *Server) FetchRamdisk() Ramdisk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.ramdisk
+	rd.Root = rd.Root.Clone()
+	rd.ServerKey = append([]byte(nil), rd.ServerKey...)
+	return rd
+}
+
+// FetchConfig is the scp stage: a signed tar of the machine's overlay.
+// The MAC-keyed bundle is signed with the server key so the client can
+// verify it against the key baked into its ramdisk.
+func (s *Server) FetchConfig(mac string) (tarData, sig []byte, err error) {
+	s.mu.Lock()
+	cfg := s.configs[mac]
+	key := s.key
+	s.downloads++
+	s.mu.Unlock()
+	if cfg == nil {
+		cfg = make(FS) // no machine-specific config: empty overlay
+	}
+	tarData, err = PackTar(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := hmac.New(sha256.New, key)
+	m.Write(tarData)
+	return tarData, m.Sum(nil), nil
+}
+
+// Machine is one Ethernet Speaker box going through the boot sequence.
+type Machine struct {
+	MAC string
+
+	// Populated by Boot.
+	Lease   Lease
+	Root    FS
+	Version int
+	Booted  bool
+}
+
+// Boot runs the §2.4 sequence: DHCP → ramdisk → verified config tar →
+// overlay over the skeleton /etc. It is idempotent; rebooting picks up
+// new ramdisk versions and configuration.
+func (m *Machine) Boot(s *Server) error {
+	m.Booted = false
+	m.Lease = s.DHCP(m.MAC)
+	rd := s.FetchRamdisk()
+	tarData, sig, err := s.FetchConfig(m.MAC)
+	if err != nil {
+		return fmt.Errorf("boot: fetching config: %w", err)
+	}
+	// Verify against the key in the ramdisk — a tampered or foreign
+	// bundle must not boot (§5.1's "inherently unsafe platform" worry).
+	mac := hmac.New(sha256.New, rd.ServerKey)
+	mac.Write(tarData)
+	if !hmac.Equal(mac.Sum(nil), sig) {
+		return fmt.Errorf("boot: config signature mismatch for %s", m.MAC)
+	}
+	overlay, err := UnpackTar(tarData)
+	if err != nil {
+		return err
+	}
+	// Expand the config over the skeleton: machine-specific wins.
+	prefixed := make(FS, len(overlay))
+	for p, data := range overlay {
+		prefixed["etc/"+p] = data
+	}
+	m.Root = Overlay(rd.Root, prefixed)
+	m.Version = rd.Version
+	m.Booted = true
+	return nil
+}
+
+// File reads a file from the machine's booted filesystem.
+func (m *Machine) File(p string) ([]byte, bool) {
+	c, err := clean(p)
+	if err != nil {
+		return nil, false
+	}
+	data, ok := m.Root[c]
+	return data, ok
+}

@@ -1,0 +1,114 @@
+// Package codec implements the audio transports the rebroadcaster can
+// choose between (§2.2 of the paper): raw PCM passthrough, µ-law
+// transcoding for cheap 2:1 compression, and OVL — a lossy MDCT transform
+// codec with a 0..10 quality index standing in for Ogg Vorbis.
+//
+// Every encoder consumes raw audio bytes in the stream's wire encoding
+// (exactly what the rebroadcaster reads from the VAD master) and yields
+// self-contained packets; every decoder returns raw audio bytes in the
+// same wire encoding, ready to be written to the speaker's audio device.
+// Packets are independently decodable so that a receive-only speaker can
+// tune in mid-stream (§2.3).
+package codec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/audio"
+)
+
+// MaxQuality is the top of the OVL quality-index range. The paper runs
+// the rebroadcaster at maximum quality to limit multi-generation loss.
+const MaxQuality = 10
+
+// Encoder turns raw audio bytes into codec packets.
+type Encoder interface {
+	// Name returns the registry name of the codec.
+	Name() string
+	// Encode consumes raw audio bytes and returns zero or more complete
+	// encoded frames (concatenated). Input not yet covering a whole frame
+	// is buffered.
+	Encode(raw []byte) ([]byte, error)
+	// Flush drains buffered samples, zero-padding the final frame, and
+	// resets the encoder.
+	Flush() ([]byte, error)
+}
+
+// Decoder turns codec packets back into raw audio bytes.
+type Decoder interface {
+	// Name returns the registry name of the codec.
+	Name() string
+	// Decode consumes one packet (one or more complete encoded frames)
+	// and returns the recovered raw audio bytes.
+	Decode(pkt []byte) ([]byte, error)
+	// Reset drops inter-frame state after a stream discontinuity (packet
+	// loss, channel change) so decoding can resume cleanly.
+	Reset()
+}
+
+// Info describes a registered codec.
+type Info struct {
+	Name string
+	// Lossy reports whether decode(encode(x)) != x in general.
+	Lossy bool
+	// New constructs an encoder at the given quality (ignored by
+	// non-scalable codecs).
+	New func(p audio.Params, quality int) (Encoder, error)
+	// NewDecoder constructs the matching decoder.
+	NewDecoder func(p audio.Params) (Decoder, error)
+}
+
+var registry = map[string]Info{}
+
+// Register adds a codec to the registry; it panics on duplicates, as
+// codecs are registered only from init functions.
+func Register(info Info) {
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("codec: duplicate registration of %q", info.Name))
+	}
+	registry[info.Name] = info
+}
+
+// Lookup returns the codec registered under name.
+func Lookup(name string) (Info, error) {
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("codec: unknown codec %q", name)
+	}
+	return info, nil
+}
+
+// Names returns the registered codec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewEncoder constructs a named encoder for the given stream parameters.
+func NewEncoder(name string, p audio.Params, quality int) (Encoder, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return info.New(p, quality)
+}
+
+// NewDecoder constructs a named decoder for the given stream parameters.
+func NewDecoder(name string, p audio.Params) (Decoder, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return info.NewDecoder(p)
+}

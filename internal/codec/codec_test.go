@@ -1,0 +1,452 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/audio"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"raw": false, "ulaw": false, "ovl": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("codec %q not registered", n)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("mp3"); err == nil {
+		t.Fatal("expected error for unknown codec")
+	}
+	if _, err := NewEncoder("mp3", audio.CDQuality, 5); err == nil {
+		t.Fatal("expected error for unknown encoder")
+	}
+	if _, err := NewDecoder("mp3", audio.CDQuality); err == nil {
+		t.Fatal("expected error for unknown decoder")
+	}
+}
+
+func TestNewEncoderValidatesParams(t *testing.T) {
+	if _, err := NewEncoder("raw", audio.Params{}, 5); err == nil {
+		t.Fatal("expected error for invalid params")
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	enc, err := NewEncoder("raw", audio.CDQuality, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder("raw", audio.CDQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt, err := enc.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("raw round trip: %v vs %v", in, out)
+	}
+	if tail, _ := enc.Flush(); len(tail) != 0 {
+		t.Fatal("raw flush should be empty")
+	}
+}
+
+func TestRawDoesNotAliasInput(t *testing.T) {
+	enc, _ := NewEncoder("raw", audio.CDQuality, 0)
+	in := []byte{1, 2, 3, 4}
+	pkt, _ := enc.Encode(in)
+	in[0] = 99
+	if pkt[0] == 99 {
+		t.Fatal("encoder aliased caller's buffer")
+	}
+}
+
+func TestULawHalvesBitrate(t *testing.T) {
+	enc, err := NewEncoder("ulaw", audio.CDQuality, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 4096)
+	pkt, err := enc.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != 2048 {
+		t.Fatalf("ulaw output %d bytes from 4096, want 2048", len(pkt))
+	}
+}
+
+func TestULawRoundTripQuality(t *testing.T) {
+	p := audio.CDQuality
+	enc, _ := NewEncoder("ulaw", p, 0)
+	dec, _ := NewDecoder("ulaw", p)
+	src := audio.NewTone(p.SampleRate, p.Channels, 440, 0.5)
+	samples := make([]int16, p.SampleRate/10*p.Channels)
+	src.ReadSamples(samples)
+	raw := audio.Encode(p, samples)
+	pkt, err := enc.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr := audio.SNR(samples, audio.Decode(p, out))
+	if snr < 25 {
+		t.Fatalf("ulaw SNR = %.1f dB, want >= 25", snr)
+	}
+}
+
+func TestULawHandlesPartialSamples(t *testing.T) {
+	p := audio.CDQuality
+	enc, _ := NewEncoder("ulaw", p, 0)
+	// Feed an odd number of bytes, then the rest.
+	a, err := enc.Encode([]byte{0x10, 0x20, 0x30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Encode([]byte{0x40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a)+len(b) != 2 {
+		t.Fatalf("got %d+%d ulaw bytes from 4 raw bytes, want 2 total", len(a), len(b))
+	}
+}
+
+func TestULawRejects8BitSource(t *testing.T) {
+	if _, err := NewEncoder("ulaw", audio.Voice, 0); err == nil {
+		t.Fatal("expected rejection of 8-bit source")
+	}
+}
+
+// encodeDecodeOVL pushes one second of the given source through OVL at
+// the given quality and returns (original samples, decoded samples,
+// compressed size, raw size).
+func encodeDecodeOVL(t *testing.T, p audio.Params, quality int) ([]int16, []int16, int, int) {
+	t.Helper()
+	enc, err := NewEncoder("ovl", p, quality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder("ovl", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, p.SampleRate*p.Channels)
+	src.ReadSamples(samples)
+	raw := audio.Encode(p, samples)
+	pkt, err := enc.Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := enc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt = append(pkt, tail...)
+	out, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples, audio.Decode(p, out), len(pkt), len(raw)
+}
+
+func TestOVLCompresses(t *testing.T) {
+	for _, q := range []int{0, 3, 5, 10} {
+		_, _, comp, raw := encodeDecodeOVL(t, audio.CDQuality, q)
+		if comp >= raw {
+			t.Errorf("q=%d: compressed %d >= raw %d", q, comp, raw)
+		}
+	}
+}
+
+func TestOVLBitrateMonotoneInQuality(t *testing.T) {
+	var prev int
+	for _, q := range []int{0, 3, 6, 10} {
+		_, _, comp, _ := encodeDecodeOVL(t, audio.CDQuality, q)
+		if comp < prev {
+			t.Errorf("q=%d produced %d bytes, less than lower quality's %d", q, comp, prev)
+		}
+		prev = comp
+	}
+}
+
+// alignOVL drops the decoder's leading latency (one MDCT frame of
+// fade-in) and trims both signals to a common length for SNR comparison.
+func alignOVL(p audio.Params, ref, got []int16) ([]int16, []int16) {
+	n := ovlCoeffs(p.SampleRate) * p.Channels
+	// Decoder output frame i covers input frame i-1 (one hop of latency):
+	// drop one frame from the front of the decode and compare.
+	if len(got) > n {
+		got = got[n:]
+	}
+	if len(ref) > len(got) {
+		ref = ref[:len(got)]
+	} else {
+		got = got[:len(ref)]
+	}
+	// Skip the very first frame of the comparison too: it was encoded
+	// against zero history.
+	if len(ref) > n {
+		ref, got = ref[n:], got[n:]
+	}
+	return ref, got
+}
+
+func TestOVLQualityLadder(t *testing.T) {
+	snrs := map[int]float64{}
+	for _, q := range []int{0, 3, 10} {
+		ref, got, _, _ := encodeDecodeOVL(t, audio.CDQuality, q)
+		r, g := alignOVL(audio.CDQuality, ref, got)
+		snrs[q] = audio.SNR(r, g)
+	}
+	if snrs[10] < 35 {
+		t.Errorf("q=10 SNR = %.1f dB, want >= 35 (near transparent)", snrs[10])
+	}
+	if !(snrs[10] > snrs[3] && snrs[3] > snrs[0]) {
+		t.Errorf("SNR not monotone in quality: %v", snrs)
+	}
+	if snrs[0] < 3 {
+		t.Errorf("q=0 SNR = %.1f dB: signal destroyed, want >= 3", snrs[0])
+	}
+}
+
+func TestOVLMonoAndLowRate(t *testing.T) {
+	p := audio.Params{SampleRate: 16000, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+	ref, got, comp, raw := encodeDecodeOVL(t, p, 8)
+	if comp >= raw {
+		t.Fatalf("no compression at 16 kHz mono: %d vs %d", comp, raw)
+	}
+	r, g := alignOVL(p, ref, got)
+	if snr := audio.SNR(r, g); snr < 20 {
+		t.Fatalf("16 kHz mono SNR = %.1f dB", snr)
+	}
+}
+
+func TestOVLDecoderRejectsGarbage(t *testing.T) {
+	dec, _ := NewDecoder("ovl", audio.CDQuality)
+	for _, pkt := range [][]byte{
+		{1, 2, 3},
+		{ovlMagic, 99, 2, 5, 1, 0, 0, 4, 1, 2, 3, 4}, // bad version
+		{ovlMagic, ovlVersion, 1, 5, 1, 0, 0, 0},     // channel mismatch
+		{ovlMagic, ovlVersion, 2, 5, 1, 0, 255, 255}, // payload longer than packet
+		{ovlMagic, ovlVersion, 2, 55, 1, 0, 0, 0},    // quality out of range
+	} {
+		if _, err := dec.Decode(pkt); err == nil {
+			t.Errorf("accepted malformed packet %v", pkt[:4])
+		}
+		dec.Reset()
+	}
+}
+
+func TestOVLDecoderTruncatedBitstream(t *testing.T) {
+	p := audio.CDQuality
+	enc, _ := NewEncoder("ovl", p, 10)
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, 1024*p.Channels)
+	src.ReadSamples(samples)
+	pkt, err := enc.Encode(audio.Encode(p, samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) < 32 {
+		t.Skip("packet unexpectedly small")
+	}
+	dec, _ := NewDecoder("ovl", p)
+	// Truncating the payload mid-frame must produce an error, not junk.
+	trunc := pkt[:len(pkt)/2]
+	if len(trunc) > ovlHeader {
+		if _, err := dec.Decode(trunc); err == nil {
+			t.Error("accepted truncated packet")
+		}
+	}
+}
+
+func TestOVLMidStreamJoin(t *testing.T) {
+	// A decoder that starts at frame k (missing all earlier frames)
+	// must still produce sane audio after its one-frame fade-in.
+	p := audio.CDQuality
+	enc, _ := NewEncoder("ovl", p, 10)
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, p.SampleRate*p.Channels)
+	src.ReadSamples(samples)
+	raw := audio.Encode(p, samples)
+
+	// Encode in hop-sized chunks so we get packet boundaries.
+	hop := ovlCoeffs(p.SampleRate) * p.Channels * 2
+	var pkts [][]byte
+	for off := 0; off+hop <= len(raw); off += hop {
+		pkt, err := enc.Encode(raw[off : off+hop])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkt) > 0 {
+			pkts = append(pkts, pkt)
+		}
+	}
+	if len(pkts) < 20 {
+		t.Fatalf("only %d packets", len(pkts))
+	}
+	dec, _ := NewDecoder("ovl", p)
+	var out []byte
+	for _, pkt := range pkts[10:] { // join mid-stream
+		o, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, o...)
+	}
+	decoded := audio.Decode(p, out)
+	// Skip two frames (fade-in + latency) and check signal energy exists
+	// and nothing is absurdly loud.
+	n := ovlCoeffs(p.SampleRate) * p.Channels
+	if len(decoded) < 4*n {
+		t.Fatal("too little decoded audio")
+	}
+	body := decoded[2*n:]
+	if audio.RMS(body) < 500 {
+		t.Fatalf("mid-stream join produced near silence: RMS %.0f", audio.RMS(body))
+	}
+}
+
+func TestOVLFlushPadsAndResets(t *testing.T) {
+	p := audio.CDQuality
+	enc, _ := NewEncoder("ovl", p, 5)
+	// Feed half a hop, flush must emit exactly one frame.
+	hop := ovlCoeffs(p.SampleRate) * p.Channels * 2
+	pkt, err := enc.Encode(make([]byte, hop/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != 0 {
+		t.Fatalf("partial hop emitted %d bytes", len(pkt))
+	}
+	tail, err := enc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) == 0 {
+		t.Fatal("flush emitted nothing")
+	}
+	// Second flush is a no-op.
+	tail2, _ := enc.Flush()
+	if len(tail2) != 0 {
+		t.Fatal("second flush not empty")
+	}
+}
+
+func TestOVLGenerationLoss(t *testing.T) {
+	// Multi-generation re-encoding (§2.2): at max quality, SNR after 3
+	// generations should remain acceptable and degrade slowly.
+	p := audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+	src := audio.Music(p.SampleRate, 1)
+	orig := make([]int16, p.SampleRate)
+	src.ReadSamples(orig)
+
+	generation := func(in []int16, q int) []int16 {
+		enc, _ := NewEncoder("ovl", p, q)
+		dec, _ := NewDecoder("ovl", p)
+		pkt, err := enc.Encode(audio.Encode(p, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, _ := enc.Flush()
+		pkt = append(pkt, tail...)
+		out, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := audio.Decode(p, out)
+		// Strip the one-frame latency so generations stay aligned.
+		n := ovlCoeffs(p.SampleRate)
+		if len(s) > n {
+			s = s[n:]
+		}
+		if len(s) > len(in) {
+			s = s[:len(in)]
+		}
+		return s
+	}
+
+	cur := orig
+	var snr1, snr3 float64
+	for g := 1; g <= 3; g++ {
+		cur = generation(cur, MaxQuality)
+		ref := orig[:len(cur)]
+		// Skip the first frame region (encoder warmup).
+		n := ovlCoeffs(p.SampleRate)
+		s := audio.SNR(ref[n:], cur[n:])
+		if g == 1 {
+			snr1 = s
+		}
+		if g == 3 {
+			snr3 = s
+		}
+	}
+	if snr3 < 15 {
+		t.Fatalf("3rd generation SNR = %.1f dB, want >= 15", snr3)
+	}
+	if snr3 > snr1+1 {
+		t.Fatalf("SNR improved across generations? g1=%.1f g3=%.1f", snr1, snr3)
+	}
+	if math.IsInf(snr1, 1) {
+		t.Fatal("OVL claims to be lossless")
+	}
+}
+
+func TestOVLBandEdgesProperties(t *testing.T) {
+	for _, n := range []int{128, 256} {
+		edges := ovlBandEdges(n)
+		if len(edges) != ovlNumBands+1 {
+			t.Fatalf("n=%d: %d edges", n, len(edges))
+		}
+		if edges[0] != 0 || edges[ovlNumBands] != n {
+			t.Fatalf("n=%d: edges don't cover [0,%d): %v", n, n, edges)
+		}
+		for i := 1; i <= ovlNumBands; i++ {
+			if edges[i] <= edges[i-1] {
+				t.Fatalf("n=%d: non-monotone edges: %v", n, edges)
+			}
+		}
+		// Widths grow: last band wider than first.
+		if edges[1]-edges[0] >= edges[ovlNumBands]-edges[ovlNumBands-1] {
+			t.Fatalf("n=%d: band widths don't grow: %v", n, edges)
+		}
+	}
+}
+
+func TestOVLStepsProperties(t *testing.T) {
+	s10 := ovlSteps(10)
+	s0 := ovlSteps(0)
+	for b := 0; b < ovlNumBands; b++ {
+		if s10[b] >= s0[b] {
+			t.Fatalf("band %d: step at q=10 (%g) >= q=0 (%g)", b, s10[b], s0[b])
+		}
+	}
+	// At low quality, high bands get coarser steps than low bands.
+	if s0[ovlNumBands-1] <= s0[0] {
+		t.Fatal("q=0 high-band step not coarser than low-band")
+	}
+	// Out-of-range qualities clamp rather than explode.
+	_ = ovlSteps(-5)
+	_ = ovlSteps(99)
+}

@@ -1,0 +1,134 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/audio"
+)
+
+// Framing is the packetization contract between a codec and the
+// rebroadcaster: encoded streams must be split on boundaries that remain
+// independently decodable (a multicast receiver sees packets, not a byte
+// stream), and every payload must map back to a play duration so data
+// packets can carry play timestamps (§3.2).
+
+// Split partitions an encoded stream from the named codec into packet
+// payloads of at most max bytes, each independently decodable.
+func Split(name string, p audio.Params, stream []byte, max int) ([][]byte, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("codec: split max %d", max)
+	}
+	switch name {
+	case "raw":
+		return splitAligned(stream, max, p.BytesPerFrame())
+	case "ulaw":
+		// One byte per sample on the wire; align to whole frames.
+		return splitAligned(stream, max, p.Channels)
+	case "ovl":
+		return splitOVL(stream, max)
+	default:
+		return nil, fmt.Errorf("codec: no framing for %q", name)
+	}
+}
+
+// PayloadDuration returns the audio play time covered by one payload of
+// the named codec.
+func PayloadDuration(name string, p audio.Params, payload []byte) (time.Duration, error) {
+	switch name {
+	case "raw":
+		return p.Duration(len(payload)), nil
+	case "ulaw":
+		frames := len(payload) / p.Channels
+		return time.Duration(frames) * time.Second / time.Duration(p.SampleRate), nil
+	case "ovl":
+		frames, n, err := ovlFrameInfo(payload)
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(frames) * time.Duration(n) * time.Second /
+			time.Duration(p.SampleRate), nil
+	default:
+		return 0, fmt.Errorf("codec: no framing for %q", name)
+	}
+}
+
+// splitAligned cuts stream into chunks of at most max bytes, each a
+// multiple of align.
+func splitAligned(stream []byte, max, align int) ([][]byte, error) {
+	if align <= 0 {
+		align = 1
+	}
+	chunk := max - max%align
+	if chunk <= 0 {
+		return nil, fmt.Errorf("codec: packet budget %d below frame size %d", max, align)
+	}
+	var out [][]byte
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		out = append(out, stream[off:end])
+	}
+	return out, nil
+}
+
+// ovlFrameLen returns the total byte length of the OVL frame at the head
+// of stream.
+func ovlFrameLen(stream []byte) (int, error) {
+	if len(stream) < ovlHeader {
+		return 0, errOVLFrame
+	}
+	if stream[0] != ovlMagic || stream[1] != ovlVersion {
+		return 0, errOVLFrame
+	}
+	return ovlHeader + int(binary.BigEndian.Uint16(stream[6:8])), nil
+}
+
+// ovlFrameInfo counts frames in payload and returns (frameCount, N).
+func ovlFrameInfo(payload []byte) (count, n int, err error) {
+	for len(payload) > 0 {
+		flen, err := ovlFrameLen(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		if flen > len(payload) {
+			return 0, 0, errOVLFrame
+		}
+		n = int(binary.BigEndian.Uint16(payload[4:6]))
+		payload = payload[flen:]
+		count++
+	}
+	return count, n, nil
+}
+
+// splitOVL packs whole OVL frames greedily into payloads of at most max
+// bytes.
+func splitOVL(stream []byte, max int) ([][]byte, error) {
+	var out [][]byte
+	start := 0
+	cur := 0
+	for cur < len(stream) {
+		flen, err := ovlFrameLen(stream[cur:])
+		if err != nil {
+			return nil, err
+		}
+		if cur+flen > len(stream) {
+			return nil, errOVLFrame
+		}
+		if flen > max {
+			return nil, fmt.Errorf("codec: ovl frame of %d bytes exceeds packet budget %d", flen, max)
+		}
+		if cur+flen-start > max {
+			out = append(out, stream[start:cur])
+			start = cur
+		}
+		cur += flen
+	}
+	if cur > start {
+		out = append(out, stream[start:cur])
+	}
+	return out, nil
+}

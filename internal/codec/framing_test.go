@@ -1,0 +1,131 @@
+package codec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+)
+
+func TestSplitRawAligned(t *testing.T) {
+	p := audio.CDQuality // 4-byte frames
+	stream := make([]byte, 10000)
+	chunks, err := Split("raw", p, stream, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range chunks {
+		if len(c) > 1400 {
+			t.Fatalf("chunk %d is %d bytes", i, len(c))
+		}
+		if i < len(chunks)-1 && len(c)%4 != 0 {
+			t.Fatalf("chunk %d not frame aligned: %d", i, len(c))
+		}
+		total += len(c)
+	}
+	if total != 10000 {
+		t.Fatalf("split lost bytes: %d", total)
+	}
+}
+
+func TestSplitRejectsTinyBudget(t *testing.T) {
+	p := audio.CDQuality
+	if _, err := Split("raw", p, make([]byte, 100), 3); err == nil {
+		t.Fatal("budget below frame size accepted")
+	}
+	if _, err := Split("raw", p, nil, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := Split("nope", p, nil, 100); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestPayloadDurationRaw(t *testing.T) {
+	p := audio.CDQuality
+	d, err := PayloadDuration("raw", p, make([]byte, p.BytesPerSecond()))
+	if err != nil || d != time.Second {
+		t.Fatalf("duration = (%v, %v)", d, err)
+	}
+}
+
+func TestPayloadDurationULaw(t *testing.T) {
+	p := audio.CDQuality // stereo: 2 wire bytes per frame
+	d, err := PayloadDuration("ulaw", p, make([]byte, 2*44100))
+	if err != nil || d != time.Second {
+		t.Fatalf("duration = (%v, %v)", d, err)
+	}
+}
+
+func TestSplitOVLWholeFrames(t *testing.T) {
+	p := audio.CDQuality
+	enc, err := NewEncoder("ovl", p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := audio.Music(p.SampleRate, p.Channels)
+	samples := make([]int16, p.SampleRate*p.Channels/2)
+	src.ReadSamples(samples)
+	stream, err := enc.Encode(audio.Encode(p, samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := Split("ovl", p, stream, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("only %d chunks from %d bytes", len(chunks), len(stream))
+	}
+	// Every chunk must decode independently (after Reset) without error.
+	total := 0
+	var totalDur time.Duration
+	for i, c := range chunks {
+		if len(c) > 1400 {
+			t.Fatalf("chunk %d is %d bytes", i, len(c))
+		}
+		total += len(c)
+		dec, _ := NewDecoder("ovl", p)
+		if _, err := dec.Decode(c); err != nil {
+			t.Fatalf("chunk %d not independently decodable: %v", i, err)
+		}
+		d, err := PayloadDuration("ovl", p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDur += d
+	}
+	if total != len(stream) {
+		t.Fatalf("split lost bytes: %d of %d", total, len(stream))
+	}
+	// Total duration must equal the encoded hops (a partial hop stays
+	// buffered in the encoder).
+	hop := ovlCoeffs(p.SampleRate)
+	hops := len(samples) / p.Channels / hop
+	wantDur := time.Duration(hops*hop) * time.Second / time.Duration(p.SampleRate)
+	// Per-chunk ns truncation may lose a few ns per chunk.
+	if diff := wantDur - totalDur; diff < 0 || diff > time.Microsecond {
+		t.Fatalf("total duration %v, want %v (diff %v)", totalDur, wantDur, diff)
+	}
+}
+
+func TestSplitOVLRejectsGarbage(t *testing.T) {
+	p := audio.CDQuality
+	if _, err := Split("ovl", p, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1400); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+	if _, err := PayloadDuration("ovl", p, []byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestSplitOVLEmptyStream(t *testing.T) {
+	chunks, err := Split("ovl", audio.CDQuality, nil, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 0 {
+		t.Fatalf("chunks from empty stream: %d", len(chunks))
+	}
+}

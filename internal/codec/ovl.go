@@ -1,0 +1,357 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/audio"
+	"repro/internal/dsp"
+)
+
+// OVL is the lossy transform codec standing in for Ogg Vorbis: a lapped
+// MDCT with a sine window, per-band dead-zone quantization against an
+// absolute noise floor set by the quality index, and Rice entropy coding.
+// Like Vorbis it is a psycho-acoustic-style frequency-domain coder whose
+// CPU cost dominates the rebroadcaster (Figure 4), whose frame buffering
+// adds latency (§2.2), and whose losses compound across generations.
+//
+// Frame layout (big-endian):
+//
+//	magic   uint8  = 0xA5
+//	version uint8  = 1
+//	chans   uint8
+//	quality uint8  (0..10)
+//	ncoeff  uint16 (MDCT size N)
+//	paylen  uint16 (bitstream bytes following the header)
+//	payload: per channel, per band: 1 zero-band flag bit;
+//	         if nonzero: 4-bit Rice k, then zigzag Rice codes.
+//
+// Each frame decodes independently given N samples of overlap history;
+// a speaker that tunes in mid-stream fades in over one frame (§2.3).
+
+const (
+	ovlMagic    = 0xA5
+	ovlVersion  = 1
+	ovlHeader   = 8
+	ovlNumBands = 16
+)
+
+func init() {
+	Register(Info{
+		Name:  "ovl",
+		Lossy: true,
+		New: func(p audio.Params, quality int) (Encoder, error) {
+			return newOVLEncoder(p, quality)
+		},
+		NewDecoder: func(p audio.Params) (Decoder, error) {
+			return newOVLDecoder(p)
+		},
+	})
+}
+
+// ovlCoeffs returns the MDCT size for a sample rate: shorter frames for
+// low-rate streams keep latency proportionate.
+func ovlCoeffs(rate int) int {
+	if rate >= 32000 {
+		return 256
+	}
+	return 128
+}
+
+// ovlBandEdges splits n coefficients into ovlNumBands bands with
+// exponentially growing widths (narrow at low frequencies).
+func ovlBandEdges(n int) []int {
+	const alpha = 0.35
+	edges := make([]int, ovlNumBands+1)
+	denom := math.Pow(2, alpha*ovlNumBands) - 1
+	for i := 1; i <= ovlNumBands; i++ {
+		edges[i] = int(math.Round(float64(n) * (math.Pow(2, alpha*float64(i)) - 1) / denom))
+	}
+	// Force strict monotonicity and exact coverage.
+	for i := 1; i <= ovlNumBands; i++ {
+		if edges[i] <= edges[i-1] {
+			edges[i] = edges[i-1] + 1
+		}
+	}
+	edges[ovlNumBands] = n
+	for i := ovlNumBands; i > 1; i-- {
+		if edges[i] <= edges[i-1] {
+			edges[i-1] = edges[i] - 1
+		}
+	}
+	return edges
+}
+
+// ovlSteps returns the per-band quantization step for a quality index.
+// The base floor halves with each quality notch; low quality additionally
+// crushes high bands (the "more aggressive compression where quality is
+// less of a concern" knob from §2.2).
+func ovlSteps(quality int) []float64 {
+	if quality < 0 {
+		quality = 0
+	}
+	if quality > MaxQuality {
+		quality = MaxQuality
+	}
+	base := 32768 / math.Pow(2, float64(quality)+4)
+	steps := make([]float64, ovlNumBands)
+	for b := range steps {
+		penalty := 1 + float64(b*b)*float64(MaxQuality-quality)/40
+		steps[b] = base * penalty
+	}
+	return steps
+}
+
+type ovlEncoder struct {
+	params  audio.Params
+	quality int
+	n       int
+	mdct    *dsp.MDCT
+	edges   []int
+	steps   []float64
+
+	byteBuf []byte      // undecoded raw input
+	hist    [][]float64 // per channel: previous N input samples
+	frame   []float64   // scratch 2N window
+	coeffs  []float64   // scratch N coefficients
+}
+
+func newOVLEncoder(p audio.Params, quality int) (*ovlEncoder, error) {
+	n := ovlCoeffs(p.SampleRate)
+	m, err := dsp.NewMDCT(n)
+	if err != nil {
+		return nil, err
+	}
+	if quality < 0 {
+		quality = 0
+	}
+	if quality > MaxQuality {
+		quality = MaxQuality
+	}
+	e := &ovlEncoder{
+		params:  p,
+		quality: quality,
+		n:       n,
+		mdct:    m,
+		edges:   ovlBandEdges(n),
+		steps:   ovlSteps(quality),
+		hist:    make([][]float64, p.Channels),
+		frame:   make([]float64, 2*n),
+		coeffs:  make([]float64, n),
+	}
+	for c := range e.hist {
+		e.hist[c] = make([]float64, n)
+	}
+	return e, nil
+}
+
+func (e *ovlEncoder) Name() string { return "ovl" }
+
+// Latency returns the encoder's buffering latency in frames of audio.
+func (e *ovlEncoder) Latency() int { return e.n }
+
+func (e *ovlEncoder) Encode(raw []byte) ([]byte, error) {
+	e.byteBuf = append(e.byteBuf, raw...)
+	hopBytes := e.n * e.params.Channels * e.params.Encoding.BytesPerSample()
+	var out []byte
+	for len(e.byteBuf) >= hopBytes {
+		chunk := e.byteBuf[:hopBytes]
+		samples := audio.Decode(e.params, chunk)
+		e.byteBuf = e.byteBuf[hopBytes:]
+		frame, err := e.encodeHop(samples)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}
+
+func (e *ovlEncoder) Flush() ([]byte, error) {
+	hopBytes := e.n * e.params.Channels * e.params.Encoding.BytesPerSample()
+	if len(e.byteBuf) == 0 {
+		return nil, nil
+	}
+	pad := make([]byte, hopBytes-len(e.byteBuf))
+	audio.FillSilence(e.params.Encoding, pad)
+	out, err := e.Encode(pad)
+	e.byteBuf = nil
+	for c := range e.hist {
+		for i := range e.hist[c] {
+			e.hist[c][i] = 0
+		}
+	}
+	return out, err
+}
+
+// encodeHop encodes one hop of N new frames (interleaved samples).
+func (e *ovlEncoder) encodeHop(samples []int16) ([]byte, error) {
+	ch := e.params.Channels
+	w := dsp.NewBitWriter()
+	scale := 2 / float64(e.n)
+	for c := 0; c < ch; c++ {
+		// Assemble the 2N analysis window: previous N + new N.
+		copy(e.frame[:e.n], e.hist[c])
+		for i := 0; i < e.n; i++ {
+			v := float64(samples[i*ch+c])
+			e.frame[e.n+i] = v
+			e.hist[c][i] = v
+		}
+		e.mdct.Forward(e.frame, e.coeffs)
+		for b := 0; b < ovlNumBands; b++ {
+			lo, hi := e.edges[b], e.edges[b+1]
+			step := e.steps[b]
+			// Quantize the band; detect the all-zero case first.
+			allZero := true
+			qs := make([]uint32, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				q := int32(math.Round(e.coeffs[k] * scale / step))
+				u := dsp.ZigZag(q)
+				if u != 0 {
+					allZero = false
+				}
+				qs = append(qs, u)
+			}
+			if allZero {
+				w.WriteBit(0)
+				continue
+			}
+			w.WriteBit(1)
+			k := dsp.BestRiceK(qs)
+			if k > 15 {
+				k = 15
+			}
+			w.WriteBits(uint64(k), 4)
+			for _, u := range qs {
+				dsp.RiceEncode(w, u, k)
+			}
+		}
+	}
+	payload := w.Bytes()
+	if len(payload) > 65535 {
+		return nil, fmt.Errorf("codec: ovl frame payload %d bytes exceeds format limit", len(payload))
+	}
+	frame := make([]byte, ovlHeader+len(payload))
+	frame[0] = ovlMagic
+	frame[1] = ovlVersion
+	frame[2] = byte(ch)
+	frame[3] = byte(e.quality)
+	binary.BigEndian.PutUint16(frame[4:6], uint16(e.n))
+	binary.BigEndian.PutUint16(frame[6:8], uint16(len(payload)))
+	copy(frame[ovlHeader:], payload)
+	return frame, nil
+}
+
+type ovlDecoder struct {
+	params  audio.Params
+	overlap [][]float64 // per channel: trailing N samples of the last IMDCT
+	n       int         // established by the first frame seen
+}
+
+func newOVLDecoder(p audio.Params) (*ovlDecoder, error) {
+	return &ovlDecoder{params: p}, nil
+}
+
+func (d *ovlDecoder) Name() string { return "ovl" }
+
+func (d *ovlDecoder) Reset() {
+	d.overlap = nil
+	d.n = 0
+}
+
+var errOVLFrame = errors.New("codec: malformed ovl frame")
+
+func (d *ovlDecoder) Decode(pkt []byte) ([]byte, error) {
+	var out []byte
+	for len(pkt) > 0 {
+		if len(pkt) < ovlHeader {
+			return nil, errOVLFrame
+		}
+		if pkt[0] != ovlMagic || pkt[1] != ovlVersion {
+			return nil, fmt.Errorf("codec: bad ovl frame magic/version %#x/%d", pkt[0], pkt[1])
+		}
+		ch := int(pkt[2])
+		quality := int(pkt[3])
+		n := int(binary.BigEndian.Uint16(pkt[4:6]))
+		payLen := int(binary.BigEndian.Uint16(pkt[6:8]))
+		if ch != d.params.Channels {
+			return nil, fmt.Errorf("codec: ovl frame has %d channels, stream has %d", ch, d.params.Channels)
+		}
+		if quality > MaxQuality || n < 16 || n > 4096 || n%2 != 0 {
+			return nil, errOVLFrame
+		}
+		if len(pkt) < ovlHeader+payLen {
+			return nil, errOVLFrame
+		}
+		payload := pkt[ovlHeader : ovlHeader+payLen]
+		pkt = pkt[ovlHeader+payLen:]
+		pcm, err := d.decodeFrame(n, quality, payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pcm...)
+	}
+	return out, nil
+}
+
+func (d *ovlDecoder) decodeFrame(n, quality int, payload []byte) ([]byte, error) {
+	if d.n != n {
+		// First frame, or the producer changed frame size: restart overlap.
+		d.n = n
+		d.overlap = make([][]float64, d.params.Channels)
+		for c := range d.overlap {
+			d.overlap[c] = make([]float64, n)
+		}
+	}
+	m, err := dsp.NewMDCT(n)
+	if err != nil {
+		return nil, err
+	}
+	edges := ovlBandEdges(n)
+	steps := ovlSteps(quality)
+	r := dsp.NewBitReader(payload)
+	ch := d.params.Channels
+	coeffs := make([]float64, n)
+	buf := make([]float64, 2*n)
+	samples := make([]int16, n*ch)
+	unscale := float64(n) / 2
+	for c := 0; c < ch; c++ {
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		for b := 0; b < ovlNumBands; b++ {
+			flag, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("codec: ovl band flag: %w", err)
+			}
+			if flag == 0 {
+				continue
+			}
+			kv, err := r.ReadBits(4)
+			if err != nil {
+				return nil, fmt.Errorf("codec: ovl rice k: %w", err)
+			}
+			step := steps[b]
+			for k := edges[b]; k < edges[b+1]; k++ {
+				u, err := dsp.RiceDecode(r, uint(kv))
+				if err != nil {
+					return nil, fmt.Errorf("codec: ovl coeff: %w", err)
+				}
+				coeffs[k] = float64(dsp.UnZigZag(u)) * step * unscale
+			}
+		}
+		// Overlap-add: first half completes the previous frame's tail.
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf[:n], d.overlap[c])
+		m.InverseOverlap(coeffs, buf)
+		for i := 0; i < n; i++ {
+			samples[i*ch+c] = audio.Saturate(int32(math.Round(buf[i])))
+		}
+		copy(d.overlap[c], buf[n:])
+	}
+	return audio.Encode(d.params, samples), nil
+}

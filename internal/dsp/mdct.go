@@ -1,0 +1,112 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// MDCT implements the modified discrete cosine transform used by the OVL
+// codec: 2N input samples produce N coefficients, consecutive frames
+// overlap by N samples, and a Princen-Bradley (sine) window gives perfect
+// reconstruction through IMDCT + overlap-add (time-domain alias
+// cancellation).
+//
+// The forward and inverse transforms are table-driven; basis tables are
+// cached per size and shared between codec instances, so encoding eight
+// CD-quality streams (the paper's Figure 4 workload) pays for the tables
+// once.
+type MDCT struct {
+	n       int         // number of coefficients
+	window  []float64   // 2n-point sine window
+	forward [][]float64 // [k][n'] basis, k < n, n' < 2n
+	inverse [][]float64 // [n'][k] basis with 2/n scale folded in
+}
+
+var mdctCache sync.Map // int -> *MDCT
+
+// NewMDCT returns the (shared) MDCT plan producing n coefficients from
+// 2n-sample windows. n must be a positive even number.
+func NewMDCT(n int) (*MDCT, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("dsp: MDCT size %d must be positive and even", n)
+	}
+	if v, ok := mdctCache.Load(n); ok {
+		return v.(*MDCT), nil
+	}
+	m := &MDCT{n: n}
+	two := 2 * n
+	m.window = make([]float64, two)
+	for i := 0; i < two; i++ {
+		m.window[i] = math.Sin(math.Pi / float64(two) * (float64(i) + 0.5))
+	}
+	m.forward = make([][]float64, n)
+	for k := 0; k < n; k++ {
+		row := make([]float64, two)
+		for j := 0; j < two; j++ {
+			row[j] = math.Cos(math.Pi / float64(n) *
+				(float64(j) + 0.5 + float64(n)/2) * (float64(k) + 0.5))
+		}
+		m.forward[k] = row
+	}
+	scale := 2.0 / float64(n)
+	m.inverse = make([][]float64, two)
+	for j := 0; j < two; j++ {
+		col := make([]float64, n)
+		for k := 0; k < n; k++ {
+			col[k] = scale * m.forward[k][j]
+		}
+		m.inverse[j] = col
+	}
+	actual, _ := mdctCache.LoadOrStore(n, m)
+	return actual.(*MDCT), nil
+}
+
+// N returns the coefficient count (half the window length).
+func (m *MDCT) N() int { return m.n }
+
+// WindowLen returns the input window length 2N.
+func (m *MDCT) WindowLen() int { return 2 * m.n }
+
+// Forward computes the windowed MDCT of the 2N-sample input into the
+// N-coefficient output slice.
+func (m *MDCT) Forward(in []float64, out []float64) {
+	two := 2 * m.n
+	if len(in) != two || len(out) != m.n {
+		panic(fmt.Sprintf("dsp: MDCT Forward lengths in=%d out=%d, want %d/%d",
+			len(in), len(out), two, m.n))
+	}
+	// Apply the analysis window into a scratch copy.
+	wx := make([]float64, two)
+	for i := 0; i < two; i++ {
+		wx[i] = in[i] * m.window[i]
+	}
+	for k := 0; k < m.n; k++ {
+		row := m.forward[k]
+		var acc float64
+		for j := 0; j < two; j++ {
+			acc += wx[j] * row[j]
+		}
+		out[k] = acc
+	}
+}
+
+// InverseOverlap computes the windowed IMDCT of coeffs and overlap-adds
+// it into out, which must hold 2N samples: the first N samples complete
+// the previous frame's region, the last N are the new half to carry as
+// overlap into the next call.
+func (m *MDCT) InverseOverlap(coeffs []float64, out []float64) {
+	two := 2 * m.n
+	if len(coeffs) != m.n || len(out) != two {
+		panic(fmt.Sprintf("dsp: MDCT Inverse lengths coeffs=%d out=%d, want %d/%d",
+			len(coeffs), len(out), m.n, two))
+	}
+	for j := 0; j < two; j++ {
+		col := m.inverse[j]
+		var acc float64
+		for k := 0; k < m.n; k++ {
+			acc += coeffs[k] * col[k]
+		}
+		out[j] += acc * m.window[j] // synthesis window, overlap-added
+	}
+}

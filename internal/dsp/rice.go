@@ -1,0 +1,65 @@
+package dsp
+
+// Rice (Golomb power-of-two) entropy coding of the quantized MDCT
+// coefficients. Signed values are zigzag-mapped first; very large
+// quotients escape to a fixed 32-bit raw encoding so hostile or
+// mis-parameterized input cannot blow up the output.
+
+const riceEscape = 48 // quotient value signalling a raw 32-bit follow-up
+
+// ZigZag maps a signed value to unsigned: 0,-1,1,-2,2 -> 0,1,2,3,4.
+func ZigZag(v int32) uint32 { return uint32(v<<1) ^ uint32(v>>31) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint32) int32 { return int32(u>>1) ^ -int32(u&1) }
+
+// RiceEncode writes u with parameter k.
+func RiceEncode(w *BitWriter, u uint32, k uint) {
+	q := u >> k
+	if q >= riceEscape {
+		w.WriteUnary(riceEscape)
+		w.WriteBits(uint64(u), 32)
+		return
+	}
+	w.WriteUnary(q)
+	w.WriteBits(uint64(u), k)
+}
+
+// RiceDecode reads a value written by RiceEncode with the same k.
+func RiceDecode(r *BitReader, k uint) (uint32, error) {
+	q, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	if q >= riceEscape {
+		v, err := r.ReadBits(32)
+		return uint32(v), err
+	}
+	rem, err := r.ReadBits(k)
+	if err != nil {
+		return 0, err
+	}
+	return q<<k | uint32(rem), nil
+}
+
+// BestRiceK estimates the optimal Rice parameter for the values, using
+// the mean-magnitude heuristic.
+func BestRiceK(values []uint32) uint {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range values {
+		sum += uint64(v)
+	}
+	mean := sum / uint64(len(values))
+	k := uint(0)
+	for mean > 0 && k < 30 {
+		mean >>= 1
+		k++
+	}
+	if k > 0 {
+		k--
+	}
+	return k
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/stats"
+	"repro/internal/vad"
+)
+
+// E3Row is one transport configuration's measured network cost.
+type E3Row struct {
+	Label       string
+	WireMbps    float64 // payload + protocol + frame overhead on the wire
+	PayloadKbps float64 // codec payload only
+	Ratio       float64 // payload bytes / raw source bytes
+}
+
+// E3Result is the outcome of the network-overhead experiment.
+type E3Result struct {
+	Rows []E3Row
+	// MaxRawStreams is the measured number of concurrent raw CD-quality
+	// streams a 10 Mbps segment carries before saturating.
+	MaxRawStreams int
+}
+
+// E3Bitrate reproduces the §2.2 numbers: raw CD-quality multicast costs
+// ~1.3-1.4 Mbps — unacceptable on legacy 10 Mbps Ethernet — and the
+// transform codec cuts it by the quality-dependent ratio. It also
+// measures how many raw CD streams fit a 10 Mbps segment.
+func E3Bitrate(w io.Writer, seconds int) E3Result {
+	if seconds <= 0 {
+		seconds = 5
+	}
+	section(w, "E3 (§2.2)", "network overhead per transport, 10 Mbps Ethernet")
+
+	configs := []struct {
+		label   string
+		codec   string
+		quality int
+	}{
+		{"raw PCM", "raw", 0},
+		{"ulaw 2:1", "ulaw", 0},
+		{"ovl q=10 (paper's setting)", "ovl", 10},
+		{"ovl q=5", "ovl", 5},
+		{"ovl q=3", "ovl", 3},
+		{"ovl q=0", "ovl", 0},
+	}
+	var res E3Result
+	tab := stats.Table{Headers: []string{"transport", "wire Mbps", "payload kbps", "compression"}}
+	for _, cfg := range configs {
+		row := e3Run(cfg.label, cfg.codec, cfg.quality, seconds)
+		res.Rows = append(res.Rows, row)
+		tab.AddRow(row.Label, fmt.Sprintf("%.2f", row.WireMbps),
+			fmt.Sprintf("%.0f", row.PayloadKbps), fmt.Sprintf("%.0f%%", row.Ratio*100))
+	}
+	tab.Render(w)
+
+	// Saturation: keep adding raw CD streams until the medium drops.
+	for n := 1; n <= 12; n++ {
+		if !e3FitsRawStreams(n) {
+			res.MaxRawStreams = n - 1
+			break
+		}
+		res.MaxRawStreams = n
+	}
+	fmt.Fprintf(w, "  raw CD streams a 10 Mbps segment carries without loss: %d\n", res.MaxRawStreams)
+	fmt.Fprintf(w, "  paper: ~1.3 Mbps per raw CD stream was unacceptable on 10 Mbps links\n")
+	return res
+}
+
+// e3Run measures one transport over a 10 Mbps segment.
+func e3Run(label, codecName string, quality, seconds int) E3Row {
+	if quality == 0 {
+		quality = rebroadcast.QualityZero
+	}
+	ps, err := newPlayback(
+		lan.SegmentConfig{BandwidthBps: 10_000_000},
+		rebroadcast.Config{ID: 1, Name: "e3", Group: groupA, Codec: codecName, Quality: quality},
+		vad.Config{},
+		[]speaker.Config{{Name: "es1", Group: groupA}},
+	)
+	if err != nil {
+		return E3Row{Label: label}
+	}
+	p := audio.CDQuality
+	dur := time.Duration(seconds) * time.Second
+	ps.Sys.Clock.Go("player", func() {
+		ps.Ch.Play(p, audio.Music(p.SampleRate, p.Channels), dur)
+		ps.Sys.Clock.Sleep(dur + time.Second)
+		ps.Sys.Shutdown()
+	})
+	ps.Sys.Sim.WaitIdle()
+
+	st := ps.Sys.Seg.Stats()
+	rst := ps.Ch.Reb.Stats()
+	span := dur.Seconds()
+	row := E3Row{
+		Label:    label,
+		WireMbps: float64(st.WireBytesTx) * 8 / span / 1e6,
+	}
+	if rst.SourceBytes > 0 {
+		row.Ratio = float64(rst.PayloadBytes) / float64(rst.SourceBytes)
+	}
+	row.PayloadKbps = float64(rst.PayloadBytes) * 8 / span / 1e3
+	return row
+}
+
+// e3FitsRawStreams reports whether n concurrent raw CD streams run on a
+// 10 Mbps segment without medium-saturation drops.
+func e3FitsRawStreams(n int) bool {
+	sys := coreNewSim(lan.SegmentConfig{BandwidthBps: 10_000_000})
+	for i := 0; i < n; i++ {
+		g := lan.Addr(fmt.Sprintf("239.72.2.%d:5004", i+1))
+		ch, err := sys.AddChannel(rebroadcast.Config{
+			ID: uint32(i + 1), Name: fmt.Sprintf("s%d", i), Group: g, Codec: "raw",
+		}, vad.Config{})
+		if err != nil {
+			return false
+		}
+		if _, err := sys.AddSpeaker(speaker.Config{Name: fmt.Sprintf("es%d", i), Group: g}); err != nil {
+			return false
+		}
+		sys.Clock.Go("player", func() {
+			p := audio.CDQuality
+			ch.Play(p, audio.NewTone(p.SampleRate, p.Channels, 440, 0.5), 3*time.Second)
+		})
+	}
+	sys.Clock.Go("stopper", func() {
+		sys.Clock.Sleep(5 * time.Second)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+	st := sys.Seg.Stats()
+	return st.DroppedBusy == 0
+}

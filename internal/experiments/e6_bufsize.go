@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/stats"
+	"repro/internal/vad"
+)
+
+// E6Row is one (buffer size, CPU) configuration's outcome.
+type E6Row struct {
+	RecvBuffer  int
+	CPU         string
+	Glitches    int64
+	DroppedLate int64
+	PlayedFrac  float64
+}
+
+// E6Result is the outcome of the buffer-size experiment.
+type E6Result struct{ Rows []E6Row }
+
+// E6BufferSize reproduces §3.4: on the slow Geode-class speaker, large
+// receive buffers stall the pipeline — the speaker waits for the whole
+// buffer, then pays a long decompression, and by then the audio deadline
+// has passed, so audio skips. Small buffers keep every stage short. A
+// fast CPU masks the problem, which is why the authors only found it on
+// the real EON 4000 hardware.
+func E6BufferSize(w io.Writer, bufs []int) E6Result {
+	if len(bufs) == 0 {
+		// The interesting region sits around the buffering lead (400 ms
+		// ≈ 35 kB of µ-law CD audio): below it small buffers are safe,
+		// at the boundary the CPU speed decides, above it every batch
+		// misses its deadline.
+		bufs = []int{1400, 8400, 22400, 36000, 89600}
+	}
+	section(w, "E6 (§3.4)", "speaker receive-buffer size vs. skipped audio")
+	var res E6Result
+	for _, cpu := range []struct {
+		label string
+		model speaker.CPUModel
+	}{
+		{"fast", speaker.CPUFast},
+		{"geode", speaker.CPUGeode},
+	} {
+		for _, buf := range bufs {
+			row := e6Run(buf, cpu.model)
+			row.CPU = cpu.label
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	tab := stats.Table{Headers: []string{"cpu", "recv buffer", "glitches", "late drops", "played"}}
+	for _, r := range res.Rows {
+		tab.AddRow(r.CPU, fmt.Sprintf("%d B", r.RecvBuffer), r.Glitches, r.DroppedLate,
+			fmt.Sprintf("%.0f%%", r.PlayedFrac*100))
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "  paper: \"by reducing the buffer size, each of the stages finishes\n")
+	fmt.Fprintf(w, "  faster and the audio stream is processed without problems\"\n")
+	return res
+}
+
+func e6Run(recvBuffer int, cpu speaker.CPUModel) E6Row {
+	ps, err := newPlayback(
+		lan.SegmentConfig{},
+		rebroadcast.Config{
+			ID: 1, Name: "e6", Group: groupA, Codec: "ulaw",
+			Lead: 400 * time.Millisecond, Preroll: 100 * time.Millisecond,
+		},
+		vad.Config{},
+		[]speaker.Config{{
+			Name: "es1", Group: groupA,
+			RecvBuffer: recvBuffer,
+			CPU:        cpu,
+			Epsilon:    20 * time.Millisecond,
+		}},
+	)
+	if err != nil {
+		return E6Row{RecvBuffer: recvBuffer}
+	}
+	p := audio.CDQuality
+	const clip = 10 * time.Second
+	ps.Sys.Clock.Go("player", func() {
+		ps.Ch.Play(p, audio.Music(p.SampleRate, p.Channels), clip)
+		ps.Sys.Clock.Sleep(clip + 2*time.Second)
+		ps.Sys.Shutdown()
+	})
+	ps.Sys.Sim.WaitIdle()
+
+	sp := ps.Speakers[0]
+	st := sp.Stats()
+	return E6Row{
+		RecvBuffer:  recvBuffer,
+		Glitches:    glitches(sp),
+		DroppedLate: st.DroppedLate,
+		PlayedFrac:  float64(st.BytesPlayed) / float64(p.BytesFor(clip)),
+	}
+}

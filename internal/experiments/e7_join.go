@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/stats"
+	"repro/internal/vad"
+)
+
+// E7Row is one control-interval configuration's outcome.
+type E7Row struct {
+	Interval  time.Duration
+	MeanJoin  time.Duration // mean join -> first sound
+	MaxJoin   time.Duration
+	JoinCount int
+}
+
+// E7Result is the outcome of the join-latency experiment.
+type E7Result struct{ Rows []E7Row }
+
+// E7JoinLatency quantifies the cost of the §2.3 radio model: a speaker
+// must wait for the next periodic control packet before it can play, so
+// its cold-start latency is ~interval/2 on average plus the buffering
+// lead. The control cadence is the knob: frequent control packets cost
+// bandwidth, infrequent ones cost join latency.
+func E7JoinLatency(w io.Writer, intervals []time.Duration) E7Result {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+			time.Second, 2 * time.Second, 5 * time.Second,
+		}
+	}
+	section(w, "E7 (§2.3)", "control-packet cadence vs. tune-in latency")
+	var res E7Result
+	for _, iv := range intervals {
+		res.Rows = append(res.Rows, e7Run(iv))
+	}
+	tab := stats.Table{Headers: []string{"control interval", "mean join latency", "max", "joins"}}
+	for _, r := range res.Rows {
+		tab.AddRow(r.Interval.String(), fmtDur(r.MeanJoin), fmtDur(r.MaxJoin), r.JoinCount)
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "  paper: \"the ES has to wait till it receives a control packet before\n")
+	fmt.Fprintf(w, "  it can start playing the audio stream\" — latency ~ interval/2 + lead\n")
+	return res
+}
+
+func e7Run(interval time.Duration) E7Row {
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond})
+	ch, err := sys.AddChannel(rebroadcast.Config{
+		ID: 1, Name: "e7", Group: groupA, Codec: "raw",
+		ControlInterval: interval,
+	}, vad.Config{})
+	if err != nil {
+		return E7Row{Interval: interval}
+	}
+	meter := core.NewSkewMeter()
+	const joins = 8
+	clip := 4*time.Second + time.Duration(joins)*interval
+	joinAt := make([]time.Time, joins)
+	sys.Clock.Go("player", func() {
+		ch.Play(mono16, &core.PositionSource{Channels: 1}, clip)
+		sys.Clock.Sleep(clip + 2*time.Second)
+		sys.Shutdown()
+	})
+	start := sys.Clock.Now()
+	for i := 0; i < joins; i++ {
+		i := i
+		// Stagger joins across the control period at odd offsets so the
+		// sample covers the whole phase range.
+		offset := time.Second + time.Duration(i)*(interval+interval/7)
+		sys.Clock.Go("joiner", func() {
+			sys.Clock.Sleep(offset)
+			joinAt[i] = sys.Clock.Now()
+			sp, err := sys.AddSpeaker(speaker.Config{
+				Name: fmt.Sprintf("es%d", i), Group: groupA,
+			})
+			if err != nil {
+				return
+			}
+			meter.Attach(fmt.Sprintf("es%d", i), sp)
+		})
+	}
+	sys.Sim.WaitIdle()
+	_ = start
+
+	row := E7Row{Interval: interval}
+	var total time.Duration
+	for i := 0; i < joins; i++ {
+		first, ok := meter.FirstSound(fmt.Sprintf("es%d", i))
+		if !ok {
+			continue
+		}
+		lat := first.Sub(joinAt[i])
+		total += lat
+		if lat > row.MaxJoin {
+			row.MaxJoin = lat
+		}
+		row.JoinCount++
+	}
+	if row.JoinCount > 0 {
+		row.MeanJoin = total / time.Duration(row.JoinCount)
+	}
+	return row
+}

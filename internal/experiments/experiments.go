@@ -1,0 +1,82 @@
+// Package experiments regenerates every figure, table and quantified
+// claim in the paper's evaluation. Each experiment is a function that
+// runs the workload (on simulated time where the paper measured a live
+// system, on the real clock where it measured raw CPU cost), writes a
+// human-readable table to an io.Writer, and returns a result struct that
+// the test suite asserts shape properties on and the benchmark harness
+// reports metrics from.
+//
+// The experiment index lives in DESIGN.md; paper-vs-measured numbers in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/speaker"
+	"repro/internal/vad"
+)
+
+// Group addresses used across experiments.
+const (
+	groupA = lan.Addr("239.72.1.1:5004")
+	groupB = lan.Addr("239.72.1.2:5004")
+)
+
+// section prints an experiment banner.
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", id, title)
+}
+
+// playbackSystem builds a one-channel system with n speakers and starts
+// a player task; helper shared by several experiments.
+type playbackSystem struct {
+	Sys      *core.System
+	Ch       *core.Channel
+	Speakers []*speaker.Speaker
+	Meter    *core.SkewMeter
+}
+
+// newPlayback builds the system; the caller still starts players.
+func newPlayback(segCfg lan.SegmentConfig, chCfg rebroadcast.Config, vCfg vad.Config,
+	spCfgs []speaker.Config) (*playbackSystem, error) {
+	sys := core.NewSim(segCfg)
+	ch, err := sys.AddChannel(chCfg, vCfg)
+	if err != nil {
+		return nil, err
+	}
+	ps := &playbackSystem{Sys: sys, Ch: ch, Meter: core.NewSkewMeter()}
+	for _, cfg := range spCfgs {
+		sp, err := sys.AddSpeaker(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ps.Speakers = append(ps.Speakers, sp)
+		ps.Meter.Attach(cfg.Name, sp)
+	}
+	return ps, nil
+}
+
+// glitches returns mid-stream silence insertions at a speaker's DAC —
+// the audible-defect count used by E4/E6/E10.
+func glitches(sp *speaker.Speaker) int64 {
+	st := sp.Device().GetStats()
+	return st.SilenceBlocks + st.Underruns
+}
+
+// mono16 is the 16-bit mono configuration used when the position-coded
+// signal must survive the transport bit-exactly.
+var mono16 = audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+
+// fmtDur rounds a duration for table output.
+func fmtDur(d time.Duration) string { return d.Round(100 * time.Microsecond).String() }
+
+// coreNewSim builds a fresh simulated system (alias kept short for the
+// experiment code).
+func coreNewSim(cfg lan.SegmentConfig) *core.System { return core.NewSim(cfg) }

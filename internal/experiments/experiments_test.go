@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests assert the paper's qualitative shapes — who wins,
+// where the crossovers are — with reduced workloads so the suite stays
+// fast. cmd/eslab runs the full-size versions.
+
+func TestFig4Shape(t *testing.T) {
+	res := Fig4(io.Discard, 3, 2, 4)
+	if len(res.Series[2].Points) != 3 || len(res.Series[4].Points) != 3 {
+		t.Fatalf("series lengths wrong: %+v", res)
+	}
+	// Doubling the stream count should roughly double CPU (allow a wide
+	// band for machine noise: 1.3x..3.5x).
+	ratio := res.MeanCPU[4] / res.MeanCPU[2]
+	if ratio < 1.3 || ratio > 3.5 {
+		t.Fatalf("CPU ratio 4/2 streams = %.2f, want ~2", ratio)
+	}
+	if res.MeanCPU[2] <= 0 {
+		t.Fatal("zero CPU measured")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res := Fig5(io.Discard, 10)
+	un := res.Mean[Fig5Unloaded]
+	kt := res.Mean[Fig5KernelThreaded]
+	ul := res.Mean[Fig5UserLevel]
+	if !(un < kt && kt < ul) {
+		t.Fatalf("ordering wrong: unloaded %.1f, kernel %.1f, user %.1f", un, kt, ul)
+	}
+	// Unloaded is a tiny baseline; streaming is at least 3x above it.
+	if kt < un*3 {
+		t.Fatalf("kernel-threaded %.1f not clearly above unloaded %.1f", kt, un)
+	}
+	// The user-level penalty is real but bounded (paper: 37.2/28.7≈1.3).
+	if ul/kt < 1.02 || ul/kt > 3 {
+		t.Fatalf("user/kernel ratio %.2f outside (1.02,3)", ul/kt)
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	a := fig5Run(Fig5UserLevel, 5)
+	b := fig5Run(Fig5UserLevel, 5)
+	if a.Mean() != b.Mean() {
+		t.Fatalf("fig5 run not reproducible: %v vs %v", a.Mean(), b.Mean())
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	res := E3Bitrate(io.Discard, 2)
+	byLabel := map[string]E3Row{}
+	for _, r := range res.Rows {
+		key := strings.Fields(r.Label)[0]
+		if strings.Contains(r.Label, "q=10") {
+			key = "q10"
+		}
+		if strings.Contains(r.Label, "q=0") {
+			key = "q0"
+		}
+		byLabel[key] = r
+	}
+	raw := byLabel["raw"]
+	// The paper's headline: raw CD is ~1.3-1.4 Mbps payload, a bit more
+	// on the wire.
+	if raw.WireMbps < 1.3 || raw.WireMbps > 1.8 {
+		t.Fatalf("raw CD wire rate = %.2f Mbps, want ~1.5", raw.WireMbps)
+	}
+	if byLabel["ulaw"].PayloadKbps >= raw.PayloadKbps {
+		t.Fatal("ulaw did not halve the payload")
+	}
+	if byLabel["q10"].PayloadKbps >= raw.PayloadKbps {
+		t.Fatal("ovl q10 did not compress")
+	}
+	if byLabel["q0"].PayloadKbps >= byLabel["q10"].PayloadKbps {
+		t.Fatal("quality ladder inverted on the wire")
+	}
+	// A 10 Mbps segment fits a handful of raw streams, not dozens.
+	if res.MaxRawStreams < 4 || res.MaxRawStreams > 8 {
+		t.Fatalf("max raw streams = %d, want 4..8 on 10 Mbps", res.MaxRawStreams)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	res := E4RateLimiter(io.Discard, 20*time.Second)
+	// With the limiter, sending paces to ~the clip length and everything
+	// plays.
+	if res.On.SendElapsed < 15*time.Second {
+		t.Fatalf("limiter on: clip sent in %v, want ~20s", res.On.SendElapsed)
+	}
+	if res.On.PlayedFrac < 0.95 {
+		t.Fatalf("limiter on: played %.0f%%, want ~100%%", res.On.PlayedFrac*100)
+	}
+	// Without it, the send is near-instant and most audio is lost —
+	// "you will only hear the first few seconds of the song".
+	if res.Off.SendElapsed > 5*time.Second {
+		t.Fatalf("limiter off: send took %v, want near-instant", res.Off.SendElapsed)
+	}
+	if res.Off.PlayedFrac > 0.5 {
+		t.Fatalf("limiter off: played %.0f%%, expected most audio lost", res.Off.PlayedFrac*100)
+	}
+	if res.Off.DroppedLate+res.Off.QueueDrops == 0 {
+		t.Fatal("limiter off: no drops recorded anywhere")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	res := E5Sync(io.Discard, []time.Duration{5 * time.Millisecond, 50 * time.Millisecond})
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows[:2] {
+		if r.Samples == 0 {
+			t.Fatalf("%s: no skew samples", r.Label)
+		}
+		// Synced speakers stay within a generous audibility bound.
+		if r.MaxSkewMs > 30 {
+			t.Fatalf("%s: max skew %.1f ms", r.Label, r.MaxSkewMs)
+		}
+	}
+	noSync := res.Rows[2]
+	if !noSync.NoSync {
+		t.Fatal("last row should be the ablation")
+	}
+	// Without timestamps, late joiners sit far off.
+	if noSync.MaxSkewMs < 50 {
+		t.Fatalf("no-sync max skew %.1f ms, expected large offset", noSync.MaxSkewMs)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	res := E6BufferSize(io.Discard, []int{1400, 36000, 89600})
+	get := func(cpu string, buf int) E6Row {
+		for _, r := range res.Rows {
+			if r.CPU == cpu && r.RecvBuffer == buf {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%d missing", cpu, buf)
+		return E6Row{}
+	}
+	// Small buffers play cleanly even on the slow CPU.
+	slowSmall := get("geode", 1400)
+	if slowSmall.PlayedFrac < 0.9 {
+		t.Fatalf("geode/small played %.0f%%", slowSmall.PlayedFrac*100)
+	}
+	// Buffers beyond the lead miss every deadline regardless of CPU.
+	slowHuge := get("geode", 89600)
+	if slowHuge.PlayedFrac > 0.3 {
+		t.Fatalf("geode/huge played %.0f%%, expected skipped audio", slowHuge.PlayedFrac*100)
+	}
+	// At the boundary size, the slow CPU skips where the fast one is
+	// fine — why the authors only saw this on the EON 4000 (§3.4).
+	fastMid := get("fast", 36000)
+	slowMid := get("geode", 36000)
+	if fastMid.PlayedFrac < 0.85 {
+		t.Fatalf("fast/mid played %.0f%%", fastMid.PlayedFrac*100)
+	}
+	slowBad := slowMid.Glitches + slowMid.DroppedLate
+	fastBad := fastMid.Glitches + fastMid.DroppedLate
+	if slowMid.PlayedFrac >= fastMid.PlayedFrac && slowBad <= fastBad {
+		t.Fatalf("geode/mid (played %.0f%%, %d bad) not worse than fast/mid (%.0f%%, %d bad)",
+			slowMid.PlayedFrac*100, slowBad, fastMid.PlayedFrac*100, fastBad)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	res := E7JoinLatency(io.Discard, []time.Duration{200 * time.Millisecond, 2 * time.Second})
+	short, long := res.Rows[0], res.Rows[1]
+	if short.JoinCount == 0 || long.JoinCount == 0 {
+		t.Fatalf("missing joins: %+v", res.Rows)
+	}
+	// Longer control intervals mean longer tune-in.
+	if long.MeanJoin <= short.MeanJoin {
+		t.Fatalf("join latency did not grow with interval: %v vs %v",
+			short.MeanJoin, long.MeanJoin)
+	}
+	// Latency is bounded by roughly interval + lead + a block.
+	if long.MaxJoin > 2*time.Second+time.Second {
+		t.Fatalf("join latency %v exceeds interval+lead bound", long.MaxJoin)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	res := E8Generations(io.Discard, 3)
+	bySetting := map[int][]E8Row{}
+	for _, r := range res.Rows {
+		bySetting[r.Quality] = append(bySetting[r.Quality], r)
+	}
+	q10, q3 := bySetting[10], bySetting[3]
+	if len(q10) != 3 || len(q3) != 3 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	// Max quality stays comfortably above the low setting at every
+	// generation, and degradation is monotone-ish.
+	for g := 0; g < 3; g++ {
+		if q10[g].SNR <= q3[g].SNR {
+			t.Fatalf("gen %d: q10 SNR %.1f <= q3 %.1f", g+1, q10[g].SNR, q3[g].SNR)
+		}
+	}
+	if q10[2].SNR > q10[0].SNR+1 {
+		t.Fatalf("q10 SNR improved across generations: %v", q10)
+	}
+	if q10[2].SNR < 15 {
+		t.Fatalf("q10 3rd generation SNR %.1f dB too low", q10[2].SNR)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	res := E9Auth(io.Discard, 300)
+	byScheme := map[string]E9Row{}
+	for _, r := range res.Rows {
+		byScheme[r.Scheme] = r
+		if r.SignNs <= 0 || r.VerifyNs <= 0 || r.GarbageNs <= 0 {
+			t.Fatalf("%s: zero timings: %+v", r.Scheme, r)
+		}
+	}
+	// Hash-based schemes keep junk rejection within ~100x of HMAC —
+	// the paper's DoS-resistance requirement.
+	if byScheme["hors"].GarbageNs > byScheme["hmac"].GarbageNs*100 {
+		t.Fatalf("hors junk rejection %.0f ns vs hmac %.0f ns",
+			byScheme["hors"].GarbageNs, byScheme["hmac"].GarbageNs)
+	}
+	// HORS pays in overhead, not verify time.
+	if byScheme["hors"].OverheadBytes < 256 {
+		t.Fatalf("hors overhead %d B suspiciously small", byScheme["hors"].OverheadBytes)
+	}
+	if res.InjectionDropped == 0 {
+		t.Fatal("injection attack: nothing was rejected")
+	}
+	if !res.InjectionPlayedClean {
+		t.Fatal("genuine stream did not survive the injection attack")
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	res := E10Loss(io.Discard, []float64{0, 0.05})
+	clean, lossy := res.Rows[0], res.Rows[1]
+	// End-of-stream wind-down inserts a couple of silence blocks even on
+	// a perfect run; anything beyond that is a real glitch.
+	if clean.Glitches > 4 {
+		t.Fatalf("glitches with zero loss: %d", clean.Glitches)
+	}
+	if clean.PlayedFrac < 0.95 {
+		t.Fatalf("clean run played %.0f%%", clean.PlayedFrac*100)
+	}
+	if lossy.LostPkts == 0 {
+		t.Fatal("5% loss dropped nothing")
+	}
+	if lossy.Glitches <= clean.Glitches {
+		t.Fatalf("loss produced no extra glitches: %d vs %d", lossy.Glitches, clean.Glitches)
+	}
+}

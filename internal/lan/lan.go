@@ -1,0 +1,109 @@
+// Package lan provides the network substrate: an abstract datagram
+// interface with two implementations — a simulated Ethernet segment
+// (multicast, bandwidth, latency, jitter, loss) used by tests and
+// experiments, and a real UDP-multicast backend for actual deployment.
+//
+// The paper's protocol design leans on LAN properties (§2.3): low error
+// rates, ample bandwidth, well-behaved arrival, and native multicast.
+// The simulated segment makes each of those properties a knob.
+package lan
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Addr is a "host:port" or "group:port" endpoint, e.g. "10.0.0.7:5004"
+// or "239.72.1.1:5004".
+type Addr string
+
+// Host returns the address part before the port.
+func (a Addr) Host() string {
+	s := string(a)
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Port returns the numeric port, or 0 if absent/invalid.
+func (a Addr) Port() int {
+	s := string(a)
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return 0
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// IsMulticast reports whether the host part is an IPv4 multicast group
+// (224.0.0.0/4).
+func (a Addr) IsMulticast() bool {
+	ip := net.ParseIP(a.Host())
+	return ip != nil && ip.IsMulticast()
+}
+
+// Validate reports whether the address parses as host:port.
+func (a Addr) Validate() error {
+	if net.ParseIP(a.Host()) == nil {
+		return fmt.Errorf("lan: bad host in %q", a)
+	}
+	if p := a.Port(); p <= 0 || p > 65535 {
+		return fmt.Errorf("lan: bad port in %q", a)
+	}
+	return nil
+}
+
+// Packet is one received datagram.
+type Packet struct {
+	From Addr      // sender
+	To   Addr      // destination (group for multicast)
+	Data []byte    // payload (owned by the receiver)
+	Sent time.Time // transmission start time (simulated segment only)
+	Recv time.Time // delivery time
+}
+
+// Errors shared by Conn implementations.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("lan: connection closed")
+	// ErrTimeout is returned by Recv when the timeout expires.
+	ErrTimeout = errors.New("lan: receive timeout")
+)
+
+// Conn is one attachment point (a socket on a NIC).
+type Conn interface {
+	// LocalAddr returns this endpoint's unicast address.
+	LocalAddr() Addr
+	// Send transmits data to a unicast address or multicast group.
+	Send(to Addr, data []byte) error
+	// Recv returns the next packet addressed to this endpoint (unicast or
+	// a joined group). timeout <= 0 blocks indefinitely.
+	Recv(timeout time.Duration) (Packet, error)
+	// Join subscribes to a multicast group.
+	Join(group Addr) error
+	// Leave unsubscribes from a multicast group.
+	Leave(group Addr) error
+	// Close releases the endpoint; blocked Recv calls return ErrClosed.
+	Close() error
+}
+
+// Network creates attachment points. Both the simulated segment and the
+// UDP backend implement it.
+type Network interface {
+	// Attach creates an endpoint bound to the given unicast address.
+	Attach(local Addr) (Conn, error)
+}
+
+// MaxDatagram is the largest payload the substrate accepts; it mirrors a
+// conventional UDP-over-Ethernet practical limit and keeps the audio
+// protocol honest about fragmentation.
+const MaxDatagram = 1472

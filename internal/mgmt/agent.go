@@ -1,0 +1,246 @@
+package mgmt
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/vclock"
+)
+
+// ControlGroup is the well-known multicast group for broadcast
+// management operations (central override, fleet-wide sets).
+const ControlGroup = lan.Addr("239.72.0.2:5005")
+
+// Agent serves a MIB over the management protocol: unicast get/set/walk
+// plus broadcast sets on ControlGroup. One runs on every speaker.
+type Agent struct {
+	clock vclock.Clock
+	conn  lan.Conn
+	mib   *MIB
+
+	mu      sync.Mutex
+	stopped bool
+	served  int64
+}
+
+// NewAgent binds a management agent to local and joins ControlGroup.
+func NewAgent(clock vclock.Clock, network lan.Network, local lan.Addr, mib *MIB) (*Agent, error) {
+	conn, err := network.Attach(local)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Join(ControlGroup); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Agent{clock: clock, conn: conn, mib: mib}, nil
+}
+
+// Addr returns the agent's unicast address.
+func (a *Agent) Addr() lan.Addr { return a.conn.LocalAddr() }
+
+// Served returns how many requests have been processed.
+func (a *Agent) Served() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.served
+}
+
+// Stop shuts the agent down; Run returns.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+	a.conn.Close()
+}
+
+// Run serves requests until Stop. Spawn via clock.Go.
+func (a *Agent) Run() {
+	for {
+		pkt, err := a.conn.Recv(0)
+		if err != nil {
+			return
+		}
+		req, err := Unmarshal(pkt.Data)
+		if err != nil || req.Response {
+			continue
+		}
+		a.mu.Lock()
+		a.served++
+		a.mu.Unlock()
+		resp := a.apply(req)
+		if resp == nil {
+			continue // broadcast ops are fire-and-forget
+		}
+		if data, err := resp.Marshal(); err == nil {
+			a.conn.Send(pkt.From, data)
+		}
+	}
+}
+
+// apply executes a request against the MIB.
+func (a *Agent) apply(req *Message) *Message {
+	resp := &Message{Op: req.Op, Response: true, Seq: req.Seq}
+	switch req.Op {
+	case OpGet:
+		for _, p := range req.Pairs {
+			v, err := a.mib.Get(p.Name)
+			if err != nil {
+				resp.Status = StatusError
+				resp.Pairs = append(resp.Pairs, Pair{Name: p.Name, Value: err.Error()})
+				continue
+			}
+			resp.Pairs = append(resp.Pairs, Pair{Name: p.Name, Value: v})
+		}
+	case OpSet:
+		for _, p := range req.Pairs {
+			if err := a.mib.Set(p.Name, p.Value); err != nil {
+				resp.Status = StatusError
+				resp.Pairs = append(resp.Pairs, Pair{Name: p.Name, Value: err.Error()})
+				continue
+			}
+			v, _ := a.mib.Get(p.Name)
+			resp.Pairs = append(resp.Pairs, Pair{Name: p.Name, Value: v})
+		}
+	case OpWalk:
+		prefix := ""
+		if len(req.Pairs) > 0 {
+			prefix = req.Pairs[0].Name
+		}
+		pairs := a.mib.Walk(prefix)
+		// Bound the response to the wire limit.
+		if len(pairs) > 255 {
+			pairs = pairs[:255]
+		}
+		resp.Pairs = pairs
+	case OpSetAll:
+		// Broadcast set: apply silently; no reply avoids an ACK storm on
+		// the control group (the paper's NAK-implosion worry, §4.3).
+		for _, p := range req.Pairs {
+			a.mib.Set(p.Name, p.Value)
+		}
+		return nil
+	default:
+		resp.Status = StatusError
+	}
+	return resp
+}
+
+// Client is the console side (cmd/esctl): unicast request/response with
+// timeout and retry, plus fire-and-forget broadcast sets.
+type Client struct {
+	clock vclock.Clock
+	conn  lan.Conn
+	seq   uint32
+
+	// Timeout per attempt and number of attempts.
+	Timeout time.Duration
+	Retries int
+}
+
+// NewClient binds a management client to local.
+func NewClient(clock vclock.Clock, network lan.Network, local lan.Addr) (*Client, error) {
+	conn, err := network.Attach(local)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{clock: clock, conn: conn, Timeout: time.Second, Retries: 3}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends req to target and waits for the matching response.
+func (c *Client) roundTrip(target lan.Addr, req *Message) (*Message, error) {
+	c.seq++
+	req.Seq = c.seq
+	data, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error = lan.ErrTimeout
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := c.conn.Send(target, data); err != nil {
+			return nil, err
+		}
+		deadline := c.clock.Now().Add(c.Timeout)
+		for c.clock.Now().Before(deadline) {
+			pkt, err := c.conn.Recv(c.Timeout)
+			if err == lan.ErrTimeout {
+				lastErr = err
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			resp, err := Unmarshal(pkt.Data)
+			if err != nil || !resp.Response || resp.Seq != req.Seq {
+				continue // stale or foreign
+			}
+			return resp, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// Get reads one variable from target.
+func (c *Client) Get(target lan.Addr, name string) (string, error) {
+	resp, err := c.roundTrip(target, &Message{Op: OpGet, Pairs: []Pair{{Name: name}}})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != StatusOK || len(resp.Pairs) == 0 {
+		return "", respError(resp)
+	}
+	return resp.Pairs[0].Value, nil
+}
+
+// Set writes one variable on target and returns the readback value.
+func (c *Client) Set(target lan.Addr, name, value string) (string, error) {
+	resp, err := c.roundTrip(target, &Message{Op: OpSet, Pairs: []Pair{{Name: name, Value: value}}})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != StatusOK || len(resp.Pairs) == 0 {
+		return "", respError(resp)
+	}
+	return resp.Pairs[0].Value, nil
+}
+
+// Walk lists target's variables under prefix.
+func (c *Client) Walk(target lan.Addr, prefix string) ([]Pair, error) {
+	resp, err := c.roundTrip(target, &Message{Op: OpWalk, Pairs: []Pair{{Name: prefix}}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, respError(resp)
+	}
+	return resp.Pairs, nil
+}
+
+// SetAll broadcasts a set to every agent on the control group; there is
+// no acknowledgement.
+func (c *Client) SetAll(pairs ...Pair) error {
+	c.seq++
+	req := &Message{Op: OpSetAll, Seq: c.seq, Pairs: pairs}
+	data, err := req.Marshal()
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(ControlGroup, data)
+}
+
+func respError(resp *Message) error {
+	if len(resp.Pairs) > 0 {
+		return &RemoteError{Detail: resp.Pairs[0].Value}
+	}
+	return &RemoteError{Detail: "unspecified error"}
+}
+
+// RemoteError is a failure reported by an agent.
+type RemoteError struct{ Detail string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "mgmt: remote: " + e.Detail }

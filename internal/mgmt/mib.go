@@ -1,0 +1,154 @@
+// Package mgmt implements the management surface the paper plans in
+// §5.3: an SNMP-flavoured MIB of named variables on every Ethernet
+// Speaker, a tiny get/set/walk protocol to manage them from an NMS-style
+// console (cmd/esctl), and a central-override facility — the "movies on
+// airplane seats overridden by crew announcements" scenario — built on
+// broadcast sets.
+package mgmt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Var is one managed variable.
+type Var struct {
+	// Name is the dotted identifier, e.g. "es.audio.volume".
+	Name string
+	// Help is a one-line description shown by walks.
+	Help string
+	// Get returns the current value. Required.
+	Get func() string
+	// Set applies a new value; nil makes the variable read-only.
+	Set func(string) error
+}
+
+// MIB is a registry of managed variables.
+type MIB struct {
+	mu   sync.Mutex
+	vars map[string]Var
+}
+
+// NewMIB returns an empty registry.
+func NewMIB() *MIB {
+	return &MIB{vars: make(map[string]Var)}
+}
+
+// Register adds a variable; it panics on duplicates (registration is
+// programmer-controlled wiring).
+func (m *MIB) Register(v Var) {
+	if v.Name == "" || v.Get == nil {
+		panic("mgmt: variable needs a name and a getter")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.vars[v.Name]; dup {
+		panic(fmt.Sprintf("mgmt: duplicate variable %q", v.Name))
+	}
+	m.vars[v.Name] = v
+}
+
+// Get reads a variable.
+func (m *MIB) Get(name string) (string, error) {
+	m.mu.Lock()
+	v, ok := m.vars[name]
+	m.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("mgmt: no such variable %q", name)
+	}
+	return v.Get(), nil
+}
+
+// Set writes a variable.
+func (m *MIB) Set(name, value string) error {
+	m.mu.Lock()
+	v, ok := m.vars[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mgmt: no such variable %q", name)
+	}
+	if v.Set == nil {
+		return fmt.Errorf("mgmt: %q is read-only", name)
+	}
+	return v.Set(value)
+}
+
+// Pair is one (name, value) result.
+type Pair struct {
+	Name  string
+	Value string
+}
+
+// Walk returns all variables under the dotted prefix, sorted by name.
+// An empty prefix returns everything.
+func (m *MIB) Walk(prefix string) []Pair {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.vars))
+	for n := range m.vars {
+		if prefix == "" || n == prefix || strings.HasPrefix(n, prefix+".") ||
+			strings.HasPrefix(n, prefix) && prefix[len(prefix)-1] == '.' {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]Pair, 0, len(names))
+	for _, n := range names {
+		out = append(out, Pair{Name: n, Value: m.vars[n].Get()})
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// Names returns all registered names, sorted.
+func (m *MIB) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.vars))
+	for n := range m.vars {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntVar builds a read-write integer variable from accessors.
+func IntVar(name, help string, get func() int64, set func(int64) error) Var {
+	v := Var{Name: name, Help: help, Get: func() string {
+		return strconv.FormatInt(get(), 10)
+	}}
+	if set != nil {
+		v.Set = func(s string) error {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("mgmt: %q wants an integer: %w", name, err)
+			}
+			return set(n)
+		}
+	}
+	return v
+}
+
+// FloatVar builds a read-write float variable from accessors.
+func FloatVar(name, help string, get func() float64, set func(float64) error) Var {
+	v := Var{Name: name, Help: help, Get: func() string {
+		return strconv.FormatFloat(get(), 'g', -1, 64)
+	}}
+	if set != nil {
+		v.Set = func(s string) error {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("mgmt: %q wants a number: %w", name, err)
+			}
+			return set(f)
+		}
+	}
+	return v
+}
+
+// StringVar builds a read-write string variable from accessors.
+func StringVar(name, help string, get func() string, set func(string) error) Var {
+	return Var{Name: name, Help: help, Get: get, Set: set}
+}

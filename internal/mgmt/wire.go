@@ -1,0 +1,130 @@
+package mgmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (big-endian), deliberately small and parse-strict:
+//
+//	magic   uint16 = 0x454D ("EM")
+//	version uint8  = 1
+//	op      uint8  (response bit 0x80)
+//	seq     uint32
+//	count   uint8
+//	status  uint8  (responses; 0 = OK)
+//	pairs:  count × (name string, value string), u8-length-prefixed
+
+// Op is a management operation.
+type Op uint8
+
+// Operations.
+const (
+	OpGet  Op = 1
+	OpSet  Op = 2
+	OpWalk Op = 3
+	// OpSetAll is a broadcast set: agents apply it and do not reply (no
+	// NAK-implosion on the multicast group).
+	OpSetAll Op = 4
+
+	respBit = 0x80
+)
+
+// Message is one management request or response.
+type Message struct {
+	Op       Op
+	Response bool
+	Seq      uint32
+	Status   uint8 // 0 = OK
+	Pairs    []Pair
+}
+
+// Status codes.
+const (
+	StatusOK    = 0
+	StatusError = 1
+)
+
+const mgmtMagic = 0x454D
+
+var errBadMgmt = errors.New("mgmt: malformed message")
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Pairs) > 255 {
+		return nil, fmt.Errorf("mgmt: %d pairs", len(m.Pairs))
+	}
+	buf := make([]byte, 10, 64)
+	binary.BigEndian.PutUint16(buf[0:2], mgmtMagic)
+	buf[2] = 1
+	op := uint8(m.Op)
+	if m.Response {
+		op |= respBit
+	}
+	buf[3] = op
+	binary.BigEndian.PutUint32(buf[4:8], m.Seq)
+	buf[8] = uint8(len(m.Pairs))
+	buf[9] = m.Status
+	for _, p := range m.Pairs {
+		if len(p.Name) > 255 || len(p.Value) > 255 {
+			return nil, fmt.Errorf("mgmt: oversized pair %q", p.Name)
+		}
+		buf = append(buf, byte(len(p.Name)))
+		buf = append(buf, p.Name...)
+		buf = append(buf, byte(len(p.Value)))
+		buf = append(buf, p.Value...)
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a management message.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 10 {
+		return nil, errBadMgmt
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != mgmtMagic || data[2] != 1 {
+		return nil, errBadMgmt
+	}
+	m := &Message{
+		Op:       Op(data[3] &^ respBit),
+		Response: data[3]&respBit != 0,
+		Seq:      binary.BigEndian.Uint32(data[4:8]),
+		Status:   data[9],
+	}
+	count := int(data[8])
+	rest := data[10:]
+	for i := 0; i < count; i++ {
+		var p Pair
+		var err error
+		p.Name, rest, err = readStr(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Value, rest, err = readStr(rest)
+		if err != nil {
+			return nil, err
+		}
+		m.Pairs = append(m.Pairs, p)
+	}
+	if len(rest) != 0 {
+		return nil, errBadMgmt
+	}
+	switch m.Op {
+	case OpGet, OpSet, OpWalk, OpSetAll:
+	default:
+		return nil, errBadMgmt
+	}
+	return m, nil
+}
+
+func readStr(data []byte) (string, []byte, error) {
+	if len(data) < 1 {
+		return "", nil, errBadMgmt
+	}
+	n := int(data[0])
+	if len(data) < 1+n {
+		return "", nil, errBadMgmt
+	}
+	return string(data[1 : 1+n]), data[1+n:], nil
+}

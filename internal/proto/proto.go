@@ -1,0 +1,384 @@
+// Package proto defines the Ethernet Speaker wire protocol (§2.3): the
+// periodic control packets that carry the audio configuration and the
+// producer's wall clock, the data packets that carry timestamped codec
+// payload, and the out-of-band catalog announcements (the MFTP-inspired
+// channel directory of §4.3).
+//
+// Design properties inherited from the paper:
+//
+//   - The producer keeps no per-listener state; control packets repeat
+//     the full configuration at a fixed cadence, so a speaker can tune in
+//     at any time and must merely wait for the next control packet.
+//   - Every data packet carries a play timestamp relative to the
+//     producer's wall clock, which the control packets distribute.
+//   - Packets are individually parseable with strict validation; a
+//     malformed packet is an error, never a panic.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/audio"
+)
+
+// Wire constants.
+const (
+	// Magic is the two-byte packet prefix "ES".
+	Magic = 0x4553
+	// Version is the protocol version this package speaks.
+	Version = 1
+	// headerLen is the fixed common header: magic(2) version(1) type(1)
+	// channel(4).
+	headerLen = 8
+	// maxString bounds every length-prefixed string on the wire.
+	maxString = 255
+)
+
+// PacketType discriminates the packet kinds.
+type PacketType uint8
+
+// Packet kinds.
+const (
+	TypeControl  PacketType = 1
+	TypeData     PacketType = 2
+	TypeAnnounce PacketType = 3
+)
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	switch t {
+	case TypeControl:
+		return "control"
+	case TypeData:
+		return "data"
+	case TypeAnnounce:
+		return "announce"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// AuthScheme names the packet-authentication mode a channel uses (§5.1).
+type AuthScheme uint8
+
+// Authentication schemes.
+const (
+	AuthNone  AuthScheme = 0
+	AuthHMAC  AuthScheme = 1
+	AuthChain AuthScheme = 2
+	AuthHORS  AuthScheme = 3
+)
+
+// String implements fmt.Stringer.
+func (a AuthScheme) String() string {
+	switch a {
+	case AuthNone:
+		return "none"
+	case AuthHMAC:
+		return "hmac"
+	case AuthChain:
+		return "chain"
+	case AuthHORS:
+		return "hors"
+	default:
+		return fmt.Sprintf("auth(%d)", uint8(a))
+	}
+}
+
+// Errors returned by parsers.
+var (
+	ErrShort      = errors.New("proto: packet too short")
+	ErrBadMagic   = errors.New("proto: bad magic")
+	ErrBadVersion = errors.New("proto: unsupported version")
+	ErrBadPacket  = errors.New("proto: malformed packet")
+)
+
+// Control is the periodic configuration + wall-clock packet. A speaker
+// may not play a channel until it has seen one (§2.3).
+type Control struct {
+	Channel  uint32       // channel identifier
+	Epoch    uint32       // stream generation; bumps on reconfiguration
+	Seq      uint64       // control packet sequence
+	Producer int64        // producer wall clock, ns since producer epoch
+	Params   audio.Params // audio configuration from the VAD
+	Codec    string       // codec registry name
+	Quality  uint8        // codec quality index
+	Auth     AuthScheme   // authentication in use on this channel
+	Interval uint32       // control cadence in milliseconds
+}
+
+// Data is one timestamped chunk of encoded audio.
+type Data struct {
+	Channel uint32 // channel identifier
+	Epoch   uint32 // must match the controlling Control.Epoch
+	Seq     uint64 // data packet sequence (per epoch)
+	PlayAt  int64  // producer-relative play deadline, ns
+	Payload []byte // codec frames
+}
+
+// ChannelInfo is one catalog entry.
+type ChannelInfo struct {
+	ID     uint32
+	Name   string
+	Group  string // multicast group "addr:port" carrying the channel
+	Codec  string
+	Params audio.Params
+}
+
+// Announce is the out-of-band channel catalog (§4.3): it lets speakers
+// discover channels without listening in on each one.
+type Announce struct {
+	Seq      uint64
+	Channels []ChannelInfo
+}
+
+// putHeader writes the common header.
+func putHeader(buf []byte, t PacketType, channel uint32) {
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = Version
+	buf[3] = byte(t)
+	binary.BigEndian.PutUint32(buf[4:8], channel)
+}
+
+// PeekType validates the common header and returns the packet type and
+// channel without parsing the body.
+func PeekType(data []byte) (PacketType, uint32, error) {
+	if len(data) < headerLen {
+		return 0, 0, ErrShort
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != Magic {
+		return 0, 0, ErrBadMagic
+	}
+	if data[2] != Version {
+		return 0, 0, ErrBadVersion
+	}
+	t := PacketType(data[3])
+	if t != TypeControl && t != TypeData && t != TypeAnnounce {
+		return 0, 0, fmt.Errorf("%w: unknown type %d", ErrBadPacket, data[3])
+	}
+	return t, binary.BigEndian.Uint32(data[4:8]), nil
+}
+
+// appendString writes a u8-length-prefixed string.
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > maxString {
+		return nil, fmt.Errorf("%w: string of %d bytes", ErrBadPacket, len(s))
+	}
+	buf = append(buf, byte(len(s)))
+	return append(buf, s...), nil
+}
+
+// readString consumes a u8-length-prefixed string.
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 1 {
+		return "", nil, ErrShort
+	}
+	n := int(data[0])
+	if len(data) < 1+n {
+		return "", nil, ErrShort
+	}
+	return string(data[1 : 1+n]), data[1+n:], nil
+}
+
+// appendParams writes an audio configuration.
+func appendParams(buf []byte, p audio.Params) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(p.SampleRate))
+	b[4] = byte(p.Channels)
+	b[5] = byte(p.Encoding)
+	return append(buf, b[:]...)
+}
+
+// readParams consumes an audio configuration and validates it. An
+// all-zero configuration is accepted as "not yet configured": catalog
+// entries may describe channels whose application has not opened the
+// VAD yet.
+func readParams(data []byte) (audio.Params, []byte, error) {
+	if len(data) < 6 {
+		return audio.Params{}, nil, ErrShort
+	}
+	p := audio.Params{
+		SampleRate: int(binary.BigEndian.Uint32(data[0:4])),
+		Channels:   int(data[4]),
+		Encoding:   audio.Encoding(data[5]),
+	}
+	if p == (audio.Params{}) {
+		return p, data[6:], nil
+	}
+	if err := p.Validate(); err != nil {
+		return audio.Params{}, nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	return p, data[6:], nil
+}
+
+// Marshal encodes the control packet.
+func (c *Control) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen, headerLen+64)
+	putHeader(buf, TypeControl, c.Channel)
+	var fixed [28]byte
+	binary.BigEndian.PutUint32(fixed[0:4], c.Epoch)
+	binary.BigEndian.PutUint64(fixed[4:12], c.Seq)
+	binary.BigEndian.PutUint64(fixed[12:20], uint64(c.Producer))
+	binary.BigEndian.PutUint32(fixed[20:24], c.Interval)
+	fixed[24] = c.Quality
+	fixed[25] = byte(c.Auth)
+	// fixed[26:28] reserved
+	buf = append(buf, fixed[:]...)
+	buf = appendParams(buf, c.Params)
+	return appendString(buf, c.Codec)
+}
+
+// UnmarshalControl parses a control packet.
+func UnmarshalControl(data []byte) (*Control, error) {
+	t, ch, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeControl {
+		return nil, fmt.Errorf("%w: expected control, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 28 {
+		return nil, ErrShort
+	}
+	c := &Control{Channel: ch}
+	c.Epoch = binary.BigEndian.Uint32(body[0:4])
+	c.Seq = binary.BigEndian.Uint64(body[4:12])
+	c.Producer = int64(binary.BigEndian.Uint64(body[12:20]))
+	c.Interval = binary.BigEndian.Uint32(body[20:24])
+	c.Quality = body[24]
+	c.Auth = AuthScheme(body[25])
+	body = body[28:]
+	if c.Params, body, err = readParams(body); err != nil {
+		return nil, err
+	}
+	// A control packet must carry a playable configuration (unlike a
+	// catalog entry, which may be unconfigured).
+	if err := c.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	if c.Codec, body, err = readString(body); err != nil {
+		return nil, err
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
+	}
+	return c, nil
+}
+
+// Marshal encodes the data packet.
+func (d *Data) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen, headerLen+24+len(d.Payload))
+	putHeader(buf, TypeData, d.Channel)
+	var fixed [22]byte
+	binary.BigEndian.PutUint32(fixed[0:4], d.Epoch)
+	binary.BigEndian.PutUint64(fixed[4:12], d.Seq)
+	binary.BigEndian.PutUint64(fixed[12:20], uint64(d.PlayAt))
+	binary.BigEndian.PutUint16(fixed[20:22], uint16(len(d.Payload)))
+	if len(d.Payload) > 65535 {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrBadPacket, len(d.Payload))
+	}
+	buf = append(buf, fixed[:]...)
+	return append(buf, d.Payload...), nil
+}
+
+// UnmarshalData parses a data packet.
+func UnmarshalData(data []byte) (*Data, error) {
+	t, ch, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeData {
+		return nil, fmt.Errorf("%w: expected data, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 22 {
+		return nil, ErrShort
+	}
+	d := &Data{Channel: ch}
+	d.Epoch = binary.BigEndian.Uint32(body[0:4])
+	d.Seq = binary.BigEndian.Uint64(body[4:12])
+	d.PlayAt = int64(binary.BigEndian.Uint64(body[12:20]))
+	n := int(binary.BigEndian.Uint16(body[20:22]))
+	body = body[22:]
+	if len(body) != n {
+		return nil, fmt.Errorf("%w: payload length %d != declared %d", ErrBadPacket, len(body), n)
+	}
+	d.Payload = append([]byte(nil), body...)
+	return d, nil
+}
+
+// Marshal encodes the announce packet.
+func (a *Announce) Marshal() ([]byte, error) {
+	if len(a.Channels) > 255 {
+		return nil, fmt.Errorf("%w: %d channels", ErrBadPacket, len(a.Channels))
+	}
+	buf := make([]byte, headerLen, 256)
+	putHeader(buf, TypeAnnounce, 0)
+	var fixed [9]byte
+	binary.BigEndian.PutUint64(fixed[0:8], a.Seq)
+	fixed[8] = byte(len(a.Channels))
+	buf = append(buf, fixed[:]...)
+	var err error
+	for _, ci := range a.Channels {
+		var idb [4]byte
+		binary.BigEndian.PutUint32(idb[:], ci.ID)
+		buf = append(buf, idb[:]...)
+		if buf, err = appendString(buf, ci.Name); err != nil {
+			return nil, err
+		}
+		if buf, err = appendString(buf, ci.Group); err != nil {
+			return nil, err
+		}
+		if buf, err = appendString(buf, ci.Codec); err != nil {
+			return nil, err
+		}
+		buf = appendParams(buf, ci.Params)
+	}
+	return buf, nil
+}
+
+// UnmarshalAnnounce parses an announce packet.
+func UnmarshalAnnounce(data []byte) (*Announce, error) {
+	t, _, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeAnnounce {
+		return nil, fmt.Errorf("%w: expected announce, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 9 {
+		return nil, ErrShort
+	}
+	a := &Announce{Seq: binary.BigEndian.Uint64(body[0:8])}
+	count := int(body[8])
+	body = body[9:]
+	for i := 0; i < count; i++ {
+		var ci ChannelInfo
+		if len(body) < 4 {
+			return nil, ErrShort
+		}
+		ci.ID = binary.BigEndian.Uint32(body[0:4])
+		body = body[4:]
+		if ci.Name, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		if ci.Group, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		if ci.Codec, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		if ci.Params, body, err = readParams(body); err != nil {
+			return nil, err
+		}
+		a.Channels = append(a.Channels, ci)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
+	}
+	return a, nil
+}

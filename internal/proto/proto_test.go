@@ -1,0 +1,274 @@
+package proto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audio"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	c := &Control{
+		Channel:  7,
+		Epoch:    3,
+		Seq:      123456789,
+		Producer: 987654321012345,
+		Params:   audio.CDQuality,
+		Codec:    "ovl",
+		Quality:  10,
+		Auth:     AuthHMAC,
+		Interval: 1000,
+	}
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalControl(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", c, got)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	d := &Data{
+		Channel: 1,
+		Epoch:   9,
+		Seq:     42,
+		PlayAt:  55555555,
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", d, got)
+	}
+}
+
+func TestDataEmptyPayload(t *testing.T) {
+	d := &Data{Channel: 1, Seq: 1}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v", got.Payload)
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	a := &Announce{
+		Seq: 77,
+		Channels: []ChannelInfo{
+			{ID: 1, Name: "WKDU simulcast", Group: "239.72.1.1:5004", Codec: "ovl", Params: audio.CDQuality},
+			{ID: 2, Name: "paging", Group: "239.72.1.2:5004", Codec: "raw", Params: audio.Voice},
+		},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+}
+
+func TestAnnounceEmpty(t *testing.T) {
+	a := &Announce{Seq: 1}
+	data, _ := a.Marshal()
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Channels) != 0 {
+		t.Fatal("phantom channels")
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	c := &Control{Channel: 5, Params: audio.Voice, Codec: "raw"}
+	data, _ := c.Marshal()
+	typ, ch, err := PeekType(data)
+	if err != nil || typ != TypeControl || ch != 5 {
+		t.Fatalf("peek = (%v, %d, %v)", typ, ch, err)
+	}
+}
+
+func TestPeekRejectsBadHeader(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x45},
+		{0x00, 0x00, 1, 1, 0, 0, 0, 0},  // bad magic
+		{0x45, 0x53, 9, 1, 0, 0, 0, 0},  // bad version
+		{0x45, 0x53, 1, 99, 0, 0, 0, 0}, // bad type
+	}
+	for _, data := range cases {
+		if _, _, err := PeekType(data); err == nil {
+			t.Errorf("accepted %v", data)
+		}
+	}
+}
+
+func TestCrossTypeParseRejected(t *testing.T) {
+	c := &Control{Channel: 5, Params: audio.Voice, Codec: "raw"}
+	cdata, _ := c.Marshal()
+	if _, err := UnmarshalData(cdata); err == nil {
+		t.Fatal("data parser accepted control packet")
+	}
+	d := &Data{Channel: 5, Payload: []byte{1}}
+	ddata, _ := d.Marshal()
+	if _, err := UnmarshalControl(ddata); err == nil {
+		t.Fatal("control parser accepted data packet")
+	}
+	if _, err := UnmarshalAnnounce(ddata); err == nil {
+		t.Fatal("announce parser accepted data packet")
+	}
+}
+
+func TestControlRejectsBadParams(t *testing.T) {
+	c := &Control{Channel: 1, Params: audio.CDQuality, Codec: "ovl"}
+	data, _ := c.Marshal()
+	// Corrupt the sample rate to zero.
+	copy(data[8+28:8+32], []byte{0, 0, 0, 0})
+	if _, err := UnmarshalControl(data); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestTruncationsNeverPanic(t *testing.T) {
+	c := &Control{Channel: 1, Params: audio.CDQuality, Codec: "ovl", Quality: 10}
+	cdata, _ := c.Marshal()
+	d := &Data{Channel: 1, Payload: make([]byte, 100)}
+	ddata, _ := d.Marshal()
+	a := &Announce{Channels: []ChannelInfo{{ID: 1, Name: "x", Group: "g", Codec: "raw", Params: audio.Voice}}}
+	adata, _ := a.Marshal()
+	for _, full := range [][]byte{cdata, ddata, adata} {
+		for i := 0; i <= len(full); i++ {
+			trunc := full[:i]
+			UnmarshalControl(trunc)
+			UnmarshalData(trunc)
+			UnmarshalAnnounce(trunc)
+		}
+	}
+}
+
+func TestRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		UnmarshalControl(data)
+		UnmarshalData(data)
+		UnmarshalAnnounce(data)
+	}
+	// And random bytes behind a valid header.
+	hdr := []byte{0x45, 0x53, 1, 1, 0, 0, 0, 1}
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(120)
+		data := append(append([]byte(nil), hdr...), make([]byte, n)...)
+		rng.Read(data[8:])
+		for _, typ := range []byte{1, 2, 3} {
+			data[3] = typ
+			UnmarshalControl(data)
+			UnmarshalData(data)
+			UnmarshalAnnounce(data)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	c := &Control{Channel: 1, Params: audio.Voice, Codec: "raw"}
+	data, _ := c.Marshal()
+	data = append(data, 0xFF)
+	if _, err := UnmarshalControl(data); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDataQuickRoundTrip(t *testing.T) {
+	f := func(ch, epoch uint32, seq uint64, playAt int64, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		d := &Data{Channel: ch, Epoch: epoch, Seq: seq, PlayAt: playAt, Payload: payload}
+		data, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalData(data)
+		if err != nil {
+			return false
+		}
+		if got.Channel != ch || got.Epoch != epoch || got.Seq != seq || got.PlayAt != playAt {
+			return false
+		}
+		if len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringLimits(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	c := &Control{Channel: 1, Params: audio.Voice, Codec: string(long)}
+	if _, err := c.Marshal(); err == nil {
+		t.Fatal("oversized codec name accepted")
+	}
+}
+
+func TestAuthSchemeStrings(t *testing.T) {
+	for _, a := range []AuthScheme{AuthNone, AuthHMAC, AuthChain, AuthHORS, AuthScheme(9)} {
+		if a.String() == "" {
+			t.Fatal("empty scheme name")
+		}
+	}
+	for _, p := range []PacketType{TypeControl, TypeData, TypeAnnounce, PacketType(9)} {
+		if p.String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+}
+
+func TestDataFitsInDatagramForTypicalBlocks(t *testing.T) {
+	// A 1400-byte payload (the rebroadcaster's chunking target) must
+	// marshal under the LAN datagram limit of 1472.
+	d := &Data{Channel: 1, Payload: make([]byte, 1400)}
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 1472 {
+		t.Fatalf("marshalled size %d exceeds datagram limit", len(data))
+	}
+}

@@ -1,0 +1,100 @@
+package rebroadcast
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// DefaultCatalogInterval is the announce cadence on the catalog group.
+const DefaultCatalogInterval = 2 * time.Second
+
+// Catalog is the out-of-band channel directory (§4.3, after MFTP): a
+// separate multicast group announces which channels exist and where, so
+// a speaker can present a programme list without joining every audio
+// group, and the server could suspend untuned channels.
+type Catalog struct {
+	clock    vclock.Clock
+	conn     lan.Conn
+	group    lan.Addr
+	interval time.Duration
+
+	mu       sync.Mutex
+	channels map[uint32]proto.ChannelInfo
+	seq      uint64
+	stop     bool
+	sent     int64
+}
+
+// NewCatalog creates a catalog announcer on the given multicast group.
+func NewCatalog(clock vclock.Clock, conn lan.Conn, group lan.Addr, interval time.Duration) *Catalog {
+	if interval <= 0 {
+		interval = DefaultCatalogInterval
+	}
+	return &Catalog{
+		clock:    clock,
+		conn:     conn,
+		group:    group,
+		interval: interval,
+		channels: make(map[uint32]proto.ChannelInfo),
+	}
+}
+
+// SetChannel adds or updates a catalog entry.
+func (c *Catalog) SetChannel(info proto.ChannelInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.channels[info.ID] = info
+}
+
+// RemoveChannel deletes a catalog entry.
+func (c *Catalog) RemoveChannel(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.channels, id)
+}
+
+// Announcements returns how many announce packets have been sent.
+func (c *Catalog) Announcements() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Run announces periodically until Stop. Spawn it via clock.Go.
+func (c *Catalog) Run() {
+	for {
+		c.mu.Lock()
+		if c.stop {
+			c.mu.Unlock()
+			return
+		}
+		c.seq++
+		a := proto.Announce{Seq: c.seq}
+		ids := make([]uint32, 0, len(c.channels))
+		for id := range c.channels {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			a.Channels = append(a.Channels, c.channels[id])
+		}
+		c.sent++
+		c.mu.Unlock()
+		if pkt, err := a.Marshal(); err == nil {
+			c.conn.Send(c.group, pkt)
+		}
+		c.clock.Sleep(c.interval)
+	}
+}
+
+// Stop makes Run return after the current cycle.
+func (c *Catalog) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stop = true
+}

@@ -1,0 +1,118 @@
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/proto"
+)
+
+// HORS parameters: t secrets, k revealed per signature. With t=256 and
+// k=16 a signature reveals 16 of 256 secrets; after a handful of
+// signatures under one key the scheme weakens, so senders rotate keys.
+// These are the "fast signing and verification" one-time signature
+// parameters in the spirit of Reyzin & Reyzin [13].
+const (
+	horsT = 256
+	horsK = 16
+)
+
+// HORSKey is a few-time signing key.
+type HORSKey struct {
+	secrets [horsT][]byte
+	pub     [horsT][]byte
+	used    int
+}
+
+// HORSPublicKey is the verification half: H(s_i) for each secret.
+type HORSPublicKey struct {
+	pub [horsT][]byte
+}
+
+// GenerateHORS derives a key pair deterministically from a seed (use
+// crypto/rand material in production; determinism keeps experiments
+// replayable).
+func GenerateHORS(seed []byte) *HORSKey {
+	k := &HORSKey{}
+	for i := 0; i < horsT; i++ {
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		m := hmac.New(sha256.New, seed)
+		m.Write([]byte("es-hors-secret:"))
+		m.Write(idx[:])
+		k.secrets[i] = m.Sum(nil)
+		h := sha256.Sum256(k.secrets[i])
+		k.pub[i] = h[:]
+	}
+	return k
+}
+
+// Public returns the verification key (t × 32 bytes — the scheme's cost
+// is key size, its win is speed).
+func (k *HORSKey) Public() *HORSPublicKey {
+	p := &HORSPublicKey{}
+	for i := range k.pub {
+		p.pub[i] = append([]byte(nil), k.pub[i]...)
+	}
+	return p
+}
+
+// Uses returns how many signatures this key has produced; rotate keys
+// well before ~t/(2k) uses.
+func (k *HORSKey) Uses() int { return k.used }
+
+// horsIndices maps a message digest to k secret indices.
+func horsIndices(msg []byte) [horsK]int {
+	h := sha256.Sum256(msg)
+	var out [horsK]int
+	for i := 0; i < horsK; i++ {
+		out[i] = int(h[i]) // t=256: one byte per index
+	}
+	return out
+}
+
+// HORSAuth wraps a key pair as an Authenticator. The sender holds Key;
+// receivers hold only Pub.
+type HORSAuth struct {
+	Key *HORSKey       // nil on receivers
+	Pub *HORSPublicKey // required
+}
+
+// Scheme implements Authenticator.
+func (a *HORSAuth) Scheme() proto.AuthScheme { return proto.AuthHORS }
+
+// Sign implements Authenticator. Trailer: k×32-byte revealed secrets.
+func (a *HORSAuth) Sign(pkt []byte) []byte {
+	if a.Key == nil {
+		return wrap(proto.AuthHORS, pkt, make([]byte, horsK*sha256.Size))
+	}
+	idx := horsIndices(pkt)
+	trailer := make([]byte, 0, horsK*sha256.Size)
+	for _, i := range idx {
+		trailer = append(trailer, a.Key.secrets[i]...)
+	}
+	a.Key.used++
+	return wrap(proto.AuthHORS, pkt, trailer)
+}
+
+// Verify implements Authenticator: k hash evaluations, no bignum math —
+// the DoS-resistance property §5.1 asks for.
+func (a *HORSAuth) Verify(pkt []byte) ([]byte, bool) {
+	if a.Pub == nil {
+		return nil, false
+	}
+	inner, trailer, ok := unwrap(proto.AuthHORS, pkt)
+	if !ok || len(trailer) != horsK*sha256.Size {
+		return nil, false
+	}
+	idx := horsIndices(inner)
+	for j, i := range idx {
+		secret := trailer[j*sha256.Size : (j+1)*sha256.Size]
+		h := sha256.Sum256(secret)
+		if !hmac.Equal(h[:], a.Pub.pub[i]) {
+			return nil, false
+		}
+	}
+	return inner, true
+}

@@ -1,0 +1,258 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+var testPkt = []byte("ES test packet payload 0123456789")
+
+func TestHMACRoundTrip(t *testing.T) {
+	a := NewHMAC([]byte("group secret"))
+	wrapped := a.Sign(testPkt)
+	inner, ok := a.Verify(wrapped)
+	if !ok {
+		t.Fatal("verification failed")
+	}
+	if !bytes.Equal(inner, testPkt) {
+		t.Fatal("inner packet mangled")
+	}
+	if a.Scheme() != proto.AuthHMAC {
+		t.Fatal("wrong scheme")
+	}
+}
+
+func TestHMACRejectsTampering(t *testing.T) {
+	a := NewHMAC([]byte("group secret"))
+	wrapped := a.Sign(testPkt)
+	for i := 0; i < len(wrapped); i++ {
+		mut := append([]byte(nil), wrapped...)
+		mut[i] ^= 0x01
+		if inner, ok := a.Verify(mut); ok && bytes.Equal(inner, testPkt) {
+			// Flipping the scheme byte to a wrong value must fail; any
+			// accepted mutation returning the same inner is a forgery.
+			t.Fatalf("accepted packet with byte %d flipped", i)
+		}
+	}
+}
+
+func TestHMACRejectsWrongKey(t *testing.T) {
+	a := NewHMAC([]byte("key A"))
+	b := NewHMAC([]byte("key B"))
+	if _, ok := b.Verify(a.Sign(testPkt)); ok {
+		t.Fatal("cross-key verification succeeded")
+	}
+}
+
+func TestHMACRejectsGarbage(t *testing.T) {
+	a := NewHMAC([]byte("k"))
+	for _, pkt := range [][]byte{nil, {1}, {1, 2}, make([]byte, 200)} {
+		if _, ok := a.Verify(pkt); ok {
+			t.Fatal("garbage accepted")
+		}
+	}
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	sender := NewChain([]byte("seed"), 100)
+	receiver := NewChainVerifier(sender.Anchor())
+	for i := 0; i < 50; i++ {
+		wrapped := sender.Sign(testPkt)
+		inner, ok := receiver.Verify(wrapped)
+		if !ok {
+			t.Fatalf("packet %d rejected", i)
+		}
+		if !bytes.Equal(inner, testPkt) {
+			t.Fatal("inner mangled")
+		}
+	}
+	if sender.Remaining() != 50 {
+		t.Fatalf("remaining = %d", sender.Remaining())
+	}
+}
+
+func TestChainToleratesLoss(t *testing.T) {
+	sender := NewChain([]byte("seed"), 100)
+	receiver := NewChainVerifier(sender.Anchor())
+	// Drop packets 0..8, deliver packet 9.
+	var wrapped []byte
+	for i := 0; i < 10; i++ {
+		wrapped = sender.Sign(testPkt)
+	}
+	if _, ok := receiver.Verify(wrapped); !ok {
+		t.Fatal("receiver did not tolerate a gap")
+	}
+}
+
+func TestChainRejectsReplay(t *testing.T) {
+	sender := NewChain([]byte("seed"), 100)
+	receiver := NewChainVerifier(sender.Anchor())
+	w1 := sender.Sign(testPkt)
+	if _, ok := receiver.Verify(w1); !ok {
+		t.Fatal("first packet rejected")
+	}
+	// Replaying the same (or any earlier-indexed) packet must fail.
+	if _, ok := receiver.Verify(w1); ok {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestChainRejectsForeignChain(t *testing.T) {
+	sender := NewChain([]byte("seed"), 100)
+	attacker := NewChain([]byte("other"), 100)
+	receiver := NewChainVerifier(sender.Anchor())
+	if _, ok := receiver.Verify(attacker.Sign(testPkt)); ok {
+		t.Fatal("foreign chain accepted")
+	}
+}
+
+func TestChainRejectsTamperedPayload(t *testing.T) {
+	sender := NewChain([]byte("seed"), 100)
+	receiver := NewChainVerifier(sender.Anchor())
+	wrapped := sender.Sign(testPkt)
+	wrapped[0] ^= 1
+	if _, ok := receiver.Verify(wrapped); ok {
+		t.Fatal("tampered payload accepted")
+	}
+}
+
+func TestChainExhaustion(t *testing.T) {
+	sender := NewChain([]byte("seed"), 2)
+	receiver := NewChainVerifier(sender.Anchor())
+	sender.Sign(testPkt)
+	sender.Sign(testPkt)
+	// Third signature is past the chain; must not verify.
+	if _, ok := receiver.Verify(sender.Sign(testPkt)); ok {
+		t.Fatal("exhausted chain still verifying")
+	}
+}
+
+func TestHORSRoundTrip(t *testing.T) {
+	key := GenerateHORS([]byte("hors seed"))
+	sender := &HORSAuth{Key: key, Pub: key.Public()}
+	receiver := &HORSAuth{Pub: key.Public()}
+	wrapped := sender.Sign(testPkt)
+	inner, ok := receiver.Verify(wrapped)
+	if !ok {
+		t.Fatal("verification failed")
+	}
+	if !bytes.Equal(inner, testPkt) {
+		t.Fatal("inner mangled")
+	}
+	if key.Uses() != 1 {
+		t.Fatalf("uses = %d", key.Uses())
+	}
+}
+
+func TestHORSRejectsTamperedPayload(t *testing.T) {
+	key := GenerateHORS([]byte("hors seed"))
+	sender := &HORSAuth{Key: key, Pub: key.Public()}
+	receiver := &HORSAuth{Pub: key.Public()}
+	wrapped := sender.Sign(testPkt)
+	// Flip a payload byte: the revealed secrets no longer match the
+	// digest's indices.
+	wrapped[4] ^= 1
+	if _, ok := receiver.Verify(wrapped); ok {
+		t.Fatal("tampered payload accepted")
+	}
+}
+
+func TestHORSRejectsForgedSecrets(t *testing.T) {
+	key := GenerateHORS([]byte("hors seed"))
+	other := GenerateHORS([]byte("attacker"))
+	receiver := &HORSAuth{Pub: key.Public()}
+	forged := (&HORSAuth{Key: other, Pub: other.Public()}).Sign(testPkt)
+	if _, ok := receiver.Verify(forged); ok {
+		t.Fatal("foreign key accepted")
+	}
+}
+
+func TestHORSDifferentMessagesDifferentIndices(t *testing.T) {
+	a := horsIndices([]byte("message one"))
+	b := horsIndices([]byte("message two"))
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == horsK {
+		t.Fatal("index function is constant")
+	}
+}
+
+func TestPeekScheme(t *testing.T) {
+	a := NewHMAC([]byte("k"))
+	s, err := PeekScheme(a.Sign(testPkt))
+	if err != nil || s != proto.AuthHMAC {
+		t.Fatalf("peek = (%v, %v)", s, err)
+	}
+	if _, err := PeekScheme([]byte{1}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}
+
+func TestCrossSchemeRejected(t *testing.T) {
+	h := NewHMAC([]byte("k"))
+	c := NewChain([]byte("seed"), 10)
+	if _, ok := h.Verify(c.Sign(testPkt)); ok {
+		t.Fatal("HMAC verifier accepted chain packet")
+	}
+	if _, ok := NewChainVerifier(c.Anchor()).Verify(h.Sign(testPkt)); ok {
+		t.Fatal("chain verifier accepted HMAC packet")
+	}
+}
+
+func BenchmarkHMACSign(b *testing.B) {
+	a := NewHMAC([]byte("group secret"))
+	pkt := make([]byte, 1400)
+	b.SetBytes(int64(len(pkt)))
+	for i := 0; i < b.N; i++ {
+		a.Sign(pkt)
+	}
+}
+
+func BenchmarkHMACVerify(b *testing.B) {
+	a := NewHMAC([]byte("group secret"))
+	pkt := a.Sign(make([]byte, 1400))
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Verify(pkt); !ok {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkHORSSign(b *testing.B) {
+	key := GenerateHORS([]byte("seed"))
+	a := &HORSAuth{Key: key, Pub: key.Public()}
+	pkt := make([]byte, 1400)
+	for i := 0; i < b.N; i++ {
+		a.Sign(pkt)
+	}
+}
+
+func BenchmarkHORSVerify(b *testing.B) {
+	key := GenerateHORS([]byte("seed"))
+	sender := &HORSAuth{Key: key, Pub: key.Public()}
+	receiver := &HORSAuth{Pub: key.Public()}
+	pkt := sender.Sign(make([]byte, 1400))
+	for i := 0; i < b.N; i++ {
+		if _, ok := receiver.Verify(pkt); !ok {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkHORSVerifyGarbage(b *testing.B) {
+	// The DoS case: cost of rejecting a garbage packet.
+	key := GenerateHORS([]byte("seed"))
+	receiver := &HORSAuth{Pub: key.Public()}
+	garbage := wrap(proto.AuthHORS, make([]byte, 1400), make([]byte, horsK*32))
+	for i := 0; i < b.N; i++ {
+		if _, ok := receiver.Verify(garbage); ok {
+			b.Fatal("garbage accepted")
+		}
+	}
+}

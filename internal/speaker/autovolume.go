@@ -1,0 +1,69 @@
+package speaker
+
+// AutoVolume is the §5.2 automatic volume controller: the speaker's
+// microphone input lets it compare its own output against the ambient
+// noise level, raising the volume in noisy rooms (so announcements are
+// heard) and lowering it in quiet ones (background music stays in the
+// background). It also normalizes program material recorded at different
+// levels toward a consistent output.
+type AutoVolume struct {
+	// TargetRatio is the desired output-RMS : ambient-RMS ratio. 0 means
+	// the default of 3 (~10 dB over the noise floor).
+	TargetRatio float64
+	// Step is the per-update multiplicative adjustment. 0 means 0.05.
+	Step float64
+	// Min and Max bound the gain. Zeros mean [0.1, 4].
+	Min, Max float64
+	// FloorRMS is the quiet-room output level the controller steers
+	// toward when there is effectively no ambient noise. 0 means 3000
+	// (about -21 dBFS).
+	FloorRMS float64
+}
+
+func (a *AutoVolume) defaults() (ratio, step, min, max, floor float64) {
+	ratio, step, min, max, floor = a.TargetRatio, a.Step, a.Min, a.Max, a.FloorRMS
+	if ratio <= 0 {
+		ratio = 3
+	}
+	if step <= 0 {
+		step = 0.05
+	}
+	if min <= 0 {
+		min = 0.1
+	}
+	if max <= 0 {
+		max = 4
+	}
+	if floor <= 0 {
+		floor = 3000
+	}
+	return
+}
+
+// Update returns the adjusted volume given the current volume, the RMS
+// of the audio just played (after gain), and the ambient noise RMS from
+// the microphone model. One call per processed batch gives a smooth
+// controller.
+func (a *AutoVolume) Update(vol, outputRMS, ambientRMS float64) float64 {
+	ratio, step, min, max, floor := a.defaults()
+	if outputRMS <= 0 {
+		return vol // silence carries no level information
+	}
+	target := ambientRMS * ratio
+	if target < floor {
+		target = floor
+	}
+	switch {
+	case outputRMS < target*0.9:
+		vol *= 1 + step
+	case outputRMS > target*1.1:
+		vol *= 1 - step
+	}
+	if vol < min {
+		vol = min
+	}
+	if vol > max {
+		vol = max
+	}
+	return vol
+}

@@ -1,0 +1,33 @@
+// Package speaker implements the Ethernet Speaker (§2.4): a receive-only
+// device that joins a channel's multicast group, waits for a control
+// packet, decodes the stream, and plays it against the producer's wall
+// clock with an epsilon of leeway (§3.2). It also carries the paper's
+// future-work features: software volume with an ambient-noise automatic
+// controller (§5.2) and a management surface (internal/mgmt).
+package speaker
+
+import "time"
+
+// CPUModel charges simulated time for decode work, standing in for the
+// paper's slow Geode-based platform (§3.4). The zero value is an
+// infinitely fast CPU.
+type CPUModel struct {
+	// PerByte is charged per decoded output byte.
+	PerByte time.Duration
+	// PerPacket is a fixed cost per processed batch.
+	PerPacket time.Duration
+}
+
+// Cost returns the simulated time to decode rawBytes of output.
+func (m CPUModel) Cost(rawBytes int) time.Duration {
+	return m.PerPacket + time.Duration(rawBytes)*m.PerByte
+}
+
+// CPUFast is a modern workstation: decode cost is negligible.
+var CPUFast = CPUModel{}
+
+// CPUGeode approximates the Neoware EON 4000's 233 MHz Geode: decoding
+// CD-quality audio costs ~35% of real time (2 µs per output byte ×
+// 176400 B/s ≈ 0.35 s of CPU per second of audio), plus per-packet
+// overhead.
+var CPUGeode = CPUModel{PerByte: 2 * time.Microsecond, PerPacket: 300 * time.Microsecond}

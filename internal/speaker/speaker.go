@@ -1,0 +1,530 @@
+package speaker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/audiodev"
+	"repro/internal/codec"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// Defaults.
+const (
+	// DefaultEpsilon is the §3.2 synchronization leeway: scheduling error
+	// within ±epsilon is left alone; beyond it the speaker sleeps or
+	// discards.
+	DefaultEpsilon = 10 * time.Millisecond
+	// DefaultControlTimeout bounds how long Run waits for any packet
+	// before re-checking liveness.
+	DefaultControlTimeout = 5 * time.Second
+)
+
+// Config parameterizes a speaker.
+type Config struct {
+	Name  string   // diagnostics label
+	Local lan.Addr // unicast bind address
+	Group lan.Addr // initial channel group (may be empty; Tune later)
+
+	// Epsilon overrides DefaultEpsilon (§3.2).
+	Epsilon time.Duration
+	// NoSync disables timestamp-based scheduling entirely: packets play
+	// as they arrive. The §3.2 ablation.
+	NoSync bool
+	// RecvBuffer accumulates this many encoded bytes before the decode
+	// stage runs — the pipeline-granularity knob of §3.4. 0 processes
+	// every packet immediately.
+	RecvBuffer int
+	// BlockSize overrides the audio device's block size (§3.4).
+	BlockSize int
+	// CPU is the decode cost model (§3.4).
+	CPU CPUModel
+	// DACSpeed skews the simulated DAC clock (§3.2); 0 means 1.0.
+	DACSpeed float64
+	// Volume is the initial software gain (0 means 1.0).
+	Volume float64
+	// AutoVolume enables the ambient-noise controller (§5.2).
+	AutoVolume *AutoVolume
+	// ControlTimeout overrides DefaultControlTimeout.
+	ControlTimeout time.Duration
+	// Verify, when set, authenticates every incoming packet before any
+	// parsing (§5.1); packets failing verification are dropped.
+	Verify func(pkt []byte) ([]byte, bool)
+}
+
+// Stats is the speaker's cumulative accounting.
+type Stats struct {
+	ControlPackets   int64
+	DataPackets      int64
+	DroppedNoConfig  int64 // data before the first control packet (§2.3)
+	DroppedEpoch     int64 // stale epoch after reconfiguration
+	DroppedLate      int64 // batches discarded by the sync logic (§3.2)
+	DroppedMalformed int64
+	DroppedAuth      int64 // failed packet verification (§5.1)
+	BytesPlayed      int64 // decoded bytes written to the audio device
+	SleepsToSync     int64 // fresh-start alignment sleeps
+	GapFills         int64 // silence insertions covering lost content
+	Tunes            int64 // channel switches
+}
+
+// Speaker is one Ethernet Speaker instance.
+type Speaker struct {
+	clock vclock.Clock
+	cfg   Config
+	conn  lan.Conn
+	hw    *audiodev.SimHardware
+	dev   *audiodev.Device
+
+	mu      sync.Mutex
+	stats   Stats
+	group   lan.Addr
+	haveCtl bool
+	ctl     proto.Control
+	dec     codec.Decoder
+	// wall-clock mapping from the last control packet (§3.2): producer
+	// nanosecond baseProducer corresponds to local instant baseLocal.
+	baseLocal    time.Time
+	baseProducer int64
+	// accumulation stage (§3.4)
+	pend       []byte
+	pendPlayAt int64
+	// tail is the local time when the last admitted byte finishes
+	// playing. Continuity-based scheduling survives blocking writes and
+	// ring-size quantization where an instantaneous queue-depth estimate
+	// does not.
+	tail time.Time
+	// software volume
+	volume  float64
+	ambient float64 // ambient noise RMS heard by the mic model (§5.2)
+	stopped bool
+	onPlay  func(audiodev.PlayedBlock)
+}
+
+// New creates a speaker bound to cfg.Local, joined to cfg.Group if set.
+func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = DefaultEpsilon
+	}
+	if cfg.ControlTimeout <= 0 {
+		cfg.ControlTimeout = DefaultControlTimeout
+	}
+	if cfg.Volume == 0 {
+		cfg.Volume = 1.0
+	}
+	conn, err := network.Attach(cfg.Local)
+	if err != nil {
+		return nil, fmt.Errorf("speaker %s: %w", cfg.Name, err)
+	}
+	s := &Speaker{clock: clock, cfg: cfg, conn: conn, volume: cfg.Volume}
+	s.hw = audiodev.NewSimHardware(clock, s.played)
+	if cfg.DACSpeed > 0 {
+		s.hw.SetSpeed(cfg.DACSpeed)
+	}
+	s.dev = audiodev.NewDevice(clock, s.hw)
+	if cfg.Group != "" {
+		if err := conn.Join(cfg.Group); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		s.group = cfg.Group
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the speaker accounting.
+func (s *Speaker) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Device exposes the underlying audio device (for its driver stats).
+func (s *Speaker) Device() *audiodev.Device { return s.dev }
+
+// OnPlay registers a callback invoked for every hardware block as it
+// plays — the measurement tap for the synchronization experiments.
+func (s *Speaker) OnPlay(fn func(audiodev.PlayedBlock)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPlay = fn
+}
+
+// played is the SimHardware sink.
+func (s *Speaker) played(b audiodev.PlayedBlock) {
+	s.mu.Lock()
+	fn := s.onPlay
+	s.mu.Unlock()
+	if fn != nil {
+		fn(b)
+	}
+}
+
+// SetVolume sets the software gain (clamped to [0, 4]).
+func (s *Speaker) SetVolume(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 4 {
+		v = 4
+	}
+	s.mu.Lock()
+	s.volume = v
+	s.mu.Unlock()
+}
+
+// Volume returns the current software gain.
+func (s *Speaker) Volume() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.volume
+}
+
+// SetAmbient sets the ambient noise RMS (in sample units) the microphone
+// model hears (§5.2).
+func (s *Speaker) SetAmbient(rms float64) {
+	s.mu.Lock()
+	s.ambient = rms
+	s.mu.Unlock()
+}
+
+// Group returns the currently tuned channel group.
+func (s *Speaker) Group() lan.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.group
+}
+
+// Tune switches to a different channel group: leave, join, and wait for
+// the new channel's control packet ("like a radio", §2.3).
+func (s *Speaker) Tune(group lan.Addr) error {
+	s.mu.Lock()
+	old := s.group
+	s.mu.Unlock()
+	if old == group {
+		return nil
+	}
+	if old != "" {
+		if err := s.conn.Leave(old); err != nil {
+			return err
+		}
+	}
+	if err := s.conn.Join(group); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.group = group
+	s.haveCtl = false
+	s.dec = nil
+	s.pend = nil
+	s.tail = time.Time{}
+	s.stats.Tunes++
+	s.mu.Unlock()
+	s.dev.Flush()
+	return nil
+}
+
+// Stop shuts the speaker down; Run returns.
+func (s *Speaker) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// Run receives and plays until Stop. Spawn it via clock.Go.
+func (s *Speaker) Run() {
+	defer func() {
+		if s.dev.Playing() || s.dev.Buffered() > 0 {
+			s.dev.Drain()
+		}
+		s.dev.Close()
+	}()
+	for {
+		pkt, err := s.conn.Recv(s.cfg.ControlTimeout)
+		if err == lan.ErrTimeout {
+			s.mu.Lock()
+			stopped := s.stopped
+			s.mu.Unlock()
+			if stopped {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		s.handlePacket(pkt)
+	}
+}
+
+// handlePacket verifies, classifies and dispatches one datagram.
+func (s *Speaker) handlePacket(pkt lan.Packet) {
+	data := pkt.Data
+	if s.cfg.Verify != nil {
+		inner, ok := s.cfg.Verify(data)
+		if !ok {
+			s.mu.Lock()
+			s.stats.DroppedAuth++
+			s.mu.Unlock()
+			return
+		}
+		data = inner
+	}
+	t, _, err := proto.PeekType(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.mu.Unlock()
+		return
+	}
+	switch t {
+	case proto.TypeControl:
+		s.handleControl(data, pkt.Recv)
+	case proto.TypeData:
+		s.handleData(data)
+	default:
+		// Announce packets are the tuner UI's business, not playback's.
+	}
+}
+
+// handleControl ingests a control packet: (re)configure on a new epoch
+// and refresh the wall-clock mapping (§3.2). recvAt is the packet's
+// delivery time — using it (rather than processing time) keeps the
+// anchor exact even when the speaker was blocked in a device write when
+// the packet landed.
+func (s *Speaker) handleControl(data []byte, recvAt time.Time) {
+	ctl, err := proto.UnmarshalControl(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.mu.Unlock()
+		return
+	}
+	now := recvAt
+	if now.IsZero() {
+		now = s.clock.Now()
+	}
+	s.mu.Lock()
+	reconfig := !s.haveCtl || ctl.Epoch != s.ctl.Epoch || ctl.Channel != s.ctl.Channel
+	s.stats.ControlPackets++
+	s.ctl = *ctl
+	s.haveCtl = true
+	// Zero-transmission-delay assumption (§3.2): the producer's clock
+	// read ctl.Producer at the instant we received this packet.
+	s.baseLocal = now
+	s.baseProducer = ctl.Producer
+	s.mu.Unlock()
+
+	if !reconfig {
+		return
+	}
+	dec, err := codec.NewDecoder(ctl.Codec, ctl.Params)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.haveCtl = false
+		s.mu.Unlock()
+		return
+	}
+	// Reconfigure the audio path for the new stream.
+	s.dev.Close()
+	if err := s.dev.Open(ctl.Params); err != nil {
+		s.mu.Lock()
+		s.haveCtl = false
+		s.mu.Unlock()
+		return
+	}
+	if s.cfg.BlockSize > 0 {
+		s.dev.SetBlockSize(s.cfg.BlockSize)
+	}
+	s.mu.Lock()
+	s.dec = dec
+	s.pend = nil
+	s.tail = time.Time{}
+	s.mu.Unlock()
+}
+
+// handleData buffers payload and runs the pipeline stage when enough has
+// accumulated (§3.4).
+func (s *Speaker) handleData(data []byte) {
+	d, err := proto.UnmarshalData(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if !s.haveCtl || s.dec == nil {
+		// The radio model: no playing before a control packet (§2.3).
+		s.stats.DroppedNoConfig++
+		s.mu.Unlock()
+		return
+	}
+	if d.Epoch != s.ctl.Epoch || d.Channel != s.ctl.Channel {
+		s.stats.DroppedEpoch++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.DataPackets++
+	if len(s.pend) == 0 {
+		s.pendPlayAt = d.PlayAt
+	}
+	s.pend = append(s.pend, d.Payload...)
+	ready := len(s.pend) >= s.cfg.RecvBuffer
+	s.mu.Unlock()
+	if ready {
+		s.processPending()
+	}
+}
+
+// processPending decodes the accumulated payload, applies the §3.2
+// schedule (sleep if early, discard if late), applies volume, and writes
+// to the audio device.
+func (s *Speaker) processPending() {
+	s.mu.Lock()
+	pend := s.pend
+	playAt := s.pendPlayAt
+	s.pend = nil
+	dec := s.dec
+	params := s.ctl.Params
+	baseLocal, baseProducer := s.baseLocal, s.baseProducer
+	s.mu.Unlock()
+	if len(pend) == 0 || dec == nil {
+		return
+	}
+
+	raw, err := dec.Decode(pend)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.mu.Unlock()
+		dec.Reset()
+		return
+	}
+	// Charge the decode to the simulated CPU (§3.4). This happens before
+	// the schedule check, exactly like on the real slow box: by the time
+	// a big batch is decoded its deadline may already be gone.
+	if cost := s.cfg.CPU.Cost(len(raw)); cost > 0 {
+		s.clock.Sleep(cost)
+	}
+
+	var lead []byte // silence prepended for alignment or gap filling
+	if !s.cfg.NoSync {
+		now := s.clock.Now()
+		target := baseLocal.Add(time.Duration(playAt - baseProducer))
+		fresh := !s.dev.Playing() && s.dev.Buffered() == 0
+
+		// Where would this batch start playing? While the stream runs
+		// continuously, exactly when the previously admitted content
+		// ends (s.tail) — an estimate that survives blocking writes and
+		// ring quantization. On a fresh start, nothing is queued.
+		s.mu.Lock()
+		startPlay := s.tail
+		s.mu.Unlock()
+		if fresh || startPlay.IsZero() || startPlay.Before(now) {
+			startPlay = now.Add(params.Duration(s.dev.QueuedBytes()))
+			fresh = fresh || s.dev.QueuedBytes() == 0
+		}
+		diff := startPlay.Sub(target)
+		// One hardware block of hysteresis on top of epsilon: the DAC
+		// quantizes everything by a block anyway.
+		lateBound := s.cfg.Epsilon + params.Duration(s.dev.BlockSize())
+		if diff > lateBound {
+			// Too late to be worth playing: discard up to the wall
+			// clock (§3.2).
+			s.mu.Lock()
+			s.stats.DroppedLate++
+			s.mu.Unlock()
+			dec.Reset()
+			return
+		}
+		switch {
+		case fresh:
+			// Fresh start: the DAC only triggers once a full hardware
+			// block is buffered, which would skew this speaker's phase
+			// by up to a block relative to others. Pad the front with
+			// silence so the trigger fires on this write and the first
+			// real sample plays exactly at its target (§3.2), sleeping
+			// until that moment.
+			if need := s.dev.BlockSize() - len(raw); need > 0 {
+				lead = make([]byte, need)
+				audio.FillSilence(params.Encoding, lead)
+			}
+			writeAt := target.Add(-params.Duration(len(lead)))
+			if d := writeAt.Sub(now); d > 0 {
+				s.mu.Lock()
+				s.stats.SleepsToSync++
+				s.mu.Unlock()
+				s.clock.Sleep(d)
+			}
+			startPlay = target
+		case diff < -s.cfg.Epsilon:
+			// The batch would play early: content between tail and
+			// target is missing (packet loss, a producer pause). Fill
+			// the hole with silence so everything after it stays on
+			// schedule, bounding pathological gaps.
+			gap := -diff
+			if gap > 2*time.Second {
+				gap = 2 * time.Second
+			}
+			if n := params.BytesFor(gap); n > 0 {
+				lead = make([]byte, n)
+				audio.FillSilence(params.Encoding, lead)
+				s.mu.Lock()
+				s.stats.GapFills++
+				s.mu.Unlock()
+			}
+			startPlay = startPlay.Add(params.Duration(len(lead)))
+		}
+		s.mu.Lock()
+		s.tail = startPlay.Add(params.Duration(len(raw)))
+		s.mu.Unlock()
+	}
+
+	raw = s.applyVolume(params, raw)
+	if len(lead) > 0 {
+		s.dev.Write(lead)
+	}
+	if _, err := s.dev.Write(raw); err == nil {
+		s.mu.Lock()
+		s.stats.BytesPlayed += int64(len(raw))
+		s.mu.Unlock()
+	}
+}
+
+// applyVolume scales the decoded audio by the software gain and runs the
+// auto-volume controller (§5.2).
+func (s *Speaker) applyVolume(params audio.Params, raw []byte) []byte {
+	s.mu.Lock()
+	vol := s.volume
+	ambient := s.ambient
+	av := s.cfg.AutoVolume
+	s.mu.Unlock()
+
+	if av == nil && vol == 1.0 {
+		return raw
+	}
+	samples := audio.Decode(params, raw)
+	if vol != 1.0 {
+		for i, v := range samples {
+			samples[i] = audio.Saturate(int32(float64(v) * vol))
+		}
+	}
+	if av != nil {
+		// Microphone model: the mic hears our own output plus ambient
+		// noise; the controller steers toward the target loudness ratio.
+		out := audio.RMS(samples)
+		newVol := av.Update(vol, out, ambient)
+		if newVol != vol {
+			s.mu.Lock()
+			s.volume = newVol
+			s.mu.Unlock()
+		}
+	}
+	return audio.Encode(params, samples)
+}

@@ -1,0 +1,235 @@
+package speaker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+func TestCPUModelCost(t *testing.T) {
+	if got := CPUFast.Cost(1 << 20); got != 0 {
+		t.Fatalf("fast CPU cost = %v", got)
+	}
+	m := CPUModel{PerByte: time.Microsecond, PerPacket: time.Millisecond}
+	if got := m.Cost(1000); got != time.Millisecond+1000*time.Microsecond {
+		t.Fatalf("cost = %v", got)
+	}
+	// Geode decodes CD audio at roughly a third of real time.
+	perSec := CPUGeode.Cost(audio.CDQuality.BytesPerSecond())
+	if perSec < 200*time.Millisecond || perSec > 600*time.Millisecond {
+		t.Fatalf("geode cost per second of CD audio = %v, want ~0.35s", perSec)
+	}
+}
+
+func TestAutoVolumeRaisesInNoise(t *testing.T) {
+	av := &AutoVolume{}
+	vol := 1.0
+	// Loud room (ambient 8000), quiet output: volume must climb.
+	for i := 0; i < 50; i++ {
+		vol = av.Update(vol, 5000*vol, 8000)
+	}
+	if vol <= 1.0 {
+		t.Fatalf("volume did not rise in noise: %v", vol)
+	}
+	// Quiet room, loud output: volume must fall.
+	vol2 := 2.0
+	for i := 0; i < 50; i++ {
+		vol2 = av.Update(vol2, 20000*vol2, 100)
+	}
+	if vol2 >= 2.0 {
+		t.Fatalf("volume did not fall in quiet: %v", vol2)
+	}
+}
+
+func TestAutoVolumeBounds(t *testing.T) {
+	av := &AutoVolume{Min: 0.5, Max: 1.5}
+	vol := 1.0
+	for i := 0; i < 200; i++ {
+		vol = av.Update(vol, 1, 30000) // starved output, loud room
+	}
+	if vol > 1.5 {
+		t.Fatalf("volume exceeded max: %v", vol)
+	}
+	vol = 1.0
+	for i := 0; i < 200; i++ {
+		vol = av.Update(vol, 32000, 0) // blasting output, silent room
+	}
+	if vol < 0.5 {
+		t.Fatalf("volume under min: %v", vol)
+	}
+}
+
+func TestAutoVolumeSilenceIsNoop(t *testing.T) {
+	av := &AutoVolume{}
+	if got := av.Update(1.3, 0, 5000); got != 1.3 {
+		t.Fatalf("silence changed volume: %v", got)
+	}
+}
+
+func TestAutoVolumeConvergesToSteadyState(t *testing.T) {
+	// With constant program level and ambient, the controller settles
+	// rather than oscillating unboundedly.
+	av := &AutoVolume{}
+	vol := 1.0
+	program := 4000.0 // source RMS before gain
+	for i := 0; i < 300; i++ {
+		vol = av.Update(vol, program*vol, 2000)
+	}
+	settled := vol
+	for i := 0; i < 50; i++ {
+		vol = av.Update(vol, program*vol, 2000)
+	}
+	drift := vol/settled - 1
+	if drift > 0.15 || drift < -0.15 {
+		t.Fatalf("controller still moving after settling: %v -> %v", settled, vol)
+	}
+	// Output should be near target ratio x ambient = 6000.
+	out := program * vol
+	if out < 4000 || out > 9000 {
+		t.Fatalf("settled output RMS %v, want ~6000", out)
+	}
+}
+
+// newSpeakerEnv builds a speaker on a private segment with a raw conn to
+// inject packets.
+func newSpeakerEnv(t *testing.T, cfg Config) (*vclock.Sim, *Speaker, lan.Conn) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	if cfg.Local == "" {
+		cfg.Local = "10.0.0.2:5004"
+	}
+	if cfg.Group == "" {
+		cfg.Group = "239.72.9.1:5004"
+	}
+	if cfg.Name == "" {
+		cfg.Name = "test"
+	}
+	sp, err := New(sim, seg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := seg.Attach("10.0.0.1:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, sp, src
+}
+
+func TestSpeakerDropsDataBeforeControl(t *testing.T) {
+	sim, sp, src := newSpeakerEnv(t, Config{})
+	sim.Go("speaker", sp.Run)
+	sim.Go("injector", func() {
+		d := &proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: make([]byte, 100)}
+		pkt, _ := d.Marshal()
+		src.Send("239.72.9.1:5004", pkt)
+		sim.Sleep(100 * time.Millisecond)
+		sp.Stop()
+	})
+	sim.WaitIdle()
+	st := sp.Stats()
+	if st.DroppedNoConfig != 1 {
+		t.Fatalf("dropped-no-config = %d, want 1", st.DroppedNoConfig)
+	}
+	if st.BytesPlayed != 0 {
+		t.Fatal("played audio without configuration")
+	}
+}
+
+func TestSpeakerDropsStaleEpoch(t *testing.T) {
+	sim, sp, src := newSpeakerEnv(t, Config{})
+	sim.Go("speaker", sp.Run)
+	sim.Go("injector", func() {
+		c := &proto.Control{Channel: 1, Epoch: 5, Seq: 1, Params: audio.Voice,
+			Codec: "raw", Interval: 1000}
+		pkt, _ := c.Marshal()
+		src.Send("239.72.9.1:5004", pkt)
+		sim.Sleep(10 * time.Millisecond)
+		d := &proto.Data{Channel: 1, Epoch: 4, Seq: 1, Payload: make([]byte, 100)}
+		dp, _ := d.Marshal()
+		src.Send("239.72.9.1:5004", dp)
+		sim.Sleep(100 * time.Millisecond)
+		sp.Stop()
+	})
+	sim.WaitIdle()
+	if got := sp.Stats().DroppedEpoch; got != 1 {
+		t.Fatalf("dropped-epoch = %d, want 1", got)
+	}
+}
+
+func TestSpeakerDropsMalformed(t *testing.T) {
+	sim, sp, src := newSpeakerEnv(t, Config{})
+	sim.Go("speaker", sp.Run)
+	sim.Go("injector", func() {
+		src.Send("239.72.9.1:5004", []byte{1, 2, 3})
+		src.Send("239.72.9.1:5004", make([]byte, 64))
+		sim.Sleep(100 * time.Millisecond)
+		sp.Stop()
+	})
+	sim.WaitIdle()
+	if got := sp.Stats().DroppedMalformed; got != 2 {
+		t.Fatalf("dropped-malformed = %d, want 2", got)
+	}
+}
+
+func TestSpeakerVolumeClamping(t *testing.T) {
+	sim, sp, _ := newSpeakerEnv(t, Config{})
+	_ = sim
+	sp.SetVolume(-3)
+	if sp.Volume() != 0 {
+		t.Fatalf("volume = %v", sp.Volume())
+	}
+	sp.SetVolume(99)
+	if sp.Volume() != 4 {
+		t.Fatalf("volume = %v", sp.Volume())
+	}
+	sp.Stop()
+}
+
+func TestSpeakerTuneToSameGroupIsNoop(t *testing.T) {
+	_, sp, _ := newSpeakerEnv(t, Config{})
+	if err := sp.Tune("239.72.9.1:5004"); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats().Tunes != 0 {
+		t.Fatal("same-group tune counted")
+	}
+	sp.Stop()
+}
+
+func TestSpeakerPlaysAfterControl(t *testing.T) {
+	sim, sp, src := newSpeakerEnv(t, Config{})
+	sim.Go("speaker", sp.Run)
+	p := audio.Voice
+	sim.Go("injector", func() {
+		c := &proto.Control{Channel: 1, Epoch: 1, Seq: 1, Params: p,
+			Codec: "raw", Interval: 1000}
+		cp, _ := c.Marshal()
+		src.Send("239.72.9.1:5004", cp)
+		sim.Sleep(time.Millisecond)
+		payload := make([]byte, 800) // 100ms of voice
+		audio.FillSilence(p.Encoding, payload)
+		for i := 0; i < 10; i++ {
+			d := &proto.Data{Channel: 1, Epoch: 1, Seq: uint64(i + 1),
+				PlayAt:  int64(50*time.Millisecond) + int64(i)*int64(100*time.Millisecond),
+				Payload: payload}
+			dp, _ := d.Marshal()
+			src.Send("239.72.9.1:5004", dp)
+			sim.Sleep(100 * time.Millisecond)
+		}
+		sim.Sleep(2 * time.Second)
+		sp.Stop()
+	})
+	sim.WaitIdle()
+	st := sp.Stats()
+	if st.BytesPlayed != 8000 {
+		t.Fatalf("played %d bytes, want 8000 (stats %+v)", st.BytesPlayed, st)
+	}
+	if st.DroppedLate != 0 {
+		t.Fatalf("late drops on a clean paced stream: %+v", st)
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the light measurement plumbing the experiment
+// harness uses: sampled time series (the CPU-vs-time and context-switch
+// figures are series), summary statistics, and plain-text table/series
+// rendering for cmd/eslab output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration // offset from series start
+	V float64
+}
+
+// Series is an ordered sequence of samples.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Mean returns the arithmetic mean of the sample values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the largest sample value (0 if empty).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the smallest sample value (0 if empty).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation (0 if < 2 samples).
+func (s *Series) Stddev() float64 {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var acc float64
+	for _, p := range s.Points {
+		d := p.V - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s.Points)))
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	N                int
+	Mean, Min, Max   float64
+	P50, P95, Stddev float64
+}
+
+// Summarize computes order statistics over values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var acc float64
+	for _, v := range sorted {
+		acc += (v - mean) * (v - mean)
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N: len(sorted), Mean: mean,
+		Min: sorted[0], Max: sorted[len(sorted)-1],
+		P50: q(0.50), P95: q(0.95),
+		Stddev: math.Sqrt(acc / float64(len(sorted))),
+	}
+}
+
+// Table renders aligned plain-text tables for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (formatted with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderSeries writes one or more aligned series as columns of
+// (t, v1, v2, ...) rows, merging on sample index.
+func RenderSeries(w io.Writer, title string, series ...*Series) {
+	tab := Table{Title: title, Headers: []string{"t"}}
+	maxLen := 0
+	for _, s := range series {
+		tab.Headers = append(tab.Headers, s.Name)
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]interface{}, 0, len(series)+1)
+		var ts time.Duration
+		for _, s := range series {
+			if i < len(s.Points) {
+				ts = s.Points[i].T
+				break
+			}
+		}
+		row = append(row, ts)
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, s.Points[i].V)
+			} else {
+				row = append(row, "")
+			}
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(w)
+}

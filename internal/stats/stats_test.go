@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesStats(t *testing.T) {
+	s := &Series{Name: "x"}
+	for i, v := range []float64{2, 4, 6} {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	if s.Mean() != 4 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := &Series{}
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{5, 1, 3, 2, 4})
+	if sum.N != 5 || sum.Min != 1 || sum.Max != 5 || sum.Mean != 3 || sum.P50 != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	// Input must not be mutated (sorted copy).
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", time.Millisecond)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "alpha", "1.50", "1ms", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every row has the same prefix width up to col 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Add(0, 1)
+	a.Add(time.Second, 2)
+	b.Add(0, 10)
+	var sb strings.Builder
+	RenderSeries(&sb, "title", a, b)
+	out := sb.String()
+	for _, want := range []string{"title", "a", "b", "1.00", "10.00", "2.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

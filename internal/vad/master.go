@@ -1,0 +1,113 @@
+package vad
+
+import (
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Master is the control side of the device pair (/dev/vadm): a user
+// process reads the audio and configuration events that the application
+// wrote to the slave. Reads block until an event arrives; a bounded
+// queue exerts backpressure on the slave when the reader falls behind.
+type Master struct {
+	clock vclock.Clock
+
+	mu       sync.Mutex
+	notEmpty vclock.Cond
+	notFull  vclock.Cond
+	queue    []Block
+	max      int
+	closed   bool
+	attached bool // a reader has the master open
+	dropped  int64
+}
+
+func newMaster(clock vclock.Clock, queueBlocks int) *Master {
+	m := &Master{clock: clock, max: queueBlocks, attached: true}
+	m.notEmpty = clock.NewCond()
+	m.notFull = clock.NewCond()
+	return m
+}
+
+// push enqueues an event from the slave side. While a reader is attached
+// it blocks when the queue is full (backpressure); with no reader, data
+// is discarded like sound into an unplugged amplifier.
+func (m *Master) push(b Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return
+		}
+		if !m.attached {
+			m.dropped++
+			return
+		}
+		if len(m.queue) < m.max {
+			m.queue = append(m.queue, b)
+			m.notEmpty.Broadcast()
+			return
+		}
+		m.notFull.Wait(&m.mu)
+	}
+}
+
+// close marks the pair shut down and wakes all waiters.
+func (m *Master) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.notEmpty.Broadcast()
+	m.notFull.Broadcast()
+}
+
+// ReadBlock returns the next event, blocking until one is available. ok
+// is false once the device is closed and the queue drained.
+func (m *Master) ReadBlock() (Block, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if len(m.queue) > 0 {
+			b := m.queue[0]
+			m.queue = m.queue[1:]
+			m.notFull.Broadcast()
+			return b, true
+		}
+		if m.closed {
+			return Block{}, false
+		}
+		m.notEmpty.Wait(&m.mu)
+	}
+}
+
+// Detach marks the master as having no reader: subsequent slave output
+// is discarded instead of exerting backpressure.
+func (m *Master) Detach() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attached = false
+	m.queue = nil
+	m.notFull.Broadcast()
+}
+
+// Attach (re)connects a reader.
+func (m *Master) Attach() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.attached = true
+}
+
+// Dropped reports how many blocks were discarded while detached.
+func (m *Master) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Pending returns the current queue depth.
+func (m *Master) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

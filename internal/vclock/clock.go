@@ -1,0 +1,179 @@
+// Package vclock provides the time substrate for the Ethernet Speaker
+// system: an abstract Clock interface with two implementations, a thin
+// wrapper over the real system clock and a deterministic simulated clock
+// (Sim) with a cooperative task scheduler.
+//
+// Every blocking operation in the system — rate-limiter sleeps, audio
+// device waits, network receives — goes through a Clock, so whole-system
+// tests run in simulated time: they are fast, reproducible, and expose
+// scheduler-level quantities such as the context-switch rate that the
+// paper's Figure 5 reports via vmstat.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for all components of the system.
+//
+// Tasks that may block must be spawned with Go so that a simulated clock
+// can track them; blocking waits on shared state must use a Cond obtained
+// from NewCond for the same reason.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the calling task for d. Non-positive d returns
+	// immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the then-current time once d
+	// has elapsed. The caller must only receive from the channel from a
+	// task spawned via Go (on a simulated clock the receive is tracked as
+	// a blocking point).
+	After(d time.Duration) <-chan time.Time
+	// Go runs fn as a tracked task. On the real clock this is a plain
+	// goroutine; on a simulated clock the task participates in the
+	// cooperative scheduler. name is used in diagnostics.
+	Go(name string, fn func())
+	// AfterFunc runs fn as a tracked task once d has elapsed. Unlike
+	// Go-then-Sleep, the timer is armed synchronously in the caller:
+	// same-deadline AfterFunc callbacks run in call order, which the
+	// network simulation relies on for FIFO delivery.
+	AfterFunc(d time.Duration, name string, fn func())
+	// NewCond returns a condition variable bound to this clock.
+	NewCond() Cond
+	// Since is shorthand for Now().Sub(t).
+	Since(t time.Time) time.Duration
+}
+
+// Cond is a clock-aware condition variable. Unlike sync.Cond it supports
+// timed waits, and on a simulated clock it informs the scheduler that the
+// waiting task is blocked.
+//
+// The locker passed to Wait/WaitTimeout must be held by the caller; it is
+// released while waiting and re-acquired before returning. Signal and
+// Broadcast should be called with the locker held to avoid missed
+// wakeups, matching sync.Cond usage.
+type Cond interface {
+	// Wait blocks until Signal or Broadcast wakes this waiter.
+	Wait(l sync.Locker)
+	// WaitTimeout blocks until woken or until d elapses. It reports true
+	// if the waiter was woken by Signal/Broadcast and false on timeout.
+	WaitTimeout(l sync.Locker, d time.Duration) bool
+	// Signal wakes one waiter, if any.
+	Signal()
+	// Broadcast wakes all current waiters.
+	Broadcast()
+}
+
+// Real is a Clock backed by the system clock. The zero value is ready to
+// use.
+type Real struct{}
+
+// System is the shared real-time clock.
+var System Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Go implements Clock.
+func (Real) Go(name string, fn func()) { go fn() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, name string, fn func()) {
+	if d <= 0 {
+		go fn()
+		return
+	}
+	time.AfterFunc(d, fn)
+}
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewCond implements Clock.
+func (Real) NewCond() Cond { return &realCond{} }
+
+// realCond implements Cond over channels so that timed waits compose with
+// the real clock.
+type realCond struct {
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+func (c *realCond) enqueue() chan struct{} {
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// remove drops ch from the waiter list if it is still queued. It reports
+// whether the channel had already been signaled.
+func (c *realCond) remove(ch chan struct{}) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.waiters {
+		if w == ch {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return false
+		}
+	}
+	// Not found: a Signal/Broadcast already claimed it.
+	return true
+}
+
+func (c *realCond) Wait(l sync.Locker) {
+	ch := c.enqueue()
+	l.Unlock()
+	<-ch
+	l.Lock()
+}
+
+func (c *realCond) WaitTimeout(l sync.Locker, d time.Duration) bool {
+	ch := c.enqueue()
+	l.Unlock()
+	defer l.Lock()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		if c.remove(ch) {
+			// Signal raced with the timeout and won; honour it.
+			<-ch
+			return true
+		}
+		return false
+	}
+}
+
+func (c *realCond) Signal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return
+	}
+	ch := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	ch <- struct{}{}
+}
+
+func (c *realCond) Broadcast() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.waiters {
+		ch <- struct{}{}
+	}
+	c.waiters = nil
+}
