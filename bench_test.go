@@ -9,6 +9,7 @@
 package espeaker
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/rebroadcast"
+	"repro/internal/relay"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -238,6 +240,68 @@ func BenchmarkSegmentMulticast(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		src.Send(group, payload)
 	}
+}
+
+// BenchmarkRelayFanout measures the relay bridge: one multicast channel
+// fanned out to 100 unicast subscribers on the simulated segment, per
+// simulated second of audio. The custom metrics are the fan-out
+// delivery and backpressure-drop counts — the baseline future PRs
+// measure against.
+func BenchmarkRelayFanout(b *testing.B) {
+	const subscribers = 100
+	var sent, dropped int64
+	for i := 0; i < b.N; i++ {
+		sys := NewSimSystem(lan.SegmentConfig{})
+		ch, err := sys.AddChannel(rebroadcast.Config{
+			ID: 1, Name: "bench", Group: "239.72.1.1:5004", Codec: "raw",
+		}, vad.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := sys.AddRelay(relay.Config{Group: "239.72.1.1:5004", Channel: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Raw draining subscribers: the benchmark isolates the relay's
+		// fan-out path, not 100 full speaker pipelines.
+		conns := make([]lan.Conn, 0, subscribers)
+		for s := 0; s < subscribers; s++ {
+			conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.0.9.%d:5004", s+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Send(r.Addr(), sub); err != nil {
+				b.Fatal(err)
+			}
+			conns = append(conns, conn)
+			sys.Clock.Go("drain", func() {
+				for {
+					if _, err := conn.Recv(0); err != nil {
+						return
+					}
+				}
+			})
+		}
+		p := audio.Voice
+		sys.Clock.Go("player", func() {
+			ch.Play(p, audio.NewTone(p.SampleRate, 1, 440, 0.5), time.Second)
+			sys.Clock.Sleep(2 * time.Second)
+			sys.Shutdown()
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+		sys.Sim.WaitIdle()
+		st := r.Stats()
+		sent += st.FanoutSent
+		dropped += st.FanoutDropped
+	}
+	b.ReportMetric(float64(sent)/float64(b.N), "pkts-fanned-out")
+	b.ReportMetric(float64(dropped)/float64(b.N), "pkts-dropped")
 }
 
 // BenchmarkEndToEndPipeline measures a full simulated second of system

@@ -104,6 +104,13 @@ func main() {
 			}
 			experiments.E10Loss(w, rates)
 		}},
+		{"relay", "E11: multicast-to-unicast relay fan-out and sync", func(q bool) {
+			counts := []int{1, 4, 8, 16}
+			if q {
+				counts = []int{1, 4}
+			}
+			experiments.E11Relay(w, counts)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

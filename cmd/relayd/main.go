@@ -1,0 +1,74 @@
+// Command relayd bridges a multicast channel to off-LAN listeners: it
+// joins the channel's group as an ordinary receiver and fans the
+// control + data stream out to unicast subscribers holding TURN-style
+// leases. Speakers beyond the multicast segment (or on
+// multicast-hostile networks) point their tuner at this daemon's
+// address instead of the group and play unchanged.
+//
+// Example — relay the default channel group, serving subscribers on
+// port 5006:
+//
+//	relayd -group 239.72.1.1:5004 -listen 0.0.0.0:5006
+//
+// A speaker on another network then tunes to <relay-host>:5006, e.g.
+//
+//	esd -group 192.0.2.10:5006
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/relay"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		group   = flag.String("group", "239.72.1.1:5004", "multicast group to relay")
+		listen  = flag.String("listen", "0.0.0.0:5006", "unicast address subscribers lease from")
+		channel = flag.Uint("channel", 0, "restrict to one channel id (0 = any)")
+		shards  = flag.Int("shards", relay.DefaultShards, "subscriber table shards")
+		queue   = flag.Int("queue", relay.DefaultQueueLen, "per-subscriber queue length (packets)")
+		maxSubs = flag.Int("max-subscribers", relay.DefaultMaxSubscribers, "subscriber table capacity")
+		maxLs   = flag.Duration("max-lease", relay.DefaultMaxLease, "longest grantable lease")
+		report  = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
+	)
+	flag.Parse()
+	log.SetPrefix("relayd: ")
+	log.SetFlags(0)
+
+	clock := vclock.System
+	net := &lan.UDPNetwork{}
+	conn, err := net.Attach(lan.Addr(*listen))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	r, err := relay.New(clock, conn, relay.Config{
+		Group:          lan.Addr(*group),
+		Channel:        uint32(*channel),
+		Shards:         *shards,
+		QueueLen:       *queue,
+		MaxSubscribers: *maxSubs,
+		MaxLease:       *maxLs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("relaying %s, subscribers lease at %s", *group, r.Addr())
+
+	if *report > 0 {
+		clock.Go("report", func() {
+			for {
+				clock.Sleep(*report)
+				r.Table().Render(os.Stdout)
+			}
+		})
+	}
+	r.Run()
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lan"
 	"repro/internal/rebroadcast"
+	"repro/internal/relay"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -59,6 +60,11 @@ type (
 	SpeakerConfig = speaker.Config
 	// Speaker is one Ethernet Speaker.
 	Speaker = speaker.Speaker
+	// RelayConfig parameterizes a multicast-to-unicast relay.
+	RelayConfig = relay.Config
+	// Relay bridges a multicast channel to leased unicast subscribers,
+	// the tune-in path for speakers beyond the multicast segment.
+	Relay = relay.Relay
 	// SegmentConfig parameterizes the simulated Ethernet segment.
 	SegmentConfig = lan.SegmentConfig
 	// Params is an audio stream configuration.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/rebroadcast"
+	"repro/internal/relay"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -37,6 +38,7 @@ type System struct {
 	mu       sync.Mutex
 	channels map[uint32]*Channel
 	speakers []*speaker.Speaker
+	relays   []*relay.Relay
 	catalog  *rebroadcast.Catalog
 	hostSeq  int
 }
@@ -181,6 +183,34 @@ func (s *System) Speakers() []*speaker.Speaker {
 	return append([]*speaker.Speaker(nil), s.speakers...)
 }
 
+// AddRelay creates and starts a relay bridging cfg.Group to unicast
+// subscribers. Speakers beyond the multicast segment tune to the
+// returned relay's Addr() instead of the group.
+func (s *System) AddRelay(cfg relay.Config) (*relay.Relay, error) {
+	a := s.nextHostAddr()
+	conn, err := s.Net.Attach(lan.Addr(fmt.Sprintf("%s:%d", a.Host(), 5006)))
+	if err != nil {
+		return nil, err
+	}
+	r, err := relay.New(s.Clock, conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.relays = append(s.relays, r)
+	s.mu.Unlock()
+	s.Clock.Go("relay-"+string(r.Addr()), r.Run)
+	return r, nil
+}
+
+// Relays returns all relays added so far.
+func (s *System) Relays() []*relay.Relay {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*relay.Relay(nil), s.relays...)
+}
+
 // Play runs an "off-the-shelf audio application" against the channel's
 // VAD slave: it opens the device with the given parameters and writes
 // the source for the given duration of audio, then drains and closes.
@@ -223,6 +253,7 @@ func (ch *Channel) Play(p audio.Params, src audio.Source, dur time.Duration) err
 func (s *System) Shutdown() {
 	s.mu.Lock()
 	speakers := append([]*speaker.Speaker(nil), s.speakers...)
+	relays := append([]*relay.Relay(nil), s.relays...)
 	channels := make([]*Channel, 0, len(s.channels))
 	for _, ch := range s.channels {
 		channels = append(channels, ch)
@@ -231,6 +262,9 @@ func (s *System) Shutdown() {
 	s.mu.Unlock()
 	for _, sp := range speakers {
 		sp.Stop()
+	}
+	for _, r := range relays {
+		r.Stop()
 	}
 	for _, ch := range channels {
 		ch.Reb.Stop()

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/relay"
+	"repro/internal/speaker"
+	"repro/internal/stats"
+	"repro/internal/vad"
+)
+
+// E11Row is one relay fan-out configuration's outcome.
+type E11Row struct {
+	Subscribers int
+	MaxSkewMs   float64 // worst |skew| of any relayed speaker vs. direct
+	FanoutSent  int64
+	FanoutDrops int64
+	Expired     int64
+}
+
+// E11Result is the outcome of the relay fan-out experiment.
+type E11Result struct{ Rows []E11Row }
+
+// E11Relay measures the unicast relay bridge: n speakers subscribe to a
+// relay instead of joining the multicast group, and must hold the §3.2
+// epsilon band against a directly joined speaker while the relay's
+// fan-out counters stay clean. This is the paper's protocol leaving the
+// single-segment LAN (§2.3) without giving up its producer
+// statelessness: all subscriber state is leased soft state in the relay.
+func E11Relay(w io.Writer, counts []int) E11Result {
+	if len(counts) == 0 {
+		counts = []int{1, 4, 8}
+	}
+	section(w, "E11 (relay)", "multicast-to-unicast relay fan-out and sync")
+	var res E11Result
+	for _, n := range counts {
+		res.Rows = append(res.Rows, e11Run(n))
+	}
+	tab := stats.Table{Headers: []string{"subscribers", "max |skew|", "fanout sent", "fanout drops", "expired"}}
+	for _, r := range res.Rows {
+		tab.AddRow(r.Subscribers, fmt.Sprintf("%.2f ms", r.MaxSkewMs),
+			r.FanoutSent, r.FanoutDrops, r.Expired)
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "  relayed speakers must stay inside the same epsilon band as a direct join\n")
+	return res
+}
+
+func e11Run(n int) E11Row {
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond})
+	ch, err := sys.AddChannel(rebroadcast.Config{
+		ID: 1, Name: "e11", Group: groupA, Codec: "raw",
+	}, vad.Config{})
+	if err != nil {
+		return E11Row{Subscribers: n}
+	}
+	r, err := sys.AddRelay(relay.Config{Group: groupA, Channel: 1})
+	if err != nil {
+		return E11Row{Subscribers: n}
+	}
+	meter := core.NewSkewMeter()
+	direct, err := sys.AddSpeaker(speaker.Config{Name: "direct", Group: groupA})
+	if err != nil {
+		return E11Row{Subscribers: n}
+	}
+	_ = direct
+	meter.Attach("direct", direct)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("relayed-%d", i)
+		sp, err := sys.AddSpeaker(speaker.Config{Name: names[i], Group: r.Addr()})
+		if err != nil {
+			return E11Row{Subscribers: n}
+		}
+		meter.Attach(names[i], sp)
+	}
+
+	p := mono16
+	const clip = 6 * time.Second
+	start := sys.Clock.Now()
+	sys.Clock.Go("player", func() {
+		ch.Play(p, &core.PositionSource{Channels: 1}, clip)
+		sys.Clock.Sleep(clip)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	times := core.SampleTimes(start.Add(2*time.Second), start.Add(clip-time.Second), 30)
+	var worst float64
+	for _, name := range names {
+		for _, ms := range meter.Skew("direct", name, times) {
+			if ms < 0 {
+				ms = -ms
+			}
+			if ms > worst {
+				worst = ms
+			}
+		}
+	}
+	st := r.Stats()
+	return E11Row{
+		Subscribers: n,
+		MaxSkewMs:   worst,
+		FanoutSent:  st.FanoutSent,
+		FanoutDrops: st.FanoutDropped,
+		Expired:     st.Expired,
+	}
+}

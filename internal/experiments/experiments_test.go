@@ -257,3 +257,28 @@ func TestE10Shape(t *testing.T) {
 		t.Fatalf("loss produced no extra glitches: %d vs %d", lossy.Glitches, clean.Glitches)
 	}
 }
+
+func TestE11Shape(t *testing.T) {
+	res := E11Relay(io.Discard, []int{1, 4})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.FanoutSent == 0 {
+			t.Fatalf("%d subscribers: relay forwarded nothing: %+v", r.Subscribers, r)
+		}
+		if r.MaxSkewMs == 0 {
+			t.Fatalf("%d subscribers: no skew samples: %+v", r.Subscribers, r)
+		}
+		if r.MaxSkewMs > 15 {
+			t.Fatalf("%d subscribers: relayed speaker outside epsilon band: %+v", r.Subscribers, r)
+		}
+		if r.Expired != 0 {
+			t.Fatalf("%d subscribers: live subscribers expired: %+v", r.Subscribers, r)
+		}
+	}
+	// Fan-out grows with the subscriber count.
+	if res.Rows[1].FanoutSent <= res.Rows[0].FanoutSent {
+		t.Fatalf("fanout did not scale: %+v", res.Rows)
+	}
+}

@@ -1,0 +1,65 @@
+package lan
+
+import "testing"
+
+func TestAddrHostPort(t *testing.T) {
+	cases := []struct {
+		in   Addr
+		host string
+		port int
+	}{
+		{"10.0.0.7:5004", "10.0.0.7", 5004},
+		{"239.72.1.1:5004", "239.72.1.1", 5004},
+		{"10.0.0.7", "10.0.0.7", 0},
+		{"[ff02::1]:5004", "ff02::1", 5004},
+		{"[2001:db8::7]:80", "2001:db8::7", 80},
+		{"[ff02::1]", "ff02::1", 0},
+		{"ff02::1", "ff02::1", 0},
+		{"2001:db8::7", "2001:db8::7", 0},
+		{"10.0.0.7:notaport", "10.0.0.7", 0},
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if got := c.in.Host(); got != c.host {
+			t.Errorf("Addr(%q).Host() = %q, want %q", c.in, got, c.host)
+		}
+		if got := c.in.Port(); got != c.port {
+			t.Errorf("Addr(%q).Port() = %d, want %d", c.in, got, c.port)
+		}
+	}
+}
+
+func TestAddrIsMulticast(t *testing.T) {
+	cases := []struct {
+		in   Addr
+		want bool
+	}{
+		{"239.72.1.1:5004", true},
+		{"224.0.0.1:5004", true},
+		{"10.0.0.7:5004", false},
+		{"223.255.255.255:1", false},
+		{"[ff02::1]:5004", true},
+		{"[ff0e::42]:5004", true},
+		{"[2001:db8::7]:5004", false},
+		{"ff02::1", true},
+		{"notanip:5004", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := c.in.IsMulticast(); got != c.want {
+			t.Errorf("Addr(%q).IsMulticast() = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrValidateIPv6(t *testing.T) {
+	if err := Addr("[ff02::1]:5004").Validate(); err != nil {
+		t.Errorf("bracketed IPv6 group rejected: %v", err)
+	}
+	if err := Addr("[2001:db8::7]:5004").Validate(); err != nil {
+		t.Errorf("bracketed IPv6 host rejected: %v", err)
+	}
+	if err := Addr("[ff02::1]").Validate(); err == nil {
+		t.Error("missing port accepted")
+	}
+}

@@ -17,13 +17,26 @@ import (
 	"time"
 )
 
-// Addr is a "host:port" or "group:port" endpoint, e.g. "10.0.0.7:5004"
-// or "239.72.1.1:5004".
+// Addr is a "host:port" or "group:port" endpoint, e.g. "10.0.0.7:5004",
+// "239.72.1.1:5004", or the bracketed IPv6 form "[ff02::1]:5004".
 type Addr string
 
-// Host returns the address part before the port.
+// Host returns the address part before the port. IPv6 literals are
+// returned without brackets.
 func (a Addr) Host() string {
 	s := string(a)
+	if h, _, err := net.SplitHostPort(s); err == nil {
+		return h
+	}
+	// No (parseable) port. A bracketed literal keeps its inner host; a
+	// bare IPv6 literal (more than one colon) is all host; otherwise the
+	// legacy behavior: strip a trailing ":port" fragment if present.
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		return s[1 : len(s)-1]
+	}
+	if strings.Count(s, ":") > 1 {
+		return s
+	}
 	if i := strings.LastIndexByte(s, ':'); i >= 0 {
 		return s[:i]
 	}
@@ -32,20 +45,19 @@ func (a Addr) Host() string {
 
 // Port returns the numeric port, or 0 if absent/invalid.
 func (a Addr) Port() int {
-	s := string(a)
-	i := strings.LastIndexByte(s, ':')
-	if i < 0 {
+	_, ps, err := net.SplitHostPort(string(a))
+	if err != nil {
 		return 0
 	}
-	p, err := strconv.Atoi(s[i+1:])
+	p, err := strconv.Atoi(ps)
 	if err != nil {
 		return 0
 	}
 	return p
 }
 
-// IsMulticast reports whether the host part is an IPv4 multicast group
-// (224.0.0.0/4).
+// IsMulticast reports whether the host part is an IPv4 (224.0.0.0/4) or
+// IPv6 (ff00::/8) multicast group.
 func (a Addr) IsMulticast() bool {
 	ip := net.ParseIP(a.Host())
 	return ip != nil && ip.IsMulticast()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lan"
 	"repro/internal/rebroadcast"
+	"repro/internal/relay"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -340,8 +341,12 @@ func TestSpeakerMIBValidation(t *testing.T) {
 	if err := mib.Set("es.audio.volume", "99"); err == nil {
 		t.Fatal("volume 99 accepted")
 	}
-	if err := mib.Set("es.tuner.channel", "10.0.0.2:5004"); err == nil {
-		t.Fatal("unicast tune accepted")
+	if err := mib.Set("es.tuner.channel", "notanip:5004"); err == nil {
+		t.Fatal("garbage tune accepted")
+	}
+	// A unicast address is a relay subscription target and is accepted.
+	if err := mib.Set("es.tuner.channel", "10.0.0.2:5004"); err != nil {
+		t.Fatalf("relay tune rejected: %v", err)
 	}
 	if err := mib.Set("es.override.begin", "garbage"); err == nil {
 		t.Fatal("garbage override accepted")
@@ -354,4 +359,37 @@ func TestSpeakerMIBValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp.Stop()
+}
+
+func TestRelayMIB(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := relay.New(sim, conn, relay.Config{Group: "239.72.1.1:5004", Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mib := RelayMIB("bridge", r)
+	if v, err := mib.Get("es.relay.group"); err != nil || v != "239.72.1.1:5004" {
+		t.Fatalf("group = (%q, %v)", v, err)
+	}
+	if v, err := mib.Get("es.relay.subscribers"); err != nil || v != "0" {
+		t.Fatalf("subscribers = (%q, %v)", v, err)
+	}
+	if v, err := mib.Get("es.relay.addr"); err != nil || v != "10.0.0.1:5006" {
+		t.Fatalf("addr = (%q, %v)", v, err)
+	}
+	// Every es.relay.* variable is readable.
+	for _, p := range mib.Walk("es.relay") {
+		if p.Name == "" {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+	if len(mib.Walk("es.relay")) < 10 {
+		t.Fatalf("walk returned %d vars", len(mib.Walk("es.relay")))
+	}
+	r.Stop()
 }

@@ -1,0 +1,55 @@
+package mgmt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relay"
+)
+
+// RelayMIB wires the relay management surface (§5.3 applied to the
+// bridge): identity, the live subscriber table, and the fan-out
+// counters an operator watches to spot slow or dead unicast paths.
+func RelayMIB(name string, r *relay.Relay) *MIB {
+	m := NewMIB()
+	m.Register(StringVar("es.info.name", "relay name",
+		func() string { return name }, nil))
+	m.Register(StringVar("es.relay.group", "multicast group being relayed",
+		func() string { return string(r.Group()) }, nil))
+	m.Register(StringVar("es.relay.addr", "unicast address subscribers lease from",
+		func() string { return string(r.Addr()) }, nil))
+	m.Register(IntVar("es.relay.subscribers", "current leased subscribers",
+		func() int64 { return int64(r.NumSubscribers()) }, nil))
+	m.Register(StringVar("es.relay.table", "subscriber list: addr sent/dropped/queued",
+		func() string {
+			var parts []string
+			for _, s := range r.Subscribers() {
+				parts = append(parts, fmt.Sprintf("%s %d/%d/%d",
+					s.Addr, s.Sent, s.Dropped, s.Queued))
+			}
+			return strings.Join(parts, ", ")
+		}, nil))
+
+	stat := func(name, help string, get func(relay.Stats) int64) {
+		m.Register(IntVar(name, help, func() int64 { return get(r.Stats()) }, nil))
+	}
+	stat("es.relay.upstream.control", "control packets taken off the group",
+		func(s relay.Stats) int64 { return s.UpstreamControl })
+	stat("es.relay.upstream.data", "data packets taken off the group",
+		func(s relay.Stats) int64 { return s.UpstreamData })
+	stat("es.relay.subscribes", "new subscriptions granted",
+		func(s relay.Stats) int64 { return s.Subscribes })
+	stat("es.relay.refreshes", "lease refreshes",
+		func(s relay.Stats) int64 { return s.Refreshes })
+	stat("es.relay.expired", "leases expired for silence",
+		func(s relay.Stats) int64 { return s.Expired })
+	stat("es.relay.rejected", "refused subscribe requests",
+		func(s relay.Stats) int64 { return s.Rejected })
+	stat("es.relay.fanout.sent", "unicast packets delivered",
+		func(s relay.Stats) int64 { return s.FanoutSent })
+	stat("es.relay.fanout.dropped", "packets dropped by queue backpressure",
+		func(s relay.Stats) int64 { return s.FanoutDropped })
+	stat("es.relay.senderrors", "unicast send failures",
+		func(s relay.Stats) int64 { return s.SendErrors })
+	return m
+}

@@ -39,12 +39,12 @@ func SpeakerMIB(name string, sp *speaker.Speaker) *MIB {
 			sp.SetAmbient(v)
 			return nil
 		}))
-	m.Register(StringVar("es.tuner.channel", "multicast group of the tuned channel",
+	m.Register(StringVar("es.tuner.channel", "channel source: multicast group, or a relay's unicast address",
 		func() string { return string(sp.Group()) },
 		func(v string) error {
 			g := lan.Addr(v)
-			if !g.IsMulticast() {
-				return fmt.Errorf("%q is not a multicast group", v)
+			if err := g.Validate(); err != nil {
+				return fmt.Errorf("%q is not a multicast group or relay address", v)
 			}
 			return sp.Tune(g)
 		}))
@@ -106,6 +106,7 @@ func SpeakerMIB(name string, sp *speaker.Speaker) *MIB {
 	stat("es.stats.droppedNoConfig", "data before first control", func(s speaker.Stats) int64 { return s.DroppedNoConfig })
 	stat("es.stats.droppedAuth", "packets failing authentication", func(s speaker.Stats) int64 { return s.DroppedAuth })
 	stat("es.stats.tunes", "channel switches", func(s speaker.Stats) int64 { return s.Tunes })
+	stat("es.stats.relayRefused", "relay lease refusals", func(s speaker.Stats) int64 { return s.RelayRefusals })
 	m.Register(IntVar("es.dev.underruns", "audio device underruns",
 		func() int64 { return sp.Device().GetStats().Underruns }, nil))
 	m.Register(IntVar("es.dev.silence", "silence blocks inserted",

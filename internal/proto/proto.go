@@ -44,6 +44,13 @@ const (
 	TypeControl  PacketType = 1
 	TypeData     PacketType = 2
 	TypeAnnounce PacketType = 3
+	// TypeSubscribe asks a relay for a unicast copy of a channel's
+	// control + data stream under a TURN-style lease (§2.3 keeps the
+	// producer itself listener-stateless; the relay is where off-LAN
+	// subscriber state lives).
+	TypeSubscribe PacketType = 4
+	// TypeSubAck is the relay's reply: the granted lease, or a refusal.
+	TypeSubAck PacketType = 5
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +62,10 @@ func (t PacketType) String() string {
 		return "data"
 	case TypeAnnounce:
 		return "announce"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeSubAck:
+		return "suback"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -155,7 +166,9 @@ func PeekType(data []byte) (PacketType, uint32, error) {
 		return 0, 0, ErrBadVersion
 	}
 	t := PacketType(data[3])
-	if t != TypeControl && t != TypeData && t != TypeAnnounce {
+	switch t {
+	case TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck:
+	default:
 		return 0, 0, fmt.Errorf("%w: unknown type %d", ErrBadPacket, data[3])
 	}
 	return t, binary.BigEndian.Uint32(data[4:8]), nil
@@ -381,4 +394,114 @@ func UnmarshalAnnounce(data []byte) (*Announce, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
 	}
 	return a, nil
+}
+
+// SubStatus is the relay's verdict on a subscription request.
+type SubStatus uint8
+
+// Subscription outcomes.
+const (
+	SubOK        SubStatus = 0 // lease granted or refreshed
+	SubNoChannel SubStatus = 1 // relay does not carry the channel
+	SubTableFull SubStatus = 2 // subscriber table at capacity
+)
+
+// String implements fmt.Stringer.
+func (s SubStatus) String() string {
+	switch s {
+	case SubOK:
+		return "ok"
+	case SubNoChannel:
+		return "no-channel"
+	case SubTableFull:
+		return "table-full"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Subscribe asks a relay for a unicast copy of a channel's stream. A
+// subscriber refreshes its lease by re-sending before expiry; LeaseMs
+// zero cancels the subscription. The subscriber's unicast address is the
+// datagram's source address — nothing on the wire names it, exactly like
+// a TURN allocation refresh.
+type Subscribe struct {
+	Channel uint32 // channel identifier
+	Seq     uint32 // request sequence, echoed in the SubAck
+	LeaseMs uint32 // requested lease in milliseconds; 0 unsubscribes
+}
+
+// SubAck is the relay's reply to a Subscribe.
+type SubAck struct {
+	Channel uint32    // channel identifier (echo)
+	Seq     uint32    // request sequence (echo)
+	LeaseMs uint32    // granted lease in milliseconds; 0 on refusal/cancel
+	Status  SubStatus // verdict
+}
+
+// Marshal encodes the subscribe packet.
+func (s *Subscribe) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen+8)
+	putHeader(buf, TypeSubscribe, s.Channel)
+	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
+	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
+	return buf, nil
+}
+
+// UnmarshalSubscribe parses a subscribe packet.
+func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
+	t, ch, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeSubscribe {
+		return nil, fmt.Errorf("%w: expected subscribe, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 8 {
+		return nil, ErrShort
+	}
+	if len(body) != 8 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body)-8)
+	}
+	return &Subscribe{
+		Channel: ch,
+		Seq:     binary.BigEndian.Uint32(body[0:4]),
+		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
+	}, nil
+}
+
+// Marshal encodes the suback packet.
+func (s *SubAck) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen+10)
+	putHeader(buf, TypeSubAck, s.Channel)
+	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
+	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
+	buf[headerLen+8] = byte(s.Status)
+	// buf[headerLen+9] reserved
+	return buf, nil
+}
+
+// UnmarshalSubAck parses a suback packet.
+func UnmarshalSubAck(data []byte) (*SubAck, error) {
+	t, ch, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypeSubAck {
+		return nil, fmt.Errorf("%w: expected suback, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 10 {
+		return nil, ErrShort
+	}
+	if len(body) != 10 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body)-10)
+	}
+	return &SubAck{
+		Channel: ch,
+		Seq:     binary.BigEndian.Uint32(body[0:4]),
+		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
+		Status:  SubStatus(body[8]),
+	}, nil
 }

@@ -112,6 +112,64 @@ func TestPeekType(t *testing.T) {
 	}
 }
 
+func TestSubscribeRoundTrip(t *testing.T) {
+	s := &Subscribe{Channel: 7, Seq: 99, LeaseMs: 30000}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscribe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", s, got)
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	// LeaseMs zero is the cancel form and must survive the wire.
+	s := &Subscribe{Channel: 3, Seq: 1, LeaseMs: 0}
+	data, _ := s.Marshal()
+	got, err := UnmarshalSubscribe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LeaseMs != 0 {
+		t.Fatalf("lease = %d, want 0", got.LeaseMs)
+	}
+}
+
+func TestSubAckRoundTrip(t *testing.T) {
+	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull} {
+		a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: status}
+		data, err := a.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalSubAck(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, got) {
+			t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+		}
+	}
+}
+
+func TestSubscribeTrailingBytesRejected(t *testing.T) {
+	s := &Subscribe{Channel: 1, Seq: 1, LeaseMs: 1000}
+	data, _ := s.Marshal()
+	if _, err := UnmarshalSubscribe(append(data, 0)); err == nil {
+		t.Fatal("subscribe with trailing bytes accepted")
+	}
+	a := &SubAck{Channel: 1, Seq: 1, LeaseMs: 1000}
+	adata, _ := a.Marshal()
+	if _, err := UnmarshalSubAck(append(adata, 0)); err == nil {
+		t.Fatal("suback with trailing bytes accepted")
+	}
+}
+
 func TestPeekRejectsBadHeader(t *testing.T) {
 	cases := [][]byte{
 		nil,
@@ -141,6 +199,20 @@ func TestCrossTypeParseRejected(t *testing.T) {
 	if _, err := UnmarshalAnnounce(ddata); err == nil {
 		t.Fatal("announce parser accepted data packet")
 	}
+	if _, err := UnmarshalSubscribe(ddata); err == nil {
+		t.Fatal("subscribe parser accepted data packet")
+	}
+	if _, err := UnmarshalSubAck(ddata); err == nil {
+		t.Fatal("suback parser accepted data packet")
+	}
+	s := &Subscribe{Channel: 5, Seq: 1, LeaseMs: 1000}
+	sdata, _ := s.Marshal()
+	if _, err := UnmarshalData(sdata); err == nil {
+		t.Fatal("data parser accepted subscribe packet")
+	}
+	if _, err := UnmarshalSubAck(sdata); err == nil {
+		t.Fatal("suback parser accepted subscribe packet")
+	}
 }
 
 func TestControlRejectsBadParams(t *testing.T) {
@@ -153,19 +225,78 @@ func TestControlRejectsBadParams(t *testing.T) {
 	}
 }
 
-func TestTruncationsNeverPanic(t *testing.T) {
+// parsers is the full parser set; every entry must uphold the package
+// promise that a malformed packet is an error, never a panic.
+var parsers = []struct {
+	name  string
+	parse func([]byte) error
+}{
+	{"control", func(b []byte) error { _, err := UnmarshalControl(b); return err }},
+	{"data", func(b []byte) error { _, err := UnmarshalData(b); return err }},
+	{"announce", func(b []byte) error { _, err := UnmarshalAnnounce(b); return err }},
+	{"subscribe", func(b []byte) error { _, err := UnmarshalSubscribe(b); return err }},
+	{"suback", func(b []byte) error { _, err := UnmarshalSubAck(b); return err }},
+	{"peek", func(b []byte) error { _, _, err := PeekType(b); return err }},
+}
+
+// validPackets marshals one well-formed packet of every kind.
+func validPackets(t *testing.T) map[string][]byte {
+	t.Helper()
 	c := &Control{Channel: 1, Params: audio.CDQuality, Codec: "ovl", Quality: 10}
-	cdata, _ := c.Marshal()
+	cdata, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	d := &Data{Channel: 1, Payload: make([]byte, 100)}
-	ddata, _ := d.Marshal()
+	ddata, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := &Announce{Channels: []ChannelInfo{{ID: 1, Name: "x", Group: "g", Codec: "raw", Params: audio.Voice}}}
-	adata, _ := a.Marshal()
-	for _, full := range [][]byte{cdata, ddata, adata} {
+	adata, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000}
+	sdata, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := &SubAck{Channel: 1, Seq: 7, LeaseMs: 15000, Status: SubOK}
+	kdata, err := k.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"control": cdata, "data": ddata, "announce": adata,
+		"subscribe": sdata, "suback": kdata,
+	}
+}
+
+// TestTruncationsNeverPanic is the fuzz-style truncation table: every
+// prefix of every valid packet kind, fed to every parser, must return
+// cleanly — an error for any strict prefix, success only for the
+// matching parser on the full packet.
+func TestTruncationsNeverPanic(t *testing.T) {
+	for kind, full := range validPackets(t) {
 		for i := 0; i <= len(full); i++ {
 			trunc := full[:i]
-			UnmarshalControl(trunc)
-			UnmarshalData(trunc)
-			UnmarshalAnnounce(trunc)
+			for _, p := range parsers {
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%s parser panicked on %s[:%d]: %v", p.name, kind, i, r)
+						}
+					}()
+					return p.parse(trunc)
+				}()
+				if i < len(full) && err == nil && p.name != "peek" {
+					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)
+				}
+				if i == len(full) && p.name == kind && err != nil {
+					t.Errorf("%s parser rejected its own full packet: %v", p.name, err)
+				}
+			}
 		}
 	}
 }
@@ -176,9 +307,9 @@ func TestRandomBytesNeverPanic(t *testing.T) {
 		n := rng.Intn(200)
 		data := make([]byte, n)
 		rng.Read(data)
-		UnmarshalControl(data)
-		UnmarshalData(data)
-		UnmarshalAnnounce(data)
+		for _, p := range parsers {
+			p.parse(data)
+		}
 	}
 	// And random bytes behind a valid header.
 	hdr := []byte{0x45, 0x53, 1, 1, 0, 0, 0, 1}
@@ -186,11 +317,11 @@ func TestRandomBytesNeverPanic(t *testing.T) {
 		n := rng.Intn(120)
 		data := append(append([]byte(nil), hdr...), make([]byte, n)...)
 		rng.Read(data[8:])
-		for _, typ := range []byte{1, 2, 3} {
+		for _, typ := range []byte{1, 2, 3, 4, 5} {
 			data[3] = typ
-			UnmarshalControl(data)
-			UnmarshalData(data)
-			UnmarshalAnnounce(data)
+			for _, p := range parsers {
+				p.parse(data)
+			}
 		}
 	}
 }
@@ -253,9 +384,14 @@ func TestAuthSchemeStrings(t *testing.T) {
 			t.Fatal("empty scheme name")
 		}
 	}
-	for _, p := range []PacketType{TypeControl, TypeData, TypeAnnounce, PacketType(9)} {
+	for _, p := range []PacketType{TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck, PacketType(9)} {
 		if p.String() == "" {
 			t.Fatal("empty type name")
+		}
+	}
+	for _, s := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubStatus(9)} {
+		if s.String() == "" {
+			t.Fatal("empty status name")
 		}
 	}
 }

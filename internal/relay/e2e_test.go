@@ -1,0 +1,215 @@
+package relay_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/audiodev"
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/rebroadcast"
+	"repro/internal/relay"
+	"repro/internal/speaker"
+	"repro/internal/vad"
+)
+
+// capture collects the raw bytes a speaker's DAC played (inserted
+// silence excluded).
+type capture struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (c *capture) attach(sp *speaker.Speaker) {
+	sp.OnPlay(func(b audiodev.PlayedBlock) {
+		if b.Silence {
+			return
+		}
+		c.mu.Lock()
+		c.data = append(c.data, b.Data...)
+		c.mu.Unlock()
+	})
+}
+
+// trimSilence strips leading and trailing zero bytes (SLinear16
+// silence and alignment padding).
+func trimSilence(b []byte) []byte {
+	i := 0
+	for i < len(b) && b[i] == 0 {
+		i++
+	}
+	j := len(b)
+	for j > i && b[j-1] == 0 {
+		j--
+	}
+	return b[i:j]
+}
+
+// TestRelayedSpeakerMatchesDirect is the acceptance test for the relay
+// subsystem: a speaker subscribed through the relay over unicast must
+// decode byte-identical audio, on the same schedule, as a speaker
+// joined directly to the multicast group.
+func TestRelayedSpeakerMatchesDirect(t *testing.T) {
+	const group = lan.Addr("239.72.1.1:5004")
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond})
+	ch, err := sys.AddChannel(rebroadcast.Config{
+		ID: 1, Name: "bridged", Group: group, Codec: "raw",
+	}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AddRelay(relay.Config{Group: group, Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := core.NewSkewMeter()
+	var direct, relayed capture
+	spDirect, err := sys.AddSpeaker(speaker.Config{Name: "direct", Group: group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.attach(spDirect)
+	meter.Attach("direct", spDirect)
+	spRelayed, err := sys.AddSpeaker(speaker.Config{
+		Name: "relayed", Group: r.Addr(), RelayLease: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayed.attach(spRelayed)
+	meter.Attach("relayed", spRelayed)
+
+	p := audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+	start := sys.Clock.Now()
+	sys.Clock.Go("player", func() {
+		ch.Play(p, &core.PositionSource{Channels: 1}, 4*time.Second)
+		sys.Clock.Sleep(6 * time.Second)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	// The relayed speaker actually used the subscription path.
+	rst := spRelayed.Stats()
+	if rst.RelaySubscribes == 0 || rst.RelaySubAcks == 0 {
+		t.Fatalf("relayed speaker never leased: %+v", rst)
+	}
+	if rst.ControlPackets == 0 || rst.DataPackets == 0 {
+		t.Fatalf("relayed speaker got no stream: %+v", rst)
+	}
+	relst := r.Stats()
+	if relst.Subscribes != 1 {
+		t.Fatalf("relay subscribes = %d, want 1", relst.Subscribes)
+	}
+	if relst.FanoutSent == 0 || relst.UpstreamData == 0 {
+		t.Fatalf("relay forwarded nothing: %+v", relst)
+	}
+
+	// Byte-identical audio: modulo leading alignment silence and the
+	// final partial block, both speakers played the same byte stream.
+	d := trimSilence(direct.data)
+	rl := trimSilence(relayed.data)
+	n := len(d)
+	if len(rl) < n {
+		n = len(rl)
+	}
+	// At least 3 of the 4 seconds must overlap.
+	if min := 3 * p.BytesPerSecond(); n < min {
+		t.Fatalf("overlap too short: direct %d, relayed %d, want >= %d bytes",
+			len(d), len(rl), min)
+	}
+	if !bytes.Equal(d[:n], rl[:n]) {
+		for i := 0; i < n; i++ {
+			if d[i] != rl[i] {
+				t.Fatalf("streams diverge at byte %d of %d", i, n)
+			}
+		}
+	}
+
+	// Same sync behavior: the relayed speaker holds the §3.2 epsilon
+	// band against the direct one.
+	times := core.SampleTimes(start.Add(2*time.Second), start.Add(4*time.Second), 50)
+	skews := meter.Skew("direct", "relayed", times)
+	if len(skews) < 10 {
+		t.Fatalf("only %d skew samples", len(skews))
+	}
+	for _, ms := range skews {
+		if ms < -15 || ms > 15 {
+			t.Fatalf("relayed speaker skew %v ms beyond epsilon band; samples %v", ms, skews)
+		}
+	}
+}
+
+// TestRelayLeaseExpiryDropsSilentSpeaker is the second acceptance
+// criterion: a subscriber that stops refreshing is expired and its
+// queue freed, while a live subscriber is unaffected.
+func TestRelayLeaseExpiryDropsSilentSpeaker(t *testing.T) {
+	const group = lan.Addr("239.72.1.1:5004")
+	sys := core.NewSim(lan.SegmentConfig{})
+	ch, err := sys.AddChannel(rebroadcast.Config{
+		ID: 1, Name: "bridged", Group: group, Codec: "raw",
+	}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AddRelay(relay.Config{Group: group, Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spA, err := sys.AddSpeaker(speaker.Config{
+		Name: "stays", Group: r.Addr(), RelayLease: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spB, err := sys.AddSpeaker(speaker.Config{
+		Name: "goes-silent", Group: r.Addr(), RelayLease: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = spA
+
+	var midSubs, endSubs int
+	var endStats relay.Stats
+	p := audio.Voice
+	sys.Clock.Go("player", func() {
+		sys.Clock.Go("audio", func() {
+			ch.Play(p, audio.NewTone(p.SampleRate, p.Channels, 440, 0.5), 12*time.Second)
+		})
+		sys.Clock.Sleep(3 * time.Second)
+		midSubs = r.NumSubscribers()
+		// Silence one subscriber: its refresh loop stops, its lease runs
+		// out, the relay reaps it.
+		spB.Stop()
+		sys.Clock.Sleep(6 * time.Second)
+		endSubs = r.NumSubscribers()
+		endStats = r.Stats()
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	if midSubs != 2 {
+		t.Fatalf("subscribers while both live = %d, want 2", midSubs)
+	}
+	if endSubs != 1 {
+		t.Fatalf("subscribers after silence = %d, want 1", endSubs)
+	}
+	if endStats.Expired != 1 {
+		t.Fatalf("expired = %d, want 1 (stats %+v)", endStats.Expired, endStats)
+	}
+	subs := r.Subscribers()
+	if len(subs) != 1 {
+		t.Fatalf("subscriber table: %+v", subs)
+	}
+	// The survivor kept refreshing, so its lease extends past the stop
+	// point, and it kept draining: no unbounded queue growth.
+	if subs[0].Sent == 0 {
+		t.Fatalf("survivor never received: %+v", subs[0])
+	}
+	if subs[0].Queued > relay.DefaultQueueLen {
+		t.Fatalf("survivor queue unbounded: %+v", subs[0])
+	}
+}

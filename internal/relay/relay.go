@@ -1,0 +1,524 @@
+// Package relay bridges a multicast channel to off-LAN listeners: a
+// Relay joins the channel's multicast group as an ordinary receiver —
+// indistinguishable from a speaker, so the producer stays
+// listener-stateless (§2.3) — and fans the control + data packet stream
+// out to dynamically subscribed unicast destinations.
+//
+// Subscriptions are TURN-style leases (cf. RFC 5766 allocations): a
+// subscriber sends a proto.Subscribe naming the lease it wants and must
+// re-send before expiry; the relay acknowledges with a proto.SubAck
+// carrying the granted lease and silently expires subscribers that stop
+// refreshing. All per-listener state therefore lives in the relay, is
+// soft, and is bounded.
+//
+// The fan-out path is sharded: subscribers hash onto shards, each shard
+// has its own worker task and lock, and every subscriber owns a bounded
+// packet queue with drop-oldest backpressure — a slow or dead unicast
+// path cannot stall the multicast receive loop or other subscribers.
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Defaults.
+const (
+	// DefaultShards is the subscriber-table shard count.
+	DefaultShards = 8
+	// DefaultQueueLen bounds each subscriber's packet queue.
+	DefaultQueueLen = 64
+	// DefaultMaxSubscribers caps the whole subscriber table.
+	DefaultMaxSubscribers = 1024
+	// DefaultMaxLease caps any granted lease.
+	DefaultMaxLease = 5 * time.Minute
+	// MinLease is the smallest grantable lease; requests below it are
+	// rounded up so refresh storms cannot be provoked.
+	MinLease = time.Second
+	// DefaultSweepInterval is the lease-expiry scan cadence.
+	DefaultSweepInterval = time.Second
+	// recvTimeout bounds how long Run waits for any packet before
+	// re-checking liveness.
+	recvTimeout = 5 * time.Second
+)
+
+// Config parameterizes a relay.
+type Config struct {
+	// Group is the multicast group to join and relay. Required.
+	Group lan.Addr
+	// Channel restricts the relay to one channel id; 0 relays whatever
+	// the group carries and accepts any requested channel.
+	Channel uint32
+	// Shards overrides DefaultShards.
+	Shards int
+	// QueueLen overrides DefaultQueueLen (packets per subscriber).
+	QueueLen int
+	// MaxSubscribers overrides DefaultMaxSubscribers.
+	MaxSubscribers int
+	// MaxLease overrides DefaultMaxLease.
+	MaxLease time.Duration
+	// SweepInterval overrides DefaultSweepInterval.
+	SweepInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = DefaultQueueLen
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = DefaultMaxSubscribers
+	}
+	if c.MaxLease <= 0 {
+		c.MaxLease = DefaultMaxLease
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = DefaultSweepInterval
+	}
+}
+
+// Stats is the relay's cumulative accounting.
+type Stats struct {
+	UpstreamControl int64 // control packets taken off the group
+	UpstreamData    int64 // data packets taken off the group
+	UpstreamForeign int64 // group packets for a channel we don't carry
+	Malformed       int64 // unparseable packets (any direction)
+	Subscribes      int64 // new subscriptions granted
+	Refreshes       int64 // lease refreshes
+	Unsubscribes    int64 // explicit lease cancellations
+	Expired         int64 // leases that ran out
+	Rejected        int64 // refused subscribe requests
+	FanoutSent      int64 // unicast packets delivered to subscribers
+	FanoutDropped   int64 // packets dropped by queue backpressure
+	SendErrors      int64
+}
+
+// SubscriberInfo is one subscriber's public accounting snapshot.
+type SubscriberInfo struct {
+	Addr    lan.Addr
+	Channel uint32
+	Sent    int64 // unicast packets sent
+	Dropped int64 // packets dropped by this subscriber's queue
+	Queued  int   // packets currently queued
+	Expires time.Time
+}
+
+// subscriber is one leased unicast destination.
+type subscriber struct {
+	addr    lan.Addr
+	channel uint32
+	expires time.Time
+	queue   [][]byte // bounded FIFO; head is oldest
+	sent    int64
+	dropped int64
+}
+
+// shard is one slice of the subscriber table with its own fan-out
+// worker.
+type shard struct {
+	mu      sync.Mutex
+	work    vclock.Cond // signaled when any queue becomes non-empty
+	subs    map[lan.Addr]*subscriber
+	order   []*subscriber // insertion order, for deterministic fan-out
+	stopped bool
+}
+
+// remove drops sub from the shard; caller holds sh.mu.
+func (sh *shard) remove(sub *subscriber) {
+	delete(sh.subs, sub.addr)
+	for i, s := range sh.order {
+		if s == sub {
+			sh.order = append(sh.order[:i], sh.order[i+1:]...)
+			break
+		}
+	}
+	sub.queue = nil
+}
+
+// Relay bridges one multicast group to unicast subscribers.
+type Relay struct {
+	clock  vclock.Clock
+	conn   lan.Conn
+	cfg    Config
+	shards []*shard
+
+	mu      sync.Mutex
+	stats   Stats
+	nsubs   int
+	stopped bool
+}
+
+// New creates a relay that receives cfg.Group via conn and serves
+// subscribe requests arriving on conn's unicast address.
+func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
+	cfg.applyDefaults()
+	if !cfg.Group.IsMulticast() {
+		return nil, fmt.Errorf("relay: group %q is not multicast", cfg.Group)
+	}
+	if err := conn.Join(cfg.Group); err != nil {
+		return nil, fmt.Errorf("relay: joining %q: %w", cfg.Group, err)
+	}
+	r := &Relay{clock: clock, conn: conn, cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{subs: make(map[lan.Addr]*subscriber)}
+		sh.work = clock.NewCond()
+		r.shards = append(r.shards, sh)
+	}
+	return r, nil
+}
+
+// Addr returns the unicast address subscribers talk to.
+func (r *Relay) Addr() lan.Addr { return r.conn.LocalAddr() }
+
+// Group returns the multicast group being relayed.
+func (r *Relay) Group() lan.Addr { return r.cfg.Group }
+
+// Stats returns a snapshot of the accounting.
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// NumSubscribers returns the current subscriber count.
+func (r *Relay) NumSubscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nsubs
+}
+
+// shardFor hashes a subscriber address onto its shard (FNV-1a).
+func (r *Relay) shardFor(addr lan.Addr) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return r.shards[h%uint64(len(r.shards))]
+}
+
+// Subscribers returns every subscriber's snapshot, sorted by address.
+func (r *Relay) Subscribers() []SubscriberInfo {
+	var out []SubscriberInfo
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, sub := range sh.order {
+			out = append(out, SubscriberInfo{
+				Addr:    sub.addr,
+				Channel: sub.channel,
+				Sent:    sub.sent,
+				Dropped: sub.dropped,
+				Queued:  len(sub.queue),
+				Expires: sub.expires,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Table renders the per-subscriber counters as a stats table — the
+// relay's operator surface (cmd/relayd prints it periodically).
+func (r *Relay) Table() *stats.Table {
+	st := r.Stats()
+	t := &stats.Table{
+		Title: fmt.Sprintf("relay %s -> %d subscriber(s); upstream %d ctl + %d data, fanout %d sent / %d dropped",
+			r.cfg.Group, r.NumSubscribers(), st.UpstreamControl, st.UpstreamData,
+			st.FanoutSent, st.FanoutDropped),
+		Headers: []string{"subscriber", "channel", "sent", "dropped", "queued", "lease-left"},
+	}
+	now := r.clock.Now()
+	for _, s := range r.Subscribers() {
+		t.AddRow(string(s.Addr), fmt.Sprint(s.Channel), s.Sent, s.Dropped,
+			s.Queued, s.Expires.Sub(now).Round(time.Millisecond))
+	}
+	return t
+}
+
+// Stop shuts the relay down; Run and the shard workers return.
+func (r *Relay) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		sh.stopped = true
+		sh.work.Broadcast()
+		sh.mu.Unlock()
+	}
+	r.conn.Close()
+}
+
+// isStopped reports whether Stop was called.
+func (r *Relay) isStopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// Run receives and relays until Stop. Spawn it via clock.Go; it spawns
+// the shard workers and the lease sweeper itself.
+func (r *Relay) Run() {
+	for i, sh := range r.shards {
+		sh := sh
+		r.clock.Go(fmt.Sprintf("relay-shard-%d", i), func() { r.shardWorker(sh) })
+	}
+	r.clock.Go("relay-sweep", r.sweep)
+	defer r.Stop() // conn closed externally: unblock the workers too
+	for {
+		pkt, err := r.conn.Recv(recvTimeout)
+		if err == lan.ErrTimeout {
+			if r.isStopped() {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		r.handlePacket(pkt)
+	}
+}
+
+// handlePacket classifies one received datagram.
+func (r *Relay) handlePacket(pkt lan.Packet) {
+	t, ch, err := proto.PeekType(pkt.Data)
+	if err != nil {
+		r.mu.Lock()
+		r.stats.Malformed++
+		r.mu.Unlock()
+		return
+	}
+	switch t {
+	case proto.TypeSubscribe:
+		r.handleSubscribe(pkt)
+	case proto.TypeControl, proto.TypeData:
+		r.mu.Lock()
+		// Only packets that actually arrived off the multicast group are
+		// relayed. Without this check, anyone who can reach the relay's
+		// unicast address could inject one forged data packet and have
+		// it amplified to every subscriber.
+		if pkt.To != r.cfg.Group {
+			r.stats.UpstreamForeign++
+			r.mu.Unlock()
+			return
+		}
+		if r.cfg.Channel != 0 && ch != r.cfg.Channel {
+			r.stats.UpstreamForeign++
+			r.mu.Unlock()
+			return
+		}
+		if t == proto.TypeControl {
+			r.stats.UpstreamControl++
+		} else {
+			r.stats.UpstreamData++
+		}
+		r.mu.Unlock()
+		r.fanout(pkt.Data)
+	default:
+		// Announce and SubAck traffic is not ours to forward.
+	}
+}
+
+// handleSubscribe grants, refreshes, or cancels one lease and replies.
+func (r *Relay) handleSubscribe(pkt lan.Packet) {
+	req, err := proto.UnmarshalSubscribe(pkt.Data)
+	if err != nil {
+		r.mu.Lock()
+		r.stats.Malformed++
+		r.mu.Unlock()
+		return
+	}
+	ack := proto.SubAck{Channel: req.Channel, Seq: req.Seq, Status: proto.SubOK}
+	switch {
+	case r.cfg.Channel != 0 && req.Channel != 0 && req.Channel != r.cfg.Channel:
+		ack.Status = proto.SubNoChannel
+		r.count(func(s *Stats) { s.Rejected++ })
+	case req.LeaseMs == 0:
+		r.unsubscribe(pkt.From)
+	default:
+		lease := time.Duration(req.LeaseMs) * time.Millisecond
+		if lease < MinLease {
+			lease = MinLease
+		}
+		if lease > r.cfg.MaxLease {
+			lease = r.cfg.MaxLease
+		}
+		if r.subscribe(pkt.From, req.Channel, lease) {
+			ack.LeaseMs = uint32(lease / time.Millisecond)
+		} else {
+			ack.Status = proto.SubTableFull
+			r.count(func(s *Stats) { s.Rejected++ })
+		}
+	}
+	data, err := ack.Marshal()
+	if err != nil {
+		return
+	}
+	if err := r.conn.Send(pkt.From, data); err != nil {
+		r.count(func(s *Stats) { s.SendErrors++ })
+	}
+}
+
+// count applies a stats mutation under the relay lock.
+func (r *Relay) count(fn func(*Stats)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}
+
+// subscribe adds or refreshes a lease; it reports false when the table
+// is full.
+func (r *Relay) subscribe(addr lan.Addr, channel uint32, lease time.Duration) bool {
+	expires := r.clock.Now().Add(lease)
+	sh := r.shardFor(addr)
+	sh.mu.Lock()
+	if sub, ok := sh.subs[addr]; ok {
+		sub.expires = expires
+		sub.channel = channel
+		sh.mu.Unlock()
+		r.count(func(s *Stats) { s.Refreshes++ })
+		return true
+	}
+	r.mu.Lock()
+	if r.nsubs >= r.cfg.MaxSubscribers {
+		r.mu.Unlock()
+		sh.mu.Unlock()
+		return false
+	}
+	r.nsubs++
+	r.stats.Subscribes++
+	r.mu.Unlock()
+	sub := &subscriber{addr: addr, channel: channel, expires: expires}
+	sh.subs[addr] = sub
+	sh.order = append(sh.order, sub)
+	sh.mu.Unlock()
+	return true
+}
+
+// unsubscribe cancels a lease if present.
+func (r *Relay) unsubscribe(addr lan.Addr) {
+	sh := r.shardFor(addr)
+	sh.mu.Lock()
+	sub, ok := sh.subs[addr]
+	if ok {
+		sh.remove(sub)
+	}
+	sh.mu.Unlock()
+	if ok {
+		r.mu.Lock()
+		r.stats.Unsubscribes++
+		r.nsubs--
+		r.mu.Unlock()
+	}
+}
+
+// fanout enqueues one upstream packet to every subscriber, applying
+// drop-oldest backpressure per subscriber queue.
+func (r *Relay) fanout(data []byte) {
+	var dropped int64
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, sub := range sh.order {
+			if len(sub.queue) >= r.cfg.QueueLen {
+				// Drop the oldest packet: live audio wants fresh data,
+				// and the sync logic discards stale batches anyway.
+				copy(sub.queue, sub.queue[1:])
+				sub.queue = sub.queue[:len(sub.queue)-1]
+				sub.dropped++
+				dropped++
+			}
+			sub.queue = append(sub.queue, data)
+		}
+		if len(sh.order) > 0 {
+			sh.work.Broadcast()
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		r.count(func(s *Stats) { s.FanoutDropped += dropped })
+	}
+}
+
+// shardWorker drains its shard's subscriber queues: one packet per
+// subscriber per pass (round-robin fairness), sends outside the lock.
+func (r *Relay) shardWorker(sh *shard) {
+	type job struct {
+		sub  *subscriber
+		data []byte
+	}
+	var batch []job
+	for {
+		batch = batch[:0]
+		sh.mu.Lock()
+		for {
+			for _, sub := range sh.order {
+				if len(sub.queue) > 0 {
+					data := sub.queue[0]
+					copy(sub.queue, sub.queue[1:])
+					sub.queue = sub.queue[:len(sub.queue)-1]
+					batch = append(batch, job{sub, data})
+				}
+			}
+			if len(batch) > 0 || sh.stopped {
+				break
+			}
+			sh.work.Wait(&sh.mu)
+		}
+		stopped := sh.stopped
+		sh.mu.Unlock()
+		if len(batch) == 0 && stopped {
+			return
+		}
+		var sent, errs int64
+		for _, j := range batch {
+			if err := r.conn.Send(j.sub.addr, j.data); err != nil {
+				errs++
+				continue
+			}
+			sent++
+			sh.mu.Lock()
+			j.sub.sent++
+			sh.mu.Unlock()
+		}
+		r.count(func(s *Stats) { s.FanoutSent += sent; s.SendErrors += errs })
+	}
+}
+
+// sweep expires silent subscribers and frees their queues.
+func (r *Relay) sweep() {
+	for {
+		r.clock.Sleep(r.cfg.SweepInterval)
+		if r.isStopped() {
+			return
+		}
+		now := r.clock.Now()
+		var expired int64
+		for _, sh := range r.shards {
+			sh.mu.Lock()
+			for _, sub := range append([]*subscriber(nil), sh.order...) {
+				if !sub.expires.After(now) {
+					sh.remove(sub)
+					expired++
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if expired > 0 {
+			r.mu.Lock()
+			r.nsubs -= int(expired)
+			r.stats.Expired += expired
+			r.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package relay
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+const testGroup = lan.Addr("239.72.5.1:5004")
+
+// newTestRelay builds a relay on a fresh sim segment without starting
+// Run — the white-box tests drive packet handling directly.
+func newTestRelay(t *testing.T, cfg Config) (*vclock.Sim, *lan.Segment, *Relay) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Group = testGroup
+	r, err := New(sim, conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, seg, r
+}
+
+// subscribePkt builds an inbound subscribe packet from addr.
+func subscribePkt(t *testing.T, from lan.Addr, channel, seq, leaseMs uint32) lan.Packet {
+	t.Helper()
+	data, err := (&proto.Subscribe{Channel: channel, Seq: seq, LeaseMs: leaseMs}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lan.Packet{From: from, To: "10.0.0.1:5006", Data: data}
+}
+
+func TestRejectsNonMulticastGroup(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, _ := seg.Attach("10.0.0.1:5006")
+	if _, err := New(sim, conn, Config{Group: "10.0.0.9:5004"}); err == nil {
+		t.Fatal("unicast group accepted")
+	}
+}
+
+func TestSubscribeRefreshUnsubscribe(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{Channel: 1})
+
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 1, 1, 10000))
+	if n := r.NumSubscribers(); n != 1 {
+		t.Fatalf("subscribers = %d, want 1", n)
+	}
+	// Refresh extends, not duplicates.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 1, 2, 10000))
+	if n := r.NumSubscribers(); n != 1 {
+		t.Fatalf("after refresh subscribers = %d, want 1", n)
+	}
+	// Wildcard channel 0 is accepted by a channel-pinned relay.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 10000))
+	if n := r.NumSubscribers(); n != 2 {
+		t.Fatalf("after wildcard subscribers = %d, want 2", n)
+	}
+	// Wrong channel is refused.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.4:5004", 9, 1, 10000))
+	if n := r.NumSubscribers(); n != 2 {
+		t.Fatalf("after foreign-channel subscribers = %d, want 2", n)
+	}
+	// Zero lease cancels.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 1, 3, 0))
+	if n := r.NumSubscribers(); n != 1 {
+		t.Fatalf("after unsubscribe subscribers = %d, want 1", n)
+	}
+	st := r.Stats()
+	if st.Subscribes != 2 || st.Refreshes != 1 || st.Unsubscribes != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSubscriberTableCap(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{MaxSubscribers: 2})
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 1, 10000))
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 10000))
+	r.handleSubscribe(subscribePkt(t, "10.0.0.4:5004", 0, 1, 10000))
+	if n := r.NumSubscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2 (capped)", n)
+	}
+	if st := r.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// A refresh of an existing subscriber still succeeds at the cap.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 2, 10000))
+	if st := r.Stats(); st.Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", st.Refreshes)
+	}
+}
+
+func TestLeaseClamping(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{MaxLease: 10 * time.Second})
+	// Below MinLease rounds up; above MaxLease clamps down. The granted
+	// value comes back in the expiry horizon.
+	now := r.clock.Now()
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 1, 1)) // 1 ms
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 3_600_000))
+	subs := r.Subscribers()
+	if len(subs) != 2 {
+		t.Fatalf("subscribers = %d", len(subs))
+	}
+	if d := subs[0].Expires.Sub(now); d != MinLease {
+		t.Errorf("tiny lease granted %v, want %v", d, MinLease)
+	}
+	if d := subs[1].Expires.Sub(now); d != 10*time.Second {
+		t.Errorf("huge lease granted %v, want %v", d, 10*time.Second)
+	}
+}
+
+func TestFanoutDropOldest(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{QueueLen: 4})
+	if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+		t.Fatal("subscribe failed")
+	}
+	// No worker is running: queue fills, then drop-oldest kicks in.
+	for i := 0; i < 10; i++ {
+		r.fanout([]byte{byte(i)})
+	}
+	subs := r.Subscribers()
+	if len(subs) != 1 {
+		t.Fatalf("subscribers = %d", len(subs))
+	}
+	if subs[0].Queued != 4 {
+		t.Errorf("queued = %d, want 4", subs[0].Queued)
+	}
+	if subs[0].Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", subs[0].Dropped)
+	}
+	if st := r.Stats(); st.FanoutDropped != 6 {
+		t.Errorf("stats dropped = %d, want 6", st.FanoutDropped)
+	}
+	// The survivors are the newest packets, oldest first.
+	sh := r.shardFor("10.0.0.2:5004")
+	sh.mu.Lock()
+	q := sh.subs["10.0.0.2:5004"].queue
+	var got []byte
+	for _, p := range q {
+		got = append(got, p[0])
+	}
+	sh.mu.Unlock()
+	if string(got) != string([]byte{6, 7, 8, 9}) {
+		t.Errorf("queue = %v, want [6 7 8 9]", got)
+	}
+}
+
+func TestShardingSpreadsSubscribers(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{Shards: 4})
+	addrs := []lan.Addr{}
+	for i := 0; i < 32; i++ {
+		a := lan.Addr("10.0.1." + string(rune('0'+i/10)) + string(rune('0'+i%10)) + ":5004")
+		addrs = append(addrs, a)
+		if !r.subscribe(a, 0, time.Minute) {
+			t.Fatal("subscribe failed")
+		}
+	}
+	nonEmpty := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		if len(sh.subs) > 0 {
+			nonEmpty++
+		}
+		sh.mu.Unlock()
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("all %d subscribers hashed to %d shard(s)", len(addrs), nonEmpty)
+	}
+	if n := r.NumSubscribers(); n != 32 {
+		t.Fatalf("subscribers = %d", n)
+	}
+}
+
+func TestLeaseExpirySweep(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{SweepInterval: 500 * time.Millisecond})
+	var midCount, endCount int
+	var endStats Stats
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 1, 2000))
+		r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 60000))
+		// Queue something on the short-lease subscriber so expiry must
+		// also free the queue.
+		r.fanout([]byte{1, 2, 3})
+		sim.Sleep(1 * time.Second)
+		midCount = r.NumSubscribers()
+		sim.Sleep(3 * time.Second)
+		endCount = r.NumSubscribers()
+		endStats = r.Stats()
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if midCount != 2 {
+		t.Fatalf("subscribers before expiry = %d, want 2", midCount)
+	}
+	if endCount != 1 {
+		t.Fatalf("subscribers after expiry = %d, want 1", endCount)
+	}
+	if endStats.Expired != 1 {
+		t.Fatalf("expired = %d, want 1 (stats %+v)", endStats.Expired, endStats)
+	}
+	subs := r.Subscribers()
+	if len(subs) != 1 || subs[0].Addr != "10.0.0.3:5004" {
+		t.Fatalf("survivor = %+v", subs)
+	}
+}
+
+func TestSubAckReturnsGrantedLease(t *testing.T) {
+	sim, seg, r := newTestRelay(t, Config{MaxLease: 10 * time.Second})
+	sub, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack *proto.SubAck
+	sim.Go("relay", r.Run)
+	sim.Go("subscriber", func() {
+		defer sub.Close()
+		data, _ := (&proto.Subscribe{Channel: 0, Seq: 7, LeaseMs: 3_600_000}).Marshal()
+		if err := sub.Send(r.Addr(), data); err != nil {
+			t.Error(err)
+			return
+		}
+		pkt, err := sub.Recv(2 * time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ack, _ = proto.UnmarshalSubAck(pkt.Data)
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if ack == nil {
+		t.Fatal("no suback")
+	}
+	if ack.Seq != 7 || ack.Status != proto.SubOK {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ack.LeaseMs != 10000 {
+		t.Fatalf("granted lease = %d ms, want clamped 10000", ack.LeaseMs)
+	}
+}
+
+func TestUnicastInjectionNotRelayed(t *testing.T) {
+	// A data packet that did NOT arrive off the multicast group (e.g.
+	// forged and sent straight to the relay's unicast address) must not
+	// be fanned out — that would be a one-in, N-out amplifier.
+	_, _, r := newTestRelay(t, Config{Channel: 1})
+	if !r.subscribe("10.0.0.2:5004", 1, time.Minute) {
+		t.Fatal("subscribe failed")
+	}
+	data, err := (&proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: []byte{1}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.handlePacket(lan.Packet{From: "10.0.0.66:1234", To: "10.0.0.1:5006", Data: data})
+	if st := r.Stats(); st.UpstreamData != 0 || st.UpstreamForeign != 1 {
+		t.Fatalf("injected packet counted as upstream: %+v", st)
+	}
+	if subs := r.Subscribers(); subs[0].Queued != 0 {
+		t.Fatalf("injected packet queued for fan-out: %+v", subs[0])
+	}
+	// The same packet arriving off the group is relayed.
+	r.handlePacket(lan.Packet{From: "10.0.0.9:5000", To: testGroup, Data: data})
+	if st := r.Stats(); st.UpstreamData != 1 {
+		t.Fatalf("group packet not relayed: %+v", st)
+	}
+	if subs := r.Subscribers(); subs[0].Queued != 1 {
+		t.Fatalf("group packet not queued: %+v", subs[0])
+	}
+}
+
+func TestTableRendersSubscribers(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{})
+	r.subscribe("10.0.0.2:5004", 1, time.Minute)
+	var sb strings.Builder
+	r.Table().Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "10.0.0.2:5004") {
+		t.Fatalf("table missing subscriber:\n%s", out)
+	}
+}

@@ -22,13 +22,23 @@ const (
 	// DefaultControlTimeout bounds how long Run waits for any packet
 	// before re-checking liveness.
 	DefaultControlTimeout = 5 * time.Second
+	// DefaultRelayLease is the subscription lease a speaker requests
+	// when tuned to a relay instead of a multicast group.
+	DefaultRelayLease = 15 * time.Second
 )
 
 // Config parameterizes a speaker.
 type Config struct {
 	Name  string   // diagnostics label
 	Local lan.Addr // unicast bind address
-	Group lan.Addr // initial channel group (may be empty; Tune later)
+	// Group is the initial channel source (may be empty; Tune later). A
+	// multicast group is joined natively; a unicast address is treated
+	// as a relay and subscribed to over a lease — the tune-in path for
+	// speakers beyond the multicast segment.
+	Group lan.Addr
+
+	// RelayLease overrides DefaultRelayLease.
+	RelayLease time.Duration
 
 	// Epsilon overrides DefaultEpsilon (§3.2).
 	Epsilon time.Duration
@@ -69,6 +79,9 @@ type Stats struct {
 	SleepsToSync     int64 // fresh-start alignment sleeps
 	GapFills         int64 // silence insertions covering lost content
 	Tunes            int64 // channel switches
+	RelaySubscribes  int64 // subscribe/refresh packets sent to a relay
+	RelaySubAcks     int64 // lease acknowledgements received
+	RelayRefusals    int64 // acks refusing the lease (no channel / table full)
 }
 
 // Speaker is one Ethernet Speaker instance.
@@ -101,7 +114,13 @@ type Speaker struct {
 	volume  float64
 	ambient float64 // ambient noise RMS heard by the mic model (§5.2)
 	stopped bool
-	onPlay  func(audiodev.PlayedBlock)
+	onPlay  []func(audiodev.PlayedBlock)
+	// relay subscription state: set while tuned to a unicast relay
+	// address instead of a multicast group.
+	relay      lan.Addr
+	relayLease time.Duration // granted (or requested) lease
+	subSeq     uint32
+	refresher  bool // lease-refresh task started
 }
 
 // New creates a speaker bound to cfg.Local, joined to cfg.Group if set.
@@ -111,6 +130,9 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 	}
 	if cfg.ControlTimeout <= 0 {
 		cfg.ControlTimeout = DefaultControlTimeout
+	}
+	if cfg.RelayLease <= 0 {
+		cfg.RelayLease = DefaultRelayLease
 	}
 	if cfg.Volume == 0 {
 		cfg.Volume = 1.0
@@ -126,13 +148,101 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 	}
 	s.dev = audiodev.NewDevice(clock, s.hw)
 	if cfg.Group != "" {
-		if err := conn.Join(cfg.Group); err != nil {
+		if err := s.tuneIn(cfg.Group); err != nil {
 			conn.Close()
 			return nil, err
 		}
 		s.group = cfg.Group
 	}
 	return s, nil
+}
+
+// tuneIn attaches to a channel source: a multicast group is joined
+// natively; anything else is treated as a relay's unicast address and
+// subscribed to under a lease (§2.3 beyond one segment).
+func (s *Speaker) tuneIn(group lan.Addr) error {
+	if group.IsMulticast() {
+		return s.conn.Join(group)
+	}
+	if err := group.Validate(); err != nil {
+		return fmt.Errorf("speaker %s: relay address: %w", s.cfg.Name, err)
+	}
+	s.mu.Lock()
+	s.relay = group
+	s.relayLease = s.cfg.RelayLease
+	started := s.refresher
+	s.refresher = true
+	s.mu.Unlock()
+	s.sendSubscribe(group, s.cfg.RelayLease)
+	if !started {
+		s.clock.Go("speaker-"+s.cfg.Name+"-lease", s.refreshLoop)
+	}
+	return nil
+}
+
+// tuneOut detaches from the current channel source.
+func (s *Speaker) tuneOut(group lan.Addr) error {
+	if group.IsMulticast() {
+		return s.conn.Leave(group)
+	}
+	s.mu.Lock()
+	s.relay = ""
+	s.mu.Unlock()
+	// Cancel the lease; if the packet is lost the relay expires us.
+	s.sendSubscribe(group, 0)
+	return nil
+}
+
+// sendSubscribe sends one subscribe/refresh (or, with zero lease,
+// cancel) packet to a relay.
+func (s *Speaker) sendSubscribe(target lan.Addr, lease time.Duration) {
+	s.mu.Lock()
+	s.subSeq++
+	req := proto.Subscribe{
+		Seq:     s.subSeq,
+		LeaseMs: uint32(lease / time.Millisecond),
+	}
+	s.stats.RelaySubscribes++
+	s.mu.Unlock()
+	data, err := req.Marshal()
+	if err != nil {
+		return
+	}
+	s.conn.Send(target, data)
+}
+
+// refreshLoop re-sends the relay subscription well before the lease
+// expires. One long-lived task per speaker, started on the first relay
+// tune; it idles (cheaply) while tuned to plain multicast.
+func (s *Speaker) refreshLoop() {
+	for {
+		s.mu.Lock()
+		stopped := s.stopped
+		lease := s.relayLease
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		if lease <= 0 {
+			lease = s.cfg.RelayLease
+		}
+		wait := lease / 3
+		if wait < time.Second {
+			wait = time.Second
+		}
+		s.clock.Sleep(wait)
+		s.mu.Lock()
+		stopped = s.stopped
+		target := s.relay
+		lease = s.relayLease
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		if target != "" {
+			s.sendSubscribe(target, lease)
+		}
+	}
 }
 
 // Stats returns a snapshot of the speaker accounting.
@@ -147,18 +257,23 @@ func (s *Speaker) Device() *audiodev.Device { return s.dev }
 
 // OnPlay registers a callback invoked for every hardware block as it
 // plays — the measurement tap for the synchronization experiments.
+// Multiple callbacks may be registered; each sees every block. A nil
+// fn is ignored.
 func (s *Speaker) OnPlay(fn func(audiodev.PlayedBlock)) {
+	if fn == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.onPlay = fn
+	s.onPlay = append(s.onPlay, fn)
 }
 
 // played is the SimHardware sink.
 func (s *Speaker) played(b audiodev.PlayedBlock) {
 	s.mu.Lock()
-	fn := s.onPlay
+	fns := s.onPlay
 	s.mu.Unlock()
-	if fn != nil {
+	for _, fn := range fns {
 		fn(b)
 	}
 }
@@ -198,8 +313,10 @@ func (s *Speaker) Group() lan.Addr {
 	return s.group
 }
 
-// Tune switches to a different channel group: leave, join, and wait for
-// the new channel's control packet ("like a radio", §2.3).
+// Tune switches to a different channel source: leave (or unsubscribe),
+// join (or subscribe), and wait for the new channel's control packet
+// ("like a radio", §2.3). A multicast group is joined natively; a
+// unicast address is subscribed to as a relay.
 func (s *Speaker) Tune(group lan.Addr) error {
 	s.mu.Lock()
 	old := s.group
@@ -208,11 +325,11 @@ func (s *Speaker) Tune(group lan.Addr) error {
 		return nil
 	}
 	if old != "" {
-		if err := s.conn.Leave(old); err != nil {
+		if err := s.tuneOut(old); err != nil {
 			return err
 		}
 	}
-	if err := s.conn.Join(group); err != nil {
+	if err := s.tuneIn(group); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -286,9 +403,34 @@ func (s *Speaker) handlePacket(pkt lan.Packet) {
 		s.handleControl(data, pkt.Recv)
 	case proto.TypeData:
 		s.handleData(data)
+	case proto.TypeSubAck:
+		s.handleSubAck(data)
 	default:
 		// Announce packets are the tuner UI's business, not playback's.
 	}
+}
+
+// handleSubAck records the relay's granted lease; the refresh loop
+// paces itself off it. A refusal (table full, wrong channel) is
+// counted but the periodic subscribe keeps going: leases are soft
+// state, so a full table may drain and the refresh doubles as the
+// retry — at one small packet per refresh interval.
+func (s *Speaker) handleSubAck(data []byte) {
+	ack, err := proto.UnmarshalSubAck(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DroppedMalformed++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.stats.RelaySubAcks++
+	if ack.Status != proto.SubOK {
+		s.stats.RelayRefusals++
+	} else if ack.LeaseMs > 0 && s.relay != "" {
+		s.relayLease = time.Duration(ack.LeaseMs) * time.Millisecond
+	}
+	s.mu.Unlock()
 }
 
 // handleControl ingests a control packet: (re)configure on a new epoch
