@@ -242,14 +242,27 @@ func BenchmarkSegmentMulticast(b *testing.B) {
 	}
 }
 
-// BenchmarkRelayFanout measures the relay bridge: one multicast channel
-// fanned out to 100 unicast subscribers on the simulated segment, per
-// simulated second of audio. The custom metrics are the fan-out
-// delivery and backpressure-drop counts — the baseline future PRs
-// measure against.
+// BenchmarkRelayFanout measures the relay bridge fanning one multicast
+// channel out to unicast subscribers on the simulated segment, as a
+// table over the subscriber count and the send strategy: batch=1 is the
+// per-subscriber-send baseline (PR 1's data path), batch=64 the batched
+// WriteBatch path. The headline metric is ns/pkt — wall time per
+// fanned-out packet — which records the scaling curve toward thousands
+// of subscribers per relay; pkts-fanned-out and pkts-dropped keep the
+// delivery and backpressure counts honest.
 func BenchmarkRelayFanout(b *testing.B) {
-	const subscribers = 100
+	for _, subs := range []int{100, 1000, 5000} {
+		for _, batch := range []int{1, 64} {
+			b.Run(fmt.Sprintf("subs=%d/batch=%d", subs, batch), func(b *testing.B) {
+				benchRelayFanout(b, subs, batch)
+			})
+		}
+	}
+}
+
+func benchRelayFanout(b *testing.B, subscribers, batch int) {
 	var sent, dropped int64
+	var active time.Duration // wall time of the fan-out window only
 	for i := 0; i < b.N; i++ {
 		sys := NewSimSystem(lan.SegmentConfig{})
 		ch, err := sys.AddChannel(rebroadcast.Config{
@@ -258,23 +271,21 @@ func BenchmarkRelayFanout(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		r, err := sys.AddRelay(relay.Config{Group: "239.72.1.1:5004", Channel: 1})
+		r, err := sys.AddRelay(relay.Config{
+			Group: "239.72.1.1:5004", Channel: 1,
+			Batch:          batch,
+			MaxSubscribers: subscribers,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		// Raw draining subscribers: the benchmark isolates the relay's
-		// fan-out path, not 100 full speaker pipelines.
+		// fan-out path, not thousands of full speaker pipelines.
 		conns := make([]lan.Conn, 0, subscribers)
 		for s := 0; s < subscribers; s++ {
-			conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.0.9.%d:5004", s+1)))
+			conn, err := sys.Net.Attach(lan.Addr(
+				fmt.Sprintf("10.%d.%d.%d:5004", 9+s/65025, (s/255)%255, 1+s%255)))
 			if err != nil {
-				b.Fatal(err)
-			}
-			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := conn.Send(r.Addr(), sub); err != nil {
 				b.Fatal(err)
 			}
 			conns = append(conns, conn)
@@ -287,18 +298,46 @@ func BenchmarkRelayFanout(b *testing.B) {
 			})
 		}
 		p := audio.Voice
-		sys.Clock.Go("player", func() {
+		// Subscribing happens inside a tracked task: simulated time is
+		// frozen while it runs, so every lease is granted at the same
+		// instant and none can expire mid-clip.
+		sys.Clock.Go("driver", func() {
+			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for _, conn := range conns {
+				if err := conn.Send(r.Addr(), sub); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			for r.NumSubscribers() < subscribers {
+				sys.Clock.Sleep(10 * time.Millisecond)
+			}
+			// ns/pkt times only the window in which fan-out happens:
+			// play through relay shutdown (workers are drained when
+			// Shutdown returns), excluding the subscriber setup above.
+			start := time.Now()
 			ch.Play(p, audio.NewTone(p.SampleRate, 1, 440, 0.5), time.Second)
 			sys.Clock.Sleep(2 * time.Second)
 			sys.Shutdown()
+			active += time.Since(start)
 			for _, c := range conns {
 				c.Close()
 			}
 		})
 		sys.Sim.WaitIdle()
 		st := r.Stats()
+		if st.Subscribes != int64(subscribers) {
+			b.Fatalf("only %d of %d subscribers leased", st.Subscribes, subscribers)
+		}
 		sent += st.FanoutSent
 		dropped += st.FanoutDropped
+	}
+	if sent > 0 {
+		b.ReportMetric(float64(active.Nanoseconds())/float64(sent), "ns/pkt")
 	}
 	b.ReportMetric(float64(sent)/float64(b.N), "pkts-fanned-out")
 	b.ReportMetric(float64(dropped)/float64(b.N), "pkts-dropped")

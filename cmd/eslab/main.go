@@ -111,6 +111,13 @@ func main() {
 			}
 			experiments.E11Relay(w, counts)
 		}},
+		{"batchorder", "E12: batched fan-out preserves per-subscriber order", func(q bool) {
+			counts := []int{8, 64, 256}
+			if q {
+				counts = []int{8, 32}
+			}
+			experiments.E12BatchOrder(w, counts)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

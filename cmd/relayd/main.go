@@ -5,6 +5,15 @@
 // multicast-hostile networks) point their tuner at this daemon's
 // address instead of the group and play unchanged.
 //
+// The fan-out path is sharded and batched: subscribers hash onto
+// -shards shards, and outgoing datagrams are accumulated into batches
+// of up to -batch and written with one sendmmsg call (on Linux). A
+// partial batch is flushed after -flush at the latest. -shard-sockets
+// additionally gives every shard its own send socket (data then comes
+// from ephemeral ports — LAN/routed deployments only, it breaks NATed
+// subscribers). See docs/RELAY-OPS.md for the full operator guide,
+// including which MIB counters to watch.
+//
 // Example — relay the default channel group, serving subscribers on
 // port 5006:
 //
@@ -35,6 +44,9 @@ func main() {
 		queue   = flag.Int("queue", relay.DefaultQueueLen, "per-subscriber queue length (packets)")
 		maxSubs = flag.Int("max-subscribers", relay.DefaultMaxSubscribers, "subscriber table capacity")
 		maxLs   = flag.Duration("max-lease", relay.DefaultMaxLease, "longest grantable lease")
+		batch   = flag.Int("batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
+		flush   = flag.Duration("flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
+		shardSk = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
 		report  = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
 	)
 	flag.Parse()
@@ -49,14 +61,26 @@ func main() {
 	}
 	defer conn.Close()
 
-	r, err := relay.New(clock, conn, relay.Config{
+	cfg := relay.Config{
 		Group:          lan.Addr(*group),
 		Channel:        uint32(*channel),
 		Shards:         *shards,
 		QueueLen:       *queue,
 		MaxSubscribers: *maxSubs,
 		MaxLease:       *maxLs,
-	})
+		Batch:          *batch,
+		FlushInterval:  *flush,
+	}
+	if *shardSk {
+		// Per-shard send sockets: each shard batches through its own
+		// ephemeral-port socket. Data then comes from those ports, not
+		// from -listen, so a NAT/stateful-firewall pinhole opened by the
+		// subscriber's Subscribe will not match — TURN keeps relayed
+		// data on the allocation address for the same reason. Off by
+		// default; batching via the shared socket still uses sendmmsg.
+		cfg.Network = net
+	}
+	r, err := relay.New(clock, conn, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

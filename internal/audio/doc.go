@@ -1,0 +1,6 @@
+// Package audio provides the audio data substrate for the Ethernet
+// Speaker system: sample formats and encodings mirroring OpenBSD
+// audio(4), conversion between wire encodings and internal PCM16,
+// deterministic signal generators, WAV file I/O, a resampler, mixing and
+// gain, and signal-quality analysis used by the codec experiments.
+package audio

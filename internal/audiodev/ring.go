@@ -1,11 +1,3 @@
-// Package audiodev models the OpenBSD audio subsystem in user space: the
-// device-independent high-level driver (audio(4) semantics — ring buffer,
-// blocking writes, silence insertion on underrun) and the audio(9)
-// low-level driver contract (TriggerOutput called once when the first
-// block is ready, after which the hardware autonomously consumes blocks
-// and "interrupts" back). The paper's VAD is a low-level driver with no
-// hardware behind it, and every design problem in §3.3 falls out of this
-// contract — so we reproduce the contract itself.
 package audiodev
 
 // Ring is a fixed-capacity byte ring buffer, the high-level driver's

@@ -1,0 +1,12 @@
+// Package codec implements the audio transports the rebroadcaster can
+// choose between (§2.2 of the paper): raw PCM passthrough, µ-law
+// transcoding for cheap 2:1 compression, and OVL — a lossy MDCT transform
+// codec with a 0..10 quality index standing in for Ogg Vorbis.
+//
+// Every encoder consumes raw audio bytes in the stream's wire encoding
+// (exactly what the rebroadcaster reads from the VAD master) and yields
+// self-contained packets; every decoder returns raw audio bytes in the
+// same wire encoding, ready to be written to the speaker's audio device.
+// Packets are independently decodable so that a receive-only speaker can
+// tune in mid-stream (§2.3).
+package codec

@@ -1,8 +1,3 @@
-// Package core assembles the Ethernet Speaker system: virtual audio
-// devices feeding rebroadcasters, a catalog announcer, and any number of
-// speakers, all sharing a clock and a network. It is the top of the
-// dependency stack — what the paper's Figure 1 draws — and the substrate
-// for the experiment harness in cmd/eslab and the repository benchmarks.
 package core
 
 import (
@@ -191,6 +186,9 @@ func (s *System) AddRelay(cfg relay.Config) (*relay.Relay, error) {
 	conn, err := s.Net.Attach(lan.Addr(fmt.Sprintf("%s:%d", a.Host(), 5006)))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Network == nil {
+		cfg.Network = s.Net // per-shard send sockets for the fan-out path
 	}
 	r, err := relay.New(s.Clock, conn, cfg)
 	if err != nil {

@@ -1,0 +1,6 @@
+// Package core assembles the Ethernet Speaker system: virtual audio
+// devices feeding rebroadcasters, a catalog announcer, and any number of
+// speakers, all sharing a clock and a network. It is the top of the
+// dependency stack — what the paper's Figure 1 draws — and the substrate
+// for the experiment harness in cmd/eslab and the repository benchmarks.
+package core

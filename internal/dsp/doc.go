@@ -1,0 +1,5 @@
+// Package dsp provides the signal-processing primitives behind the OVL
+// transform codec: bit-level I/O, Rice entropy coding, a radix-2 FFT for
+// spectral analysis, and the MDCT/IMDCT pair (with Princen-Bradley
+// windowing) that gives the codec its lapped-transform structure.
+package dsp

@@ -1,0 +1,11 @@
+// Package experiments regenerates every figure, table and quantified
+// claim in the paper's evaluation. Each experiment is a function that
+// runs the workload (on simulated time where the paper measured a live
+// system, on the real clock where it measured raw CPU cost), writes a
+// human-readable table to an io.Writer, and returns a result struct that
+// the test suite asserts shape properties on and the benchmark harness
+// reports metrics from.
+//
+// The experiment index lives in DESIGN.md; paper-vs-measured numbers in
+// EXPERIMENTS.md.
+package experiments

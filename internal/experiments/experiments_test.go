@@ -282,3 +282,31 @@ func TestE11Shape(t *testing.T) {
 		t.Fatalf("fanout did not scale: %+v", res.Rows)
 	}
 }
+
+func TestE12Shape(t *testing.T) {
+	res := E12BatchOrder(io.Discard, []int{4, 32})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The contract under test: batching never reorders a
+		// subscriber's stream.
+		if r.Reordered != 0 {
+			t.Fatalf("%d subscribers: %d sequence inversions", r.Subscribers, r.Reordered)
+		}
+		// On a clean segment with roomy queues everything arrives.
+		if want := int64(r.Subscribers * r.Packets); r.Received != want {
+			t.Fatalf("%d subscribers: received %d of %d (gaps %d)",
+				r.Subscribers, r.Received, want, r.Gaps)
+		}
+		if r.Batches == 0 {
+			t.Fatalf("%d subscribers: no batches recorded", r.Subscribers)
+		}
+	}
+	// With bursty input and many subscribers, flushes must actually
+	// coalesce — otherwise this experiment isn't testing batching.
+	if res.Rows[1].AvgBatch < 2 {
+		t.Fatalf("avg batch %.2f at %d subscribers: batching never engaged",
+			res.Rows[1].AvgBatch, res.Rows[1].Subscribers)
+	}
+}

@@ -1,0 +1,64 @@
+package lan
+
+import "sync"
+
+// Datagram is one entry in a batched send: a payload and where it goes.
+// Batches may reference the same underlying Data slice many times (a
+// relay fanning one packet out to N subscribers); implementations must
+// not mutate it.
+type Datagram struct {
+	To   Addr
+	Data []byte
+}
+
+// BatchWriter is the optional bulk-send fast path a Conn may implement.
+// WriteBatch transmits the datagrams in order, stopping at the first
+// hard error; it returns how many were handed to the substrate. A
+// sendmmsg-style backend turns the whole batch into one syscall; the
+// simulated segment takes its lock once for the batch.
+//
+// Ordering guarantee: datagrams to the same destination leave in slice
+// order, exactly as if sent one by one.
+type BatchWriter interface {
+	WriteBatch(batch []Datagram) (int, error)
+}
+
+// WriteBatch sends a batch through c, using its BatchWriter fast path
+// when it has one and falling back to a per-datagram Send loop
+// otherwise. Like BatchWriter.WriteBatch it stops at the first error
+// and returns the number of datagrams sent.
+func WriteBatch(c Conn, batch []Datagram) (int, error) {
+	if bw, ok := c.(BatchWriter); ok {
+		return bw.WriteBatch(batch)
+	}
+	return sendLoop(c, batch)
+}
+
+// sendLoop is the portable fallback: one Send per datagram.
+func sendLoop(c Conn, batch []Datagram) (int, error) {
+	for i, d := range batch {
+		if err := c.Send(d.To, d.Data); err != nil {
+			return i, err
+		}
+	}
+	return len(batch), nil
+}
+
+// batchPool recycles Datagram slices so steady-state batching does not
+// allocate. Slices come back with length 0 and whatever capacity they
+// grew to.
+var batchPool = sync.Pool{
+	New: func() any { return make([]Datagram, 0, 64) },
+}
+
+// GetBatch returns an empty Datagram slice from the reuse pool.
+func GetBatch() []Datagram { return batchPool.Get().([]Datagram)[:0] }
+
+// PutBatch returns a slice to the pool, dropping payload references so
+// the pool does not pin packet buffers alive.
+func PutBatch(b []Datagram) {
+	for i := range b {
+		b[i] = Datagram{}
+	}
+	batchPool.Put(b[:0]) //nolint:staticcheck // slice header, no alloc
+}

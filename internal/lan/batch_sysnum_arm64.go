@@ -1,0 +1,7 @@
+//go:build linux
+
+package lan
+
+// sysSendmmsg is the sendmmsg(2) syscall number (not exported by the
+// trimmed std syscall tables).
+const sysSendmmsg uintptr = 269

@@ -1,0 +1,279 @@
+package lan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// noBatch hides a Conn's BatchWriter so WriteBatch exercises the
+// portable loop fallback.
+type noBatch struct{ Conn }
+
+func TestWriteBatchSegmentDeliversInOrder(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := NewSegment(sim, SegmentConfig{})
+	src, err := seg.Attach("10.0.0.1:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := seg.Attach("10.0.0.2:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch carrying five sequenced datagrams to the same receiver
+	// must arrive complete and in batch order.
+	batch := make([]Datagram, 5)
+	for i := range batch {
+		batch[i] = Datagram{To: "10.0.0.2:5000", Data: []byte{byte(i)}}
+	}
+	var got []byte
+	sim.Go("recv", func() {
+		for len(got) < len(batch) {
+			pkt, err := dst.Recv(time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, pkt.Data[0])
+		}
+	})
+	sim.Go("send", func() {
+		n, err := WriteBatch(src, batch)
+		if err != nil || n != len(batch) {
+			t.Errorf("WriteBatch = %d, %v", n, err)
+		}
+	})
+	sim.WaitIdle()
+	if string(got) != string([]byte{0, 1, 2, 3, 4}) {
+		t.Fatalf("delivery order = %v", got)
+	}
+}
+
+func TestWriteBatchSegmentMatchesLoopSemantics(t *testing.T) {
+	// Batched and looped sends must drive the shared-medium model
+	// identically: same tx counters, same deliveries.
+	run := func(batched bool) SegmentStats {
+		sim := vclock.NewSim(time.Time{})
+		seg := NewSegment(sim, SegmentConfig{BandwidthBps: 10e6})
+		src, _ := seg.Attach("10.0.0.1:5000")
+		var conns []Conn
+		batch := make([]Datagram, 8)
+		for i := range batch {
+			c, err := seg.Attach(Addr(fmt.Sprintf("10.0.0.%d:5000", i+2)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, c)
+			batch[i] = Datagram{To: c.LocalAddr(), Data: make([]byte, 100)}
+		}
+		for _, c := range conns {
+			c := c
+			sim.Go("drain", func() {
+				for {
+					if _, err := c.Recv(0); err != nil {
+						return
+					}
+				}
+			})
+		}
+		sim.Go("send", func() {
+			var n int
+			var err error
+			if batched {
+				n, err = WriteBatch(src, batch)
+			} else {
+				n, err = sendLoop(src, batch)
+			}
+			if err != nil || n != len(batch) {
+				t.Errorf("send(batched=%v) = %d, %v", batched, n, err)
+			}
+			sim.Sleep(time.Second)
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+		sim.WaitIdle()
+		return seg.Stats()
+	}
+	a, b := run(true), run(false)
+	if a != b {
+		t.Fatalf("batched stats %+v != looped stats %+v", a, b)
+	}
+}
+
+func TestWriteBatchLoopFallbackStopsAtFirstError(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := NewSegment(sim, SegmentConfig{})
+	src, _ := seg.Attach("10.0.0.1:5000")
+	batch := []Datagram{
+		{To: "10.0.0.2:5000", Data: []byte{1}},
+		{To: "not-an-address", Data: []byte{2}},
+		{To: "10.0.0.2:5000", Data: []byte{3}},
+	}
+	n, err := WriteBatch(noBatch{src}, batch)
+	if err == nil || n != 1 {
+		t.Fatalf("fallback WriteBatch = %d, %v; want 1, error", n, err)
+	}
+	// The native segment batch has the same prefix semantics.
+	n, err = WriteBatch(src, batch)
+	if err == nil || n != 1 {
+		t.Fatalf("segment WriteBatch = %d, %v; want 1, error", n, err)
+	}
+}
+
+func TestBatchPoolRecyclesWithoutPinning(t *testing.T) {
+	b := GetBatch()
+	if len(b) != 0 {
+		t.Fatalf("pool batch not empty: %d", len(b))
+	}
+	b = append(b, Datagram{To: "10.0.0.1:5000", Data: make([]byte, 1400)})
+	PutBatch(b)
+	b2 := GetBatch()
+	if len(b2) != 0 {
+		t.Fatalf("recycled batch not reset: %d", len(b2))
+	}
+	// Payload references must have been dropped on Put.
+	if cap(b2) >= 1 {
+		if d := b2[:1][0]; d.Data != nil || d.To != "" {
+			t.Fatalf("recycled batch pins old payload: %+v", d)
+		}
+	}
+}
+
+func TestSegmentAttachEphemeralPort(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := NewSegment(sim, SegmentConfig{})
+	a, err := seg.Attach("10.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seg.Attach("10.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LocalAddr() == b.LocalAddr() {
+		t.Fatalf("ephemeral binds collided: %s", a.LocalAddr())
+	}
+	if a.LocalAddr().Port() == 0 || b.LocalAddr().Port() == 0 {
+		t.Fatalf("ephemeral bind kept port 0: %s, %s", a.LocalAddr(), b.LocalAddr())
+	}
+	// The allocated endpoint is routable.
+	var got []byte
+	sim.Go("recv", func() {
+		pkt, err := b.Recv(time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = pkt.Data
+	})
+	sim.Go("send", func() {
+		if err := a.Send(b.LocalAddr(), []byte{42}); err != nil {
+			t.Error(err)
+		}
+	})
+	sim.WaitIdle()
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("ephemeral endpoint unreachable: %v", got)
+	}
+}
+
+func TestSegmentAttachEphemeralExhaustion(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := NewSegment(sim, SegmentConfig{})
+	const dynamic = 65536 - 49152
+	for i := 0; i < dynamic; i++ {
+		if _, err := seg.Attach("10.0.0.1:0"); err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+	}
+	// The dynamic range is full: the next bind must fail cleanly, not
+	// spin under the segment lock.
+	if _, err := seg.Attach("10.0.0.1:0"); err == nil {
+		t.Fatal("bind succeeded with all ephemeral ports taken")
+	}
+	// Another host's range is independent.
+	if _, err := seg.Attach("10.0.0.2:0"); err != nil {
+		t.Fatalf("other host's ephemeral bind failed: %v", err)
+	}
+}
+
+// TestWriteBatchUDPLoopback exercises the real-network batch path (the
+// sendmmsg fast path on Linux, the loop fallback elsewhere) end to end
+// over loopback.
+func TestWriteBatchUDPLoopback(t *testing.T) {
+	netw := &UDPNetwork{}
+	src, err := netw.Attach("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer src.Close()
+	dst, err := netw.Attach("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	const n = 32
+	batch := make([]Datagram, n)
+	for i := range batch {
+		batch[i] = Datagram{To: dst.LocalAddr(), Data: []byte{byte(i), byte(i >> 8)}}
+	}
+	sent, err := WriteBatch(src, batch)
+	if err != nil || sent != n {
+		t.Fatalf("WriteBatch = %d, %v", sent, err)
+	}
+	seen := make(map[byte]bool)
+	lastSeq := -1
+	for i := 0; i < n; i++ {
+		pkt, err := dst.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatalf("after %d/%d datagrams: %v", i, n, err)
+		}
+		seq := int(pkt.Data[0])
+		if seen[pkt.Data[0]] {
+			t.Fatalf("duplicate datagram %d", seq)
+		}
+		seen[pkt.Data[0]] = true
+		// UDP ordering is not guaranteed in general, but loopback
+		// preserves send order; a same-socket batch must not reorder.
+		if seq <= lastSeq {
+			t.Fatalf("reordered: %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+	}
+}
+
+// TestWriteBatchUDPPrefixOnBadDatagram checks the prefix semantics on
+// the real backend: an invalid destination mid-batch stops the batch.
+func TestWriteBatchUDPPrefixOnBadDatagram(t *testing.T) {
+	netw := &UDPNetwork{}
+	src, err := netw.Attach("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer src.Close()
+	dst, err := netw.Attach("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	batch := []Datagram{
+		{To: dst.LocalAddr(), Data: []byte{1}},
+		{To: "no-such-host-xyz", Data: []byte{2}},
+		{To: dst.LocalAddr(), Data: []byte{3}},
+	}
+	sent, err := WriteBatch(src, batch)
+	if err == nil || sent != 1 {
+		t.Fatalf("WriteBatch = %d, %v; want 1, error", sent, err)
+	}
+	pkt, err := dst.Recv(2 * time.Second)
+	if err != nil || pkt.Data[0] != 1 {
+		t.Fatalf("prefix datagram lost: %v, %v", pkt, err)
+	}
+}

@@ -1,11 +1,3 @@
-// Package lan provides the network substrate: an abstract datagram
-// interface with two implementations — a simulated Ethernet segment
-// (multicast, bandwidth, latency, jitter, loss) used by tests and
-// experiments, and a real UDP-multicast backend for actual deployment.
-//
-// The paper's protocol design leans on LAN properties (§2.3): low error
-// rates, ample bandwidth, well-behaved arrival, and native multicast.
-// The simulated segment makes each of those properties a knob.
 package lan
 
 import (

@@ -2,6 +2,7 @@ package lan
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -62,6 +63,7 @@ type Segment struct {
 	groups    map[Addr]map[*segConn]struct{}
 	busyUntil time.Time
 	rng       uint64
+	nextPort  int // ephemeral-port allocator for ":0" binds
 	stats     SegmentStats
 }
 
@@ -80,26 +82,47 @@ func NewSegment(clock vclock.Clock, cfg SegmentConfig) *Segment {
 		cfg.FrameOverhead = 46
 	}
 	return &Segment{
-		clock:  clock,
-		cfg:    cfg,
-		nodes:  make(map[Addr]*segConn),
-		groups: make(map[Addr]map[*segConn]struct{}),
-		rng:    cfg.Seed,
+		clock:    clock,
+		cfg:      cfg,
+		nodes:    make(map[Addr]*segConn),
+		groups:   make(map[Addr]map[*segConn]struct{}),
+		rng:      cfg.Seed,
+		nextPort: 49152, // IANA dynamic range, like a real ephemeral bind
 	}
 }
 
 var _ Network = (*Segment)(nil)
 
-// Attach implements Network.
+// Attach implements Network. A port of 0 binds an unused ephemeral
+// port, mirroring a real UDP bind to ":0" — per-shard send sockets use
+// this so they never collide with a configured listener.
 func (s *Segment) Attach(local Addr) (Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if local.Port() == 0 && net.ParseIP(local.Host()) != nil {
+		host := local.Host()
+		found := false
+		for tries := 0; tries < 65536-49152; tries++ {
+			cand := Addr(net.JoinHostPort(host, fmt.Sprint(s.nextPort)))
+			s.nextPort++
+			if s.nextPort > 65535 {
+				s.nextPort = 49152
+			}
+			if _, dup := s.nodes[cand]; !dup {
+				local, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lan: no free ephemeral port on %q", host)
+		}
+	}
 	if err := local.Validate(); err != nil {
 		return nil, err
 	}
 	if local.IsMulticast() {
 		return nil, fmt.Errorf("lan: cannot bind to multicast address %q", local)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.nodes[local]; dup {
 		return nil, fmt.Errorf("lan: address %q already attached", local)
 	}
@@ -131,6 +154,15 @@ func (s *Segment) randFloat() float64 {
 	return float64(s.nextRand()>>11) / (1 << 53)
 }
 
+// delivery is one scheduled hand-off to a receiver, produced under the
+// segment lock and armed after it is released.
+type delivery struct {
+	dst   *segConn
+	delay time.Duration
+	pkt   Packet // Data filled in at arm time (one copy per receiver)
+	data  []byte
+}
+
 // send transmits from c. It models the shared medium: serialization time
 // at the configured bandwidth, a bounded transmit backlog, then fan-out
 // to receivers with independent loss and jitter.
@@ -139,6 +171,40 @@ func (s *Segment) send(c *segConn, to Addr, data []byte) error {
 		return fmt.Errorf("lan: datagram of %d bytes exceeds limit %d", len(data), MaxDatagram)
 	}
 	s.mu.Lock()
+	dels := s.sendLocked(c, to, data, nil)
+	s.mu.Unlock()
+	s.arm(dels)
+	return nil
+}
+
+// sendBatch transmits a whole batch from c under one lock acquisition —
+// the simulated counterpart of sendmmsg. Deliveries are armed after the
+// lock drops, in batch order, so per-receiver FIFO order is identical
+// to a loop of Sends.
+func (s *Segment) sendBatch(c *segConn, batch []Datagram) (int, error) {
+	var dels []delivery
+	s.mu.Lock()
+	for i, d := range batch {
+		if len(d.Data) > MaxDatagram {
+			s.mu.Unlock()
+			s.arm(dels)
+			return i, fmt.Errorf("lan: datagram of %d bytes exceeds limit %d", len(d.Data), MaxDatagram)
+		}
+		if err := d.To.Validate(); err != nil {
+			s.mu.Unlock()
+			s.arm(dels)
+			return i, err
+		}
+		dels = s.sendLocked(c, d.To, d.Data, dels)
+	}
+	s.mu.Unlock()
+	s.arm(dels)
+	return len(batch), nil
+}
+
+// sendLocked runs the shared-medium model for one datagram and appends
+// its deliveries; the caller holds s.mu and arms them after unlocking.
+func (s *Segment) sendLocked(c *segConn, to Addr, data []byte, dels []delivery) []delivery {
 	now := s.clock.Now()
 	s.stats.PacketsSent++
 
@@ -149,8 +215,7 @@ func (s *Segment) send(c *segConn, to Addr, data []byte) error {
 	}
 	if txStart.Sub(now) > s.cfg.MaxBacklog {
 		s.stats.DroppedBusy++
-		s.mu.Unlock()
-		return nil // dropped on the floor, like Ethernet under saturation
+		return dels // dropped on the floor, like Ethernet under saturation
 	}
 	wireLen := len(data) + s.cfg.FrameOverhead
 	var txTime time.Duration
@@ -178,15 +243,9 @@ func (s *Segment) send(c *segConn, to Addr, data []byte) error {
 	}
 	if len(dests) == 0 {
 		s.stats.DroppedNoRoute++
-		s.mu.Unlock()
-		return nil
+		return dels
 	}
 
-	type delivery struct {
-		dst *segConn
-		at  time.Time
-	}
-	var dels []delivery
 	for _, dst := range dests {
 		if dst == c && to.IsMulticast() {
 			continue // no local loopback of own multicast
@@ -199,32 +258,54 @@ func (s *Segment) send(c *segConn, to Addr, data []byte) error {
 		if s.cfg.Jitter > 0 {
 			delay += time.Duration(s.randFloat() * float64(s.cfg.Jitter))
 		}
-		dels = append(dels, delivery{dst, txEnd.Add(delay)})
-	}
-	s.mu.Unlock()
-
-	pkt := Packet{From: c.local, To: to, Sent: now}
-	for _, d := range dels {
-		d := d
-		p := pkt
-		p.Data = append([]byte(nil), data...)
-		// AfterFunc arms the delivery timer synchronously, so deliveries
-		// to one receiver keep the sender's transmission order even at
-		// identical timestamps (switch FIFO semantics).
-		s.clock.AfterFunc(d.at.Sub(now), "lan-deliver", func() {
-			p.Recv = s.clock.Now()
-			if d.dst.enqueue(p) {
-				s.mu.Lock()
-				s.stats.Deliveries++
-				s.mu.Unlock()
-			} else {
-				s.mu.Lock()
-				s.stats.DroppedQueue++
-				s.mu.Unlock()
-			}
+		dels = append(dels, delivery{
+			dst:   dst,
+			delay: txEnd.Add(delay).Sub(now),
+			pkt:   Packet{From: c.local, To: to, Sent: now},
+			data:  data,
 		})
 	}
-	return nil
+	return dels
+}
+
+// arm schedules the deliveries. AfterFunc arms each timer synchronously,
+// so deliveries to one receiver keep the sender's transmission order
+// even at identical timestamps (switch FIFO semantics). Consecutive
+// deliveries with the same delay share one timer event — the simulated
+// counterpart of a batched send handing the kernel many datagrams in
+// one crossing; per-receiver order within the group is slice order,
+// exactly as if armed one by one.
+func (s *Segment) arm(dels []delivery) {
+	for i := 0; i < len(dels); {
+		j := i + 1
+		for j < len(dels) && dels[j].delay == dels[i].delay {
+			j++
+		}
+		group := dels[i:j]
+		pkts := make([]Packet, len(group))
+		for k, d := range group {
+			pkts[k] = d.pkt
+			pkts[k].Data = append([]byte(nil), d.data...)
+		}
+		s.clock.AfterFunc(group[0].delay, "lan-deliver", func() {
+			now := s.clock.Now()
+			var delivered, dropped int64
+			for k, d := range group {
+				p := pkts[k]
+				p.Recv = now
+				if d.dst.enqueue(p) {
+					delivered++
+				} else {
+					dropped++
+				}
+			}
+			s.mu.Lock()
+			s.stats.Deliveries += delivered
+			s.stats.DroppedQueue += dropped
+			s.mu.Unlock()
+		})
+		i = j
+	}
 }
 
 // segConn is one endpoint on the segment.
@@ -252,6 +333,18 @@ func (c *segConn) Send(to Addr, data []byte) error {
 		return err
 	}
 	return c.seg.send(c, to, data)
+}
+
+// WriteBatch implements BatchWriter: the whole batch goes through the
+// shared-medium model under a single segment lock acquisition.
+func (c *segConn) WriteBatch(batch []Datagram) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	return c.seg.sendBatch(c, batch)
 }
 
 // enqueue delivers a packet into the receive queue, reporting false on

@@ -391,5 +391,16 @@ func TestRelayMIB(t *testing.T) {
 	if len(mib.Walk("es.relay")) < 10 {
 		t.Fatalf("walk returned %d vars", len(mib.Walk("es.relay")))
 	}
+	// The batching telemetry is on the operator surface.
+	for _, name := range []string{
+		"es.relay.fanout.batches",
+		"es.relay.fanout.flush.size",
+		"es.relay.fanout.flush.deadline",
+		"es.relay.fanout.flush.quiesce",
+	} {
+		if v, err := mib.Get(name); err != nil || v != "0" {
+			t.Fatalf("%s = (%q, %v), want 0", name, v, err)
+		}
+	}
 	r.Stop()
 }

@@ -1,9 +1,3 @@
-// Package mgmt implements the management surface the paper plans in
-// §5.3: an SNMP-flavoured MIB of named variables on every Ethernet
-// Speaker, a tiny get/set/walk protocol to manage them from an NMS-style
-// console (cmd/esctl), and a central-override facility — the "movies on
-// airplane seats overridden by crew announcements" scenario — built on
-// broadcast sets.
 package mgmt
 
 import (

@@ -37,6 +37,8 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 		func(s relay.Stats) int64 { return s.UpstreamControl })
 	stat("es.relay.upstream.data", "data packets taken off the group",
 		func(s relay.Stats) int64 { return s.UpstreamData })
+	stat("es.relay.upstream.foreign", "packets refused as not-from-the-group (injection attempts) or for a foreign channel",
+		func(s relay.Stats) int64 { return s.UpstreamForeign })
 	stat("es.relay.subscribes", "new subscriptions granted",
 		func(s relay.Stats) int64 { return s.Subscribes })
 	stat("es.relay.refreshes", "lease refreshes",
@@ -49,6 +51,14 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 		func(s relay.Stats) int64 { return s.FanoutSent })
 	stat("es.relay.fanout.dropped", "packets dropped by queue backpressure",
 		func(s relay.Stats) int64 { return s.FanoutDropped })
+	stat("es.relay.fanout.batches", "WriteBatch flushes issued",
+		func(s relay.Stats) int64 { return s.Batches })
+	stat("es.relay.fanout.flush.size", "flushes triggered by a full batch",
+		func(s relay.Stats) int64 { return s.FlushSize })
+	stat("es.relay.fanout.flush.deadline", "partial batches flushed on the flush interval",
+		func(s relay.Stats) int64 { return s.FlushDeadline })
+	stat("es.relay.fanout.flush.quiesce", "partial batches flushed at shutdown",
+		func(s relay.Stats) int64 { return s.FlushQuiesce })
 	stat("es.relay.senderrors", "unicast send failures",
 		func(s relay.Stats) int64 { return s.SendErrors })
 	return m

@@ -1,0 +1,16 @@
+// Package proto defines the Ethernet Speaker wire protocol (§2.3): the
+// periodic control packets that carry the audio configuration and the
+// producer's wall clock, the data packets that carry timestamped codec
+// payload, and the out-of-band catalog announcements (the MFTP-inspired
+// channel directory of §4.3).
+//
+// Design properties inherited from the paper:
+//
+//   - The producer keeps no per-listener state; control packets repeat
+//     the full configuration at a fixed cadence, so a speaker can tune in
+//     at any time and must merely wait for the next control packet.
+//   - Every data packet carries a play timestamp relative to the
+//     producer's wall clock, which the control packets distribute.
+//   - Packets are individually parseable with strict validation; a
+//     malformed packet is an error, never a panic.
+package proto

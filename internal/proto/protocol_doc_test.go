@@ -1,0 +1,103 @@
+package proto
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docPath locates docs/PROTOCOL.md relative to this package directory.
+const docPath = "../../docs/PROTOCOL.md"
+
+// parseCodeTable extracts `name` -> code pairs from the markdown table
+// that follows the given heading.
+func parseCodeTable(t *testing.T, doc, heading string) map[string]uint8 {
+	t.Helper()
+	_, after, found := strings.Cut(doc, heading)
+	if !found {
+		t.Fatalf("PROTOCOL.md: heading %q missing", heading)
+	}
+	row := regexp.MustCompile("^\\|\\s*`([A-Za-z]+)`\\s*\\|\\s*(\\d+)\\s*\\|")
+	codes := map[string]uint8{}
+	inTable := false
+	for _, line := range strings.Split(after, "\n") {
+		m := row.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			if inTable && !strings.HasPrefix(strings.TrimSpace(line), "|") {
+				break // table ended
+			}
+			continue
+		}
+		inTable = true
+		n, err := strconv.Atoi(m[2])
+		if err != nil || n > 255 {
+			t.Fatalf("PROTOCOL.md %q: bad code in row %q", heading, line)
+		}
+		codes[m[1]] = uint8(n)
+	}
+	if len(codes) == 0 {
+		t.Fatalf("PROTOCOL.md: no code rows under %q", heading)
+	}
+	return codes
+}
+
+// TestProtocolDocMatchesConstants keeps docs/PROTOCOL.md honest: the
+// documented type, auth-scheme, and subscription-status codes must
+// match the constants this package actually puts on the wire, in both
+// directions (nothing undocumented, nothing stale).
+func TestProtocolDocMatchesConstants(t *testing.T) {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatalf("wire-format doc missing: %v", err)
+	}
+	doc := string(raw)
+
+	check := func(heading string, want map[string]uint8) {
+		t.Helper()
+		got := parseCodeTable(t, doc, heading)
+		if len(got) != len(want) {
+			t.Errorf("%s: documented %d codes, code defines %d", heading, len(got), len(want))
+		}
+		for name, code := range want {
+			if got[name] != code {
+				t.Errorf("%s: %s documented as %d, code says %d", heading, name, got[name], code)
+			}
+		}
+		for name := range got {
+			if _, ok := want[name]; !ok {
+				t.Errorf("%s: documents unknown entry %q", heading, name)
+			}
+		}
+	}
+
+	check("### Type codes", map[string]uint8{
+		"Control":   uint8(TypeControl),
+		"Data":      uint8(TypeData),
+		"Announce":  uint8(TypeAnnounce),
+		"Subscribe": uint8(TypeSubscribe),
+		"SubAck":    uint8(TypeSubAck),
+	})
+	check("### Auth scheme codes", map[string]uint8{
+		"None":  uint8(AuthNone),
+		"HMAC":  uint8(AuthHMAC),
+		"Chain": uint8(AuthChain),
+		"HORS":  uint8(AuthHORS),
+	})
+	check("### Subscription status codes", map[string]uint8{
+		"OK":        uint8(SubOK),
+		"NoChannel": uint8(SubNoChannel),
+		"TableFull": uint8(SubTableFull),
+	})
+
+	// The framing constants are documented literally.
+	if !strings.Contains(doc, fmt.Sprintf("0x%04X", Magic)) &&
+		!strings.Contains(doc, fmt.Sprintf("0x%04x", Magic)) {
+		t.Errorf("PROTOCOL.md does not state the magic 0x%04X", Magic)
+	}
+	if !strings.Contains(doc, fmt.Sprintf("currently `%d`", Version)) {
+		t.Errorf("PROTOCOL.md does not state protocol version %d", Version)
+	}
+}

@@ -1,0 +1,11 @@
+// Package rebroadcast implements the Audio Stream Rebroadcaster (§2.2):
+// the producer that reads audio and configuration from the VAD master
+// side, rate-limits the stream to real time (§3.1), compresses
+// high-bitrate channels (§2.2), and multicasts control + data packets
+// onto the LAN (§2.3).
+//
+// The producer is deliberately stateless with respect to listeners: it
+// periodically multicasts a control packet carrying the full audio
+// configuration and its wall clock, so speakers are pure receivers that
+// can tune in at any time.
+package rebroadcast

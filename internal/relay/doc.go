@@ -1,0 +1,25 @@
+// Package relay bridges a multicast channel to off-LAN listeners: a
+// Relay joins the channel's multicast group as an ordinary receiver —
+// indistinguishable from a speaker, so the producer stays
+// listener-stateless (§2.3) — and fans the control + data packet stream
+// out to dynamically subscribed unicast destinations.
+//
+// Subscriptions are TURN-style leases (cf. RFC 5766 allocations): a
+// subscriber sends a proto.Subscribe naming the lease it wants and must
+// re-send before expiry; the relay acknowledges with a proto.SubAck
+// carrying the granted lease and silently expires subscribers that stop
+// refreshing. All per-listener state therefore lives in the relay, is
+// soft, and is bounded.
+//
+// The fan-out path is sharded and batched: subscribers hash onto
+// shards, each shard has its own worker task, lock, and (when a Network
+// is configured) its own send socket, and every subscriber owns a
+// bounded packet queue with drop-oldest backpressure — a slow or dead
+// unicast path cannot stall the multicast receive loop or other
+// subscribers. An upstream packet is parsed once and the same buffer is
+// enqueued to every subscriber by reference; the workers drain queues
+// round-robin into lan.Datagram batches and flush them with one
+// WriteBatch call (sendmmsg on Linux) when the batch fills, when a
+// partial batch has lingered for the flush interval, or when the relay
+// quiesces. See docs/RELAY-OPS.md for the operator view.
+package relay

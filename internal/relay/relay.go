@@ -1,24 +1,8 @@
-// Package relay bridges a multicast channel to off-LAN listeners: a
-// Relay joins the channel's multicast group as an ordinary receiver —
-// indistinguishable from a speaker, so the producer stays
-// listener-stateless (§2.3) — and fans the control + data packet stream
-// out to dynamically subscribed unicast destinations.
-//
-// Subscriptions are TURN-style leases (cf. RFC 5766 allocations): a
-// subscriber sends a proto.Subscribe naming the lease it wants and must
-// re-send before expiry; the relay acknowledges with a proto.SubAck
-// carrying the granted lease and silently expires subscribers that stop
-// refreshing. All per-listener state therefore lives in the relay, is
-// soft, and is bounded.
-//
-// The fan-out path is sharded: subscribers hash onto shards, each shard
-// has its own worker task and lock, and every subscriber owns a bounded
-// packet queue with drop-oldest backpressure — a slow or dead unicast
-// path cannot stall the multicast receive loop or other subscribers.
 package relay
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"time"
@@ -44,6 +28,14 @@ const (
 	MinLease = time.Second
 	// DefaultSweepInterval is the lease-expiry scan cadence.
 	DefaultSweepInterval = time.Second
+	// DefaultBatch is the fan-out batch size: how many datagrams a shard
+	// worker accumulates before one WriteBatch flush.
+	DefaultBatch = 32
+	// DefaultFlushInterval bounds how long a partial batch may linger
+	// before it is flushed anyway; it is pure added latency for the
+	// packets in the batch, so it stays well inside the speakers'
+	// synchronization epsilon.
+	DefaultFlushInterval = 2 * time.Millisecond
 	// recvTimeout bounds how long Run waits for any packet before
 	// re-checking liveness.
 	recvTimeout = 5 * time.Second
@@ -66,6 +58,17 @@ type Config struct {
 	MaxLease time.Duration
 	// SweepInterval overrides DefaultSweepInterval.
 	SweepInterval time.Duration
+	// Batch overrides DefaultBatch. 1 disables batching: every datagram
+	// is its own send call (the pre-batching baseline, kept for
+	// comparison benchmarks).
+	Batch int
+	// FlushInterval overrides DefaultFlushInterval.
+	FlushInterval time.Duration
+	// Network, when set, gives every shard its own send socket attached
+	// at an ephemeral port, so shard workers never serialize on one
+	// socket's lock and each can batch independently. When nil all
+	// shards send through the relay's main connection.
+	Network lan.Network
 }
 
 func (c *Config) applyDefaults() {
@@ -84,6 +87,12 @@ func (c *Config) applyDefaults() {
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = DefaultSweepInterval
 	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
 }
 
 // Stats is the relay's cumulative accounting.
@@ -100,6 +109,14 @@ type Stats struct {
 	FanoutSent      int64 // unicast packets delivered to subscribers
 	FanoutDropped   int64 // packets dropped by queue backpressure
 	SendErrors      int64
+
+	// Batching telemetry: Batches counts WriteBatch flushes, split by
+	// what triggered them. FanoutSent / Batches is the achieved batch
+	// size — the syscall amortization factor on a real network.
+	Batches       int64 // WriteBatch flushes issued
+	FlushSize     int64 // flushes triggered by a full batch
+	FlushDeadline int64 // partial batches flushed on the flush interval
+	FlushQuiesce  int64 // partial batches flushed at shutdown
 }
 
 // SubscriberInfo is one subscriber's public accounting snapshot.
@@ -123,8 +140,11 @@ type subscriber struct {
 }
 
 // shard is one slice of the subscriber table with its own fan-out
-// worker.
+// worker and, when Config.Network is set, its own send socket.
 type shard struct {
+	conn    lan.Conn // send path: shard-owned socket or the shared conn
+	ownConn bool     // conn was attached by us and must be closed on Stop
+
 	mu      sync.Mutex
 	work    vclock.Cond // signaled when any queue becomes non-empty
 	subs    map[lan.Addr]*subscriber
@@ -151,14 +171,19 @@ type Relay struct {
 	cfg    Config
 	shards []*shard
 
-	mu      sync.Mutex
-	stats   Stats
-	nsubs   int
-	stopped bool
+	mu          sync.Mutex
+	stats       Stats
+	nsubs       int
+	running     bool // Run spawned the shard workers
+	stopped     bool
+	workersDone int         // workers that have flushed and exited
+	workersIdle vclock.Cond // signaled as each worker exits
 }
 
 // New creates a relay that receives cfg.Group via conn and serves
-// subscribe requests arriving on conn's unicast address.
+// subscribe requests arriving on conn's unicast address. With
+// cfg.Network set, each shard additionally attaches its own
+// ephemeral-port send socket.
 func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 	cfg.applyDefaults()
 	if !cfg.Group.IsMulticast() {
@@ -168,9 +193,23 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		return nil, fmt.Errorf("relay: joining %q: %w", cfg.Group, err)
 	}
 	r := &Relay{clock: clock, conn: conn, cfg: cfg}
+	r.workersIdle = clock.NewCond()
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{subs: make(map[lan.Addr]*subscriber)}
+		sh := &shard{conn: conn, subs: make(map[lan.Addr]*subscriber)}
 		sh.work = clock.NewCond()
+		if cfg.Network != nil {
+			sc, err := cfg.Network.Attach(lan.Addr(
+				net.JoinHostPort(conn.LocalAddr().Host(), "0")))
+			if err != nil {
+				for _, prev := range r.shards {
+					if prev.ownConn {
+						prev.conn.Close()
+					}
+				}
+				return nil, fmt.Errorf("relay: attaching shard %d socket: %w", i, err)
+			}
+			sh.conn, sh.ownConn = sc, true
+		}
 		r.shards = append(r.shards, sh)
 	}
 	return r, nil
@@ -232,9 +271,9 @@ func (r *Relay) Subscribers() []SubscriberInfo {
 func (r *Relay) Table() *stats.Table {
 	st := r.Stats()
 	t := &stats.Table{
-		Title: fmt.Sprintf("relay %s -> %d subscriber(s); upstream %d ctl + %d data, fanout %d sent / %d dropped",
+		Title: fmt.Sprintf("relay %s -> %d subscriber(s); upstream %d ctl + %d data, fanout %d sent / %d dropped in %d batches",
 			r.cfg.Group, r.NumSubscribers(), st.UpstreamControl, st.UpstreamData,
-			st.FanoutSent, st.FanoutDropped),
+			st.FanoutSent, st.FanoutDropped, st.Batches),
 		Headers: []string{"subscriber", "channel", "sent", "dropped", "queued", "lease-left"},
 	}
 	now := r.clock.Now()
@@ -245,16 +284,37 @@ func (r *Relay) Table() *stats.Table {
 	return t
 }
 
-// Stop shuts the relay down; Run and the shard workers return.
+// Stop shuts the relay down; Run and the shard workers return. The
+// workers flush their partial batches on the way out (the quiesce
+// trigger), so Stop waits for them before closing any socket — closing
+// first would turn the final flush into send errors.
 func (r *Relay) Stop() {
 	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
 	r.stopped = true
+	running := r.running
 	r.mu.Unlock()
 	for _, sh := range r.shards {
 		sh.mu.Lock()
 		sh.stopped = true
 		sh.work.Broadcast()
 		sh.mu.Unlock()
+	}
+	if running {
+		r.mu.Lock()
+		for r.workersDone < len(r.shards) {
+			r.workersIdle.Wait(&r.mu)
+		}
+		r.mu.Unlock()
+	} else {
+		for _, sh := range r.shards {
+			if sh.ownConn {
+				sh.conn.Close() // no worker exists to do it
+			}
+		}
 	}
 	r.conn.Close()
 }
@@ -269,6 +329,13 @@ func (r *Relay) isStopped() bool {
 // Run receives and relays until Stop. Spawn it via clock.Go; it spawns
 // the shard workers and the lease sweeper itself.
 func (r *Relay) Run() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.running = true
+	r.mu.Unlock()
 	for i, sh := range r.shards {
 		sh := sh
 		r.clock.Go(fmt.Sprintf("relay-shard-%d", i), func() { r.shardWorker(sh) })
@@ -450,49 +517,136 @@ func (r *Relay) fanout(data []byte) {
 	}
 }
 
-// shardWorker drains its shard's subscriber queues: one packet per
-// subscriber per pass (round-robin fairness), sends outside the lock.
+// flushTrigger names what caused a batch flush.
+type flushTrigger int
+
+const (
+	flushSize     flushTrigger = iota // batch reached cfg.Batch
+	flushDeadline                     // partial batch aged out (FlushInterval)
+	flushQuiesce                      // relay stopping; drain what's left
+)
+
+// shardWorker drains its shard's subscriber queues into lan.Datagram
+// batches: round-robin across subscribers for fairness, per-subscriber
+// FIFO so a subscriber's stream is never reordered, one WriteBatch per
+// flush. A batch flushes when full (size), when a partial batch has
+// waited FlushInterval for company (deadline), or when the relay stops
+// (quiesce). The actual sends happen outside the shard lock.
 func (r *Relay) shardWorker(sh *shard) {
-	type job struct {
-		sub  *subscriber
-		data []byte
-	}
-	var batch []job
+	defer func() {
+		if sh.ownConn {
+			sh.conn.Close()
+		}
+		r.mu.Lock()
+		r.workersDone++
+		r.workersIdle.Broadcast()
+		r.mu.Unlock()
+	}()
+	maxBatch := r.cfg.Batch
+	dgs := lan.GetBatch() // reuse pool: zero steady-state allocation
+	defer func() { lan.PutBatch(dgs) }()
+	var owners []*subscriber // owners[i] is the subscriber behind dgs[i]
 	for {
-		batch = batch[:0]
+		dgs = dgs[:0]
+		owners = owners[:0]
+		var deadline time.Time
+		trigger := flushQuiesce
 		sh.mu.Lock()
 		for {
+			// Gather: one queued packet per subscriber per pass, oldest
+			// first, until the batch fills or the queues drain.
+			progress := false
 			for _, sub := range sh.order {
+				if len(dgs) >= maxBatch {
+					break
+				}
 				if len(sub.queue) > 0 {
 					data := sub.queue[0]
 					copy(sub.queue, sub.queue[1:])
 					sub.queue = sub.queue[:len(sub.queue)-1]
-					batch = append(batch, job{sub, data})
+					dgs = append(dgs, lan.Datagram{To: sub.addr, Data: data})
+					owners = append(owners, sub)
+					progress = true
 				}
 			}
-			if len(batch) > 0 || sh.stopped {
+			if len(dgs) >= maxBatch {
+				trigger = flushSize
 				break
+			}
+			if sh.stopped {
+				trigger = flushQuiesce
+				break
+			}
+			if progress {
+				continue // queues may hold more packets
+			}
+			if len(dgs) > 0 {
+				// Partial batch and nothing queued: linger briefly for
+				// more work, but never past the flush deadline.
+				if deadline.IsZero() {
+					deadline = r.clock.Now().Add(r.cfg.FlushInterval)
+				}
+				remain := deadline.Sub(r.clock.Now())
+				if remain <= 0 || !sh.work.WaitTimeout(&sh.mu, remain) {
+					trigger = flushDeadline
+					break
+				}
+				continue
 			}
 			sh.work.Wait(&sh.mu)
 		}
 		stopped := sh.stopped
 		sh.mu.Unlock()
-		if len(batch) == 0 && stopped {
+		if len(dgs) > 0 {
+			r.flush(sh, dgs, owners, trigger)
+		}
+		if stopped && len(dgs) == 0 {
 			return
 		}
-		var sent, errs int64
-		for _, j := range batch {
-			if err := r.conn.Send(j.sub.addr, j.data); err != nil {
-				errs++
-				continue
-			}
-			sent++
-			sh.mu.Lock()
-			j.sub.sent++
-			sh.mu.Unlock()
-		}
-		r.count(func(s *Stats) { s.FanoutSent += sent; s.SendErrors += errs })
 	}
+}
+
+// flush sends one gathered batch through the shard's socket and settles
+// the accounting. WriteBatch has prefix semantics — datagrams before
+// the first error were handed to the substrate, the rest were not — so
+// on a partial send the failing datagram is skipped and the remainder
+// retried: one subscriber with a poisoned path (ICMP-refused port,
+// firewall EPERM) must not starve the subscribers batched after it.
+func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigger flushTrigger) {
+	var sent, errs int64
+	for len(dgs) > 0 {
+		n, err := lan.WriteBatch(sh.conn, dgs)
+		if n > len(dgs) {
+			n = len(dgs) // defensive: prefix contract
+		}
+		sh.mu.Lock()
+		for _, sub := range owners[:n] {
+			sub.sent++
+		}
+		sh.mu.Unlock()
+		sent += int64(n)
+		dgs, owners = dgs[n:], owners[n:]
+		if err == nil {
+			break
+		}
+		if len(dgs) > 0 { // skip the datagram that errored, keep going
+			dgs, owners = dgs[1:], owners[1:]
+		}
+		errs++
+	}
+	r.count(func(s *Stats) {
+		s.FanoutSent += sent
+		s.SendErrors += errs
+		s.Batches++
+		switch trigger {
+		case flushSize:
+			s.FlushSize++
+		case flushDeadline:
+			s.FlushDeadline++
+		case flushQuiesce:
+			s.FlushQuiesce++
+		}
+	})
 }
 
 // sweep expires silent subscribers and frees their queues.

@@ -279,6 +279,200 @@ func TestUnicastInjectionNotRelayed(t *testing.T) {
 	}
 }
 
+func TestPartialBatchFlushedOnDeadline(t *testing.T) {
+	// Three packets against a batch size of 8: the batch never fills, so
+	// the worker must flush it on the flush interval, as one batch.
+	sim, _, r := newTestRelay(t, Config{
+		Batch: 8, FlushInterval: 5 * time.Millisecond,
+	})
+	var st Stats
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+			t.Error("subscribe failed")
+		}
+		r.fanout([]byte{1})
+		r.fanout([]byte{2})
+		r.fanout([]byte{3})
+		sim.Sleep(50 * time.Millisecond)
+		st = r.Stats()
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if st.FanoutSent != 3 {
+		t.Fatalf("fanout sent = %d, want 3 (stats %+v)", st.FanoutSent, st)
+	}
+	if st.FlushDeadline != 1 || st.Batches != 1 || st.FlushSize != 0 {
+		t.Fatalf("want exactly one deadline flush carrying all 3: %+v", st)
+	}
+}
+
+func TestPartialBatchFlushedOnShutdown(t *testing.T) {
+	// A partial batch is parked behind an hour-long flush interval; Stop
+	// must still deliver it (quiesce flush) before any socket closes.
+	sim, seg, r := newTestRelay(t, Config{Batch: 8, FlushInterval: time.Hour})
+	sub, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	var st Stats
+	sim.Go("drain", func() {
+		for {
+			if _, err := sub.Recv(0); err != nil {
+				return
+			}
+			got++
+		}
+	})
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+			t.Error("subscribe failed")
+		}
+		r.fanout([]byte{1})
+		r.fanout([]byte{2})
+		r.fanout([]byte{3})
+		sim.Sleep(10 * time.Millisecond) // far short of the flush interval
+		r.Stop()
+		st = r.Stats()
+		sim.Sleep(10 * time.Millisecond) // let deliveries land
+		sub.Close()
+	})
+	sim.WaitIdle()
+	if st.FlushQuiesce != 1 || st.FanoutSent != 3 || st.SendErrors != 0 {
+		t.Fatalf("quiesce flush missing or lossy: %+v", st)
+	}
+	if got != 3 {
+		t.Fatalf("subscriber received %d of 3 packets parked at shutdown", got)
+	}
+}
+
+func TestSubscriberExpiringMidBatch(t *testing.T) {
+	// The sweeper removes a subscriber while its packets sit in a
+	// worker's pending batch. The flush must still complete and the
+	// accounting stay consistent — sends to a departed address are just
+	// UDP datagrams nobody reads.
+	sim, _, r := newTestRelay(t, Config{
+		Batch:         8,
+		FlushInterval: 20 * time.Millisecond,
+		SweepInterval: time.Millisecond,
+	})
+	var st Stats
+	var subs int
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		if !r.subscribe("10.0.0.2:5004", 0, time.Millisecond) {
+			t.Error("subscribe failed")
+		}
+		r.fanout([]byte{1})
+		r.fanout([]byte{2})
+		// Lease runs out at 1ms; the batch deadline-flushes at 20ms.
+		sim.Sleep(100 * time.Millisecond)
+		st = r.Stats()
+		subs = r.NumSubscribers()
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if st.Expired != 1 || subs != 0 {
+		t.Fatalf("subscriber not expired: %d subs, stats %+v", subs, st)
+	}
+	if st.FanoutSent != 2 || st.Batches != 1 {
+		t.Fatalf("mid-batch expiry corrupted the flush: %+v", st)
+	}
+}
+
+func TestFlushSkipsPoisonedDestination(t *testing.T) {
+	// One subscriber whose sends always fail must cost only its own
+	// packets: flush skips the failing datagram and retries the rest of
+	// the batch, so subscribers ordered after it still get everything.
+	sim, _, r := newTestRelay(t, Config{
+		Shards: 1, Batch: 8, FlushInterval: time.Millisecond,
+	})
+	for _, a := range []lan.Addr{"10.0.0.2:5004", "bad-address", "10.0.0.3:5004"} {
+		if !r.subscribe(a, 0, time.Minute) {
+			t.Fatalf("subscribe %s failed", a)
+		}
+	}
+	var st Stats
+	var subs []SubscriberInfo
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		r.fanout([]byte{1})
+		r.fanout([]byte{2})
+		sim.Sleep(50 * time.Millisecond)
+		st = r.Stats()
+		subs = r.Subscribers()
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if st.FanoutSent != 4 || st.SendErrors != 2 {
+		t.Fatalf("sent/errors = %d/%d, want 4/2 (stats %+v)", st.FanoutSent, st.SendErrors, st)
+	}
+	for _, s := range subs {
+		want := int64(2)
+		if s.Addr == "bad-address" {
+			want = 0
+		}
+		if s.Sent != want {
+			t.Fatalf("%s sent = %d, want %d (after poisoned peer)", s.Addr, s.Sent, want)
+		}
+	}
+}
+
+func TestPerShardSendSockets(t *testing.T) {
+	// With a Network configured, data leaves through shard-owned
+	// ephemeral sockets, not the subscribe/ack socket.
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(sim, conn, Config{Group: testGroup, Network: seg, Batch: 4,
+		FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ackFrom, dataFrom lan.Addr
+	sim.Go("relay", r.Run)
+	sim.Go("subscriber", func() {
+		data, _ := (&proto.Subscribe{Channel: 0, Seq: 1, LeaseMs: 60000}).Marshal()
+		if err := sub.Send(r.Addr(), data); err != nil {
+			t.Error(err)
+			return
+		}
+		pkt, err := sub.Recv(time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ackFrom = pkt.From
+		// Feed one data packet in off the group.
+		dp, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: []byte{9}}).Marshal()
+		r.handlePacket(lan.Packet{From: "10.0.0.9:5000", To: testGroup, Data: dp})
+		pkt, err = sub.Recv(time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dataFrom = pkt.From
+		r.Stop()
+		sub.Close()
+	})
+	sim.WaitIdle()
+	if ackFrom != r.Addr() {
+		t.Fatalf("suback came from %s, want the relay's leased address %s", ackFrom, r.Addr())
+	}
+	if dataFrom == "" || dataFrom == r.Addr() {
+		t.Fatalf("data came from %s, want a shard-owned ephemeral socket", dataFrom)
+	}
+}
+
 func TestTableRendersSubscribers(t *testing.T) {
 	_, _, r := newTestRelay(t, Config{})
 	r.subscribe("10.0.0.2:5004", 1, time.Minute)

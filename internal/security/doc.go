@@ -1,0 +1,23 @@
+// Package security implements the packet-authentication schemes the
+// paper plans for the Ethernet Speaker (§5.1): speakers must not play
+// audio from unauthorized sources, and the verification path must be
+// cheap enough that an attacker cannot exhaust a speaker by flooding it
+// with garbage ("digitally signing every audio packet is not feasible as
+// it allows an attacker to overwhelm an ES").
+//
+// Three schemes are provided behind one wrapping format:
+//
+//   - HMAC: a shared group secret; fastest, but any group member can
+//     forge (symmetric).
+//   - Chain: hash-chain key release in the TESLA style — each packet is
+//     MACed under the next key of a one-way chain whose anchor is
+//     distributed out of band; receivers verify chain ancestry. Source
+//     asymmetry depends on the delayed-release timing assumption, which
+//     a single LAN satisfies loosely; see the type comment.
+//   - HORS: a hash-based few-time signature (after Reyzin & Reyzin's
+//     "Better than BiBa", the paper's citation [13]): large public keys
+//     but very fast signing and verification compared to conventional
+//     signatures.
+//
+// Wrapped packet format: inner || trailer || u16 trailerLen || u8 scheme.
+package security

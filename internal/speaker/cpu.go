@@ -1,9 +1,3 @@
-// Package speaker implements the Ethernet Speaker (§2.4): a receive-only
-// device that joins a channel's multicast group, waits for a control
-// packet, decodes the stream, and plays it against the producer's wall
-// clock with an epsilon of leeway (§3.2). It also carries the paper's
-// future-work features: software volume with an ambient-noise automatic
-// controller (§5.2) and a management surface (internal/mgmt).
 package speaker
 
 import "time"

@@ -1,0 +1,5 @@
+// Package stats provides the light measurement plumbing the experiment
+// harness uses: sampled time series (the CPU-vs-time and context-switch
+// figures are series), summary statistics, and plain-text table/series
+// rendering for cmd/eslab output.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the light measurement plumbing the experiment
-// harness uses: sampled time series (the CPU-vs-time and context-switch
-// figures are series), summary statistics, and plain-text table/series
-// rendering for cmd/eslab output.
 package stats
 
 import (

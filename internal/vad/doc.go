@@ -1,0 +1,22 @@
+// Package vad implements the paper's Virtual Audio Device: a pseudo
+// device-pair modeled on pty(4). The slave side presents the exact
+// audio(4) interface (it is an audiodev.Device), so unmodified audio
+// applications play into it; whatever they write — audio data and the
+// ioctl-set configuration — appears on the master side for a user
+// process such as the rebroadcaster to consume (§2.1).
+//
+// Because the OpenBSD audio architecture assumes a hardware interrupt
+// engine behind every low-level driver, a pseudo device must fake one
+// (§3.3). The package implements all three variants the paper discusses:
+//
+//   - ModeNaive: no engine at all. TriggerOutput consumes a single block
+//     and is never invoked again; playback stalls. This reproduces the
+//     bug that motivated the kernel thread.
+//   - ModeUserStreaming: a kernel thread moves blocks from the slave's
+//     ring to the master device, where a user-level application reads
+//     them — the design the paper shipped.
+//   - ModeInKernelStreaming: the kernel thread itself delivers blocks to
+//     a send callback (streaming entirely inside the kernel), the
+//     lower-context-switch variant of Figure 5 that was rejected for
+//     inflexibility.
+package vad

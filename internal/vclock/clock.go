@@ -1,13 +1,3 @@
-// Package vclock provides the time substrate for the Ethernet Speaker
-// system: an abstract Clock interface with two implementations, a thin
-// wrapper over the real system clock and a deterministic simulated clock
-// (Sim) with a cooperative task scheduler.
-//
-// Every blocking operation in the system — rate-limiter sleeps, audio
-// device waits, network receives — goes through a Clock, so whole-system
-// tests run in simulated time: they are fast, reproducible, and expose
-// scheduler-level quantities such as the context-switch rate that the
-// paper's Figure 5 reports via vmstat.
 package vclock
 
 import (
