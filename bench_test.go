@@ -246,7 +246,9 @@ func BenchmarkSegmentMulticast(b *testing.B) {
 // channel out to unicast subscribers on the simulated segment, as a
 // table over the subscriber count and the send strategy: batch=1 is the
 // per-subscriber-send baseline (PR 1's data path), batch=64 the batched
-// WriteBatch path. The headline metric is ns/pkt — wall time per
+// WriteBatch path, and the hops=2 row routes the stream through a
+// chained relay (group -> relay -> relay -> subscribers) to price one
+// extra bridge hop. The headline metric is ns/pkt — wall time per
 // fanned-out packet — which records the scaling curve toward thousands
 // of subscribers per relay; pkts-fanned-out and pkts-dropped keep the
 // delivery and backpressure counts honest.
@@ -254,13 +256,16 @@ func BenchmarkRelayFanout(b *testing.B) {
 	for _, subs := range []int{100, 1000, 5000} {
 		for _, batch := range []int{1, 64} {
 			b.Run(fmt.Sprintf("subs=%d/batch=%d", subs, batch), func(b *testing.B) {
-				benchRelayFanout(b, subs, batch)
+				benchRelayFanout(b, subs, batch, 1)
 			})
 		}
 	}
+	b.Run("subs=1000/batch=64/hops=2", func(b *testing.B) {
+		benchRelayFanout(b, 1000, 64, 2)
+	})
 }
 
-func benchRelayFanout(b *testing.B, subscribers, batch int) {
+func benchRelayFanout(b *testing.B, subscribers, batch, hops int) {
 	var sent, dropped int64
 	var active time.Duration // wall time of the fan-out window only
 	for i := 0; i < b.N; i++ {
@@ -278,6 +283,18 @@ func benchRelayFanout(b *testing.B, subscribers, batch int) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+		for h := 1; h < hops; h++ {
+			// Chain another relay behind the previous one; subscribers
+			// lease from the end of the chain.
+			r, err = sys.AddRelay(relay.Config{
+				Upstream: r.Addr(), Channel: 1,
+				Batch:          batch,
+				MaxSubscribers: subscribers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 		// Raw draining subscribers: the benchmark isolates the relay's
 		// fan-out path, not thousands of full speaker pipelines.

@@ -28,7 +28,8 @@ import (
 
 func main() {
 	var (
-		group  = flag.String("group", "239.72.1.1:5004", "channel multicast group")
+		group  = flag.String("group", "239.72.1.1:5004", "channel multicast group, or a relay's unicast address")
+		chanID = flag.Uint("channel", 0, "channel id to request when -group is a relay (0 = whatever it carries)")
 		local  = flag.String("local", "0.0.0.0:5004", "local bind address")
 		mgmtAt = flag.String("mgmt", "", "management agent bind address (empty disables)")
 		name   = flag.String("name", "es", "speaker name")
@@ -57,9 +58,10 @@ func main() {
 	clock := vclock.System
 	net := &lan.UDPNetwork{}
 	sp, err := speaker.New(clock, net, speaker.Config{
-		Name:  *name,
-		Local: lan.Addr(*local),
-		Group: lan.Addr(*group),
+		Name:    *name,
+		Local:   lan.Addr(*local),
+		Group:   lan.Addr(*group),
+		Channel: uint32(*chanID),
 	})
 	if err != nil {
 		log.Fatal(err)

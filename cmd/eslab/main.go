@@ -118,6 +118,13 @@ func main() {
 			}
 			experiments.E12BatchOrder(w, counts)
 		}},
+		{"chain", "E13: multi-hop relay chaining, discovery, and loop refusal", func(q bool) {
+			hops := 3
+			if q {
+				hops = 2
+			}
+			experiments.E13Chain(w, hops)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

@@ -22,32 +22,49 @@
 // A speaker on another network then tunes to <relay-host>:5006, e.g.
 //
 //	esd -group 192.0.2.10:5006
+//
+// Relays chain: -upstream points this relay at another relay instead
+// of a multicast group, so bridges compose across several network
+// segments (each hop holds a TURN-style lease on the previous one, and
+// loops are refused with SubLoop). -advertise publishes this relay in
+// the §4.3 catalog so off-LAN speakers and downstream relays can find
+// it without static configuration (-advertise requires a routable
+// -listen address — a wildcard bind would advertise an address no
+// subscriber can reach):
+//
+//	relayd -upstream 192.0.2.10:5006 -listen 198.51.100.7:5006 \
+//	       -advertise 239.72.0.1:5003
 package main
 
 import (
 	"flag"
 	"log"
+	stdnet "net"
 	"os"
 	"time"
 
 	"repro/internal/lan"
+	"repro/internal/rebroadcast"
 	"repro/internal/relay"
 	"repro/internal/vclock"
 )
 
 func main() {
 	var (
-		group   = flag.String("group", "239.72.1.1:5004", "multicast group to relay")
-		listen  = flag.String("listen", "0.0.0.0:5006", "unicast address subscribers lease from")
-		channel = flag.Uint("channel", 0, "restrict to one channel id (0 = any)")
-		shards  = flag.Int("shards", relay.DefaultShards, "subscriber table shards")
-		queue   = flag.Int("queue", relay.DefaultQueueLen, "per-subscriber queue length (packets)")
-		maxSubs = flag.Int("max-subscribers", relay.DefaultMaxSubscribers, "subscriber table capacity")
-		maxLs   = flag.Duration("max-lease", relay.DefaultMaxLease, "longest grantable lease")
-		batch   = flag.Int("batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
-		flush   = flag.Duration("flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
-		shardSk = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
-		report  = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
+		group    = flag.String("group", "239.72.1.1:5004", "multicast group to relay (ignored with -upstream)")
+		upstream = flag.String("upstream", "", "chain behind another relay: its unicast address (replaces -group)")
+		adverts  = flag.String("advertise", "", "catalog group to advertise this relay on (empty = off; the system default is 239.72.0.1:5003)")
+		maxHops  = flag.Int("max-hops", relay.DefaultMaxHops, "refuse subscription paths deeper than this many relays")
+		listen   = flag.String("listen", "0.0.0.0:5006", "unicast address subscribers lease from")
+		channel  = flag.Uint("channel", 0, "restrict to one channel id (0 = any)")
+		shards   = flag.Int("shards", relay.DefaultShards, "subscriber table shards")
+		queue    = flag.Int("queue", relay.DefaultQueueLen, "per-subscriber queue length (packets)")
+		maxSubs  = flag.Int("max-subscribers", relay.DefaultMaxSubscribers, "subscriber table capacity")
+		maxLs    = flag.Duration("max-lease", relay.DefaultMaxLease, "longest grantable lease")
+		batch    = flag.Int("batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
+		flush    = flag.Duration("flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
+		shardSk  = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
+		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
 	)
 	flag.Parse()
 	log.SetPrefix("relayd: ")
@@ -63,6 +80,8 @@ func main() {
 
 	cfg := relay.Config{
 		Group:          lan.Addr(*group),
+		Upstream:       lan.Addr(*upstream),
+		MaxHops:        *maxHops,
 		Channel:        uint32(*channel),
 		Shards:         *shards,
 		QueueLen:       *queue,
@@ -70,6 +89,9 @@ func main() {
 		MaxLease:       *maxLs,
 		Batch:          *batch,
 		FlushInterval:  *flush,
+	}
+	if *upstream != "" {
+		cfg.Group = "" // chained: the upstream relay is the source
 	}
 	if *shardSk {
 		// Per-shard send sockets: each shard batches through its own
@@ -84,7 +106,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("relaying %s, subscribers lease at %s", *group, r.Addr())
+	log.Printf("relaying %s, subscribers lease at %s", r.Source(), r.Addr())
+
+	if *adverts != "" {
+		// Publish this relay in the channel catalog (§4.3) so off-LAN
+		// speakers and downstream relays discover it without static
+		// configuration. The advertised address is -listen verbatim, so
+		// a wildcard bind would publish an address no subscriber can
+		// reach ("0.0.0.0:5006" sends the Subscribe back to the
+		// subscriber's own host) — refuse it up front.
+		if ip := stdnet.ParseIP(lan.Addr(*listen).Host()); ip == nil || ip.IsUnspecified() {
+			log.Fatalf("-advertise needs a routable -listen address, not %q: bind the interface subscribers reach", *listen)
+		}
+		// The announcer gets its own ephemeral socket so catalog
+		// traffic never contends with the data path.
+		cconn, err := net.Attach(lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cconn.Close()
+		cat := rebroadcast.NewCatalog(clock, cconn, lan.Addr(*adverts), 0)
+		cat.SetRelay(r.Info())
+		clock.Go("advertise", cat.Run)
+		defer cat.Stop()
+		log.Printf("advertising on %s", *adverts)
+	}
 
 	if *report > 0 {
 		clock.Go("report", func() {

@@ -141,6 +141,9 @@ func (s *System) StartCatalog(interval time.Duration) error {
 	for _, ch := range s.channels {
 		cat.SetChannel(ch.Info())
 	}
+	for _, r := range s.relays {
+		cat.SetRelay(r.Info())
+	}
 	s.mu.Unlock()
 	s.Clock.Go("catalog", cat.Run)
 	return nil
@@ -178,9 +181,11 @@ func (s *System) Speakers() []*speaker.Speaker {
 	return append([]*speaker.Speaker(nil), s.speakers...)
 }
 
-// AddRelay creates and starts a relay bridging cfg.Group to unicast
-// subscribers. Speakers beyond the multicast segment tune to the
-// returned relay's Addr() instead of the group.
+// AddRelay creates and starts a relay bridging cfg.Group (or, chained,
+// cfg.Upstream) to unicast subscribers. Speakers beyond the multicast
+// segment tune to the returned relay's Addr() instead of the group.
+// With the catalog running, the relay is advertised there so off-LAN
+// tuners and downstream relays can discover it.
 func (s *System) AddRelay(cfg relay.Config) (*relay.Relay, error) {
 	a := s.nextHostAddr()
 	conn, err := s.Net.Attach(lan.Addr(fmt.Sprintf("%s:%d", a.Host(), 5006)))
@@ -197,7 +202,11 @@ func (s *System) AddRelay(cfg relay.Config) (*relay.Relay, error) {
 	}
 	s.mu.Lock()
 	s.relays = append(s.relays, r)
+	cat := s.catalog
 	s.mu.Unlock()
+	if cat != nil {
+		cat.SetRelay(r.Info())
+	}
 	s.Clock.Go("relay-"+string(r.Addr()), r.Run)
 	return r, nil
 }

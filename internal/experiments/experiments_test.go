@@ -310,3 +310,22 @@ func TestE12Shape(t *testing.T) {
 			res.Rows[1].AvgBatch, res.Rows[1].Subscribers)
 	}
 }
+
+func TestE13Shape(t *testing.T) {
+	res := E13Chain(io.Discard, 3)
+	if res.Hops != 3 {
+		t.Fatalf("hops = %d", res.Hops)
+	}
+	if res.DataAtLastHop == 0 {
+		t.Fatalf("no data crossed the 3-hop chain: %+v", res)
+	}
+	if res.LeakPackets != 0 {
+		t.Fatalf("channel-1 subscriber leaked %d channel-2 packets: %+v", res.LeakPackets, res)
+	}
+	if !res.Discovered {
+		t.Fatalf("catalog discovery failed: %+v", res)
+	}
+	if res.LoopRefusals == 0 || res.LoopRefused == 0 {
+		t.Fatalf("relay cycle not refused: %+v", res)
+	}
+}

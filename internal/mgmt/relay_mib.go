@@ -14,8 +14,10 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 	m := NewMIB()
 	m.Register(StringVar("es.info.name", "relay name",
 		func() string { return name }, nil))
-	m.Register(StringVar("es.relay.group", "multicast group being relayed",
+	m.Register(StringVar("es.relay.group", "multicast group being relayed (empty when chained)",
 		func() string { return string(r.Group()) }, nil))
+	m.Register(StringVar("es.relay.upstream", "upstream relay this one is chained behind (empty when joining a group)",
+		func() string { return string(r.Upstream()) }, nil))
 	m.Register(StringVar("es.relay.addr", "unicast address subscribers lease from",
 		func() string { return string(r.Addr()) }, nil))
 	m.Register(IntVar("es.relay.subscribers", "current leased subscribers",
@@ -47,6 +49,14 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 		func(s relay.Stats) int64 { return s.Expired })
 	stat("es.relay.rejected", "refused subscribe requests",
 		func(s relay.Stats) int64 { return s.Rejected })
+	stat("es.relay.loops", "subscribes refused with SubLoop (path revisits or too deep)",
+		func(s relay.Stats) int64 { return s.Loops })
+	stat("es.relay.upstream.subscribes", "lease packets sent to the upstream relay",
+		func(s relay.Stats) int64 { return s.UpstreamSubscribes })
+	stat("es.relay.upstream.acks", "lease acks received from the upstream relay",
+		func(s relay.Stats) int64 { return s.UpstreamAcks })
+	stat("es.relay.upstream.refused", "upstream lease refusals (loop, table full, channel)",
+		func(s relay.Stats) int64 { return s.UpstreamRefused })
 	stat("es.relay.fanout.sent", "unicast packets delivered",
 		func(s relay.Stats) int64 { return s.FanoutSent })
 	stat("es.relay.fanout.dropped", "packets dropped by queue backpressure",

@@ -123,11 +123,22 @@ type ChannelInfo struct {
 	Params audio.Params
 }
 
+// RelayInfo is one relay's catalog record: where to lease a unicast
+// copy of a stream when the multicast group itself is out of reach.
+type RelayInfo struct {
+	Addr    string // unicast "addr:port" subscribers lease from
+	Group   string // multicast group relayed, or the upstream relay's address for a chained relay
+	Channel uint32 // channel restriction; 0 = whatever the source carries
+}
+
 // Announce is the out-of-band channel catalog (§4.3): it lets speakers
-// discover channels without listening in on each one.
+// discover channels without listening in on each one. Relays advertise
+// themselves here too, so off-LAN speakers and downstream relays can
+// find a bridge without static configuration.
 type Announce struct {
 	Seq      uint64
 	Channels []ChannelInfo
+	Relays   []RelayInfo
 }
 
 // putHeader writes the common header.
@@ -308,10 +319,15 @@ func UnmarshalData(data []byte) (*Data, error) {
 	return d, nil
 }
 
-// Marshal encodes the announce packet.
+// Marshal encodes the announce packet. A catalog with no relays omits
+// the relay section entirely, staying byte-compatible with pre-relay
+// parsers.
 func (a *Announce) Marshal() ([]byte, error) {
 	if len(a.Channels) > 255 {
 		return nil, fmt.Errorf("%w: %d channels", ErrBadPacket, len(a.Channels))
+	}
+	if len(a.Relays) > 255 {
+		return nil, fmt.Errorf("%w: %d relays", ErrBadPacket, len(a.Relays))
 	}
 	buf := make([]byte, headerLen, 256)
 	putHeader(buf, TypeAnnounce, 0)
@@ -334,6 +350,21 @@ func (a *Announce) Marshal() ([]byte, error) {
 			return nil, err
 		}
 		buf = appendParams(buf, ci.Params)
+	}
+	if len(a.Relays) == 0 {
+		return buf, nil
+	}
+	buf = append(buf, byte(len(a.Relays)))
+	for _, ri := range a.Relays {
+		if buf, err = appendString(buf, ri.Addr); err != nil {
+			return nil, err
+		}
+		if buf, err = appendString(buf, ri.Group); err != nil {
+			return nil, err
+		}
+		var chb [4]byte
+		binary.BigEndian.PutUint32(chb[:], ri.Channel)
+		buf = append(buf, chb[:]...)
 	}
 	return buf, nil
 }
@@ -375,6 +406,26 @@ func UnmarshalAnnounce(data []byte) (*Announce, error) {
 		}
 		a.Channels = append(a.Channels, ci)
 	}
+	if len(body) > 0 {
+		// Relay section (absent in pre-relay announces).
+		rcount := int(body[0])
+		body = body[1:]
+		for i := 0; i < rcount; i++ {
+			var ri RelayInfo
+			if ri.Addr, body, err = readString(body); err != nil {
+				return nil, err
+			}
+			if ri.Group, body, err = readString(body); err != nil {
+				return nil, err
+			}
+			if len(body) < 4 {
+				return nil, ErrShort
+			}
+			ri.Channel = binary.BigEndian.Uint32(body[0:4])
+			body = body[4:]
+			a.Relays = append(a.Relays, ri)
+		}
+	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
 	}
@@ -389,6 +440,7 @@ const (
 	SubOK        SubStatus = 0 // lease granted or refreshed
 	SubNoChannel SubStatus = 1 // relay does not carry the channel
 	SubTableFull SubStatus = 2 // subscriber table at capacity
+	SubLoop      SubStatus = 3 // path would revisit this relay or exceed the hop limit
 )
 
 // String implements fmt.Stringer.
@@ -400,6 +452,8 @@ func (s SubStatus) String() string {
 		return "no-channel"
 	case SubTableFull:
 		return "table-full"
+	case SubLoop:
+		return "loop"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -410,10 +464,18 @@ func (s SubStatus) String() string {
 // zero cancels the subscription. The subscriber's unicast address is the
 // datagram's source address — nothing on the wire names it, exactly like
 // a TURN allocation refresh.
+//
+// Hops and PathID exist for relay chaining: a relay subscribing to
+// another relay reports how many relay hops are already behind it and
+// the path identity of the deepest one, so a relay can refuse a
+// subscription whose path would revisit it (SubLoop). A plain speaker
+// sends zero for both.
 type Subscribe struct {
 	Channel uint32 // channel identifier
 	Seq     uint32 // request sequence, echoed in the SubAck
 	LeaseMs uint32 // requested lease in milliseconds; 0 unsubscribes
+	Hops    uint8  // relay hops already on the path (speakers: 0)
+	PathID  uint64 // path origin identity (speakers: 0)
 }
 
 // SubAck is the relay's reply to a Subscribe.
@@ -424,16 +486,30 @@ type SubAck struct {
 	Status  SubStatus // verdict
 }
 
-// Marshal encodes the subscribe packet.
+// Marshal encodes the subscribe packet. A subscriber with no path
+// state (a plain speaker: zero hops, zero path id) emits the legacy
+// 8-byte body, so it can still lease from a pre-chaining relay whose
+// parser rejects longer bodies; only relays carrying real path fields
+// use the extended form.
 func (s *Subscribe) Marshal() ([]byte, error) {
-	buf := make([]byte, headerLen+8)
+	n := 17
+	if s.Hops == 0 && s.PathID == 0 {
+		n = 8
+	}
+	buf := make([]byte, headerLen+n)
 	putHeader(buf, TypeSubscribe, s.Channel)
 	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
 	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
+	if n == 17 {
+		buf[headerLen+8] = s.Hops
+		binary.BigEndian.PutUint64(buf[headerLen+9:headerLen+17], s.PathID)
+	}
 	return buf, nil
 }
 
-// UnmarshalSubscribe parses a subscribe packet.
+// UnmarshalSubscribe parses a subscribe packet. The pre-chaining 8-byte
+// body (no hops/path id) is still accepted and reads as Hops=0,
+// PathID=0 — exactly what a non-relay subscriber would send.
 func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	t, ch, err := PeekType(data)
 	if err != nil {
@@ -446,14 +522,19 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	if len(body) < 8 {
 		return nil, ErrShort
 	}
-	if len(body) != 8 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body)-8)
+	if len(body) != 8 && len(body) != 17 {
+		return nil, fmt.Errorf("%w: subscribe body of %d bytes", ErrBadPacket, len(body))
 	}
-	return &Subscribe{
+	s := &Subscribe{
 		Channel: ch,
 		Seq:     binary.BigEndian.Uint32(body[0:4]),
 		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
-	}, nil
+	}
+	if len(body) == 17 {
+		s.Hops = body[8]
+		s.PathID = binary.BigEndian.Uint64(body[9:17])
+	}
+	return s, nil
 }
 
 // Marshal encodes the suback packet.

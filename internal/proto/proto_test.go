@@ -113,17 +113,89 @@ func TestPeekType(t *testing.T) {
 }
 
 func TestSubscribeRoundTrip(t *testing.T) {
-	s := &Subscribe{Channel: 7, Seq: 99, LeaseMs: 30000}
+	for _, s := range []*Subscribe{
+		{Channel: 7, Seq: 99, LeaseMs: 30000},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304},
+	} {
+		data, err := s.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalSubscribe(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", s, got)
+		}
+	}
+}
+
+func TestSubscribeZeroPathMarshalsLegacyBody(t *testing.T) {
+	// A subscriber with no path state (every plain speaker) must emit
+	// the legacy 8-byte body so a pre-chaining relay — whose parser
+	// rejects longer bodies as trailing garbage — still grants it.
+	s := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000}
 	data, err := s.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := UnmarshalSubscribe(data)
+	if got := len(data) - 8; got != 8 { // minus common header
+		t.Fatalf("zero-path subscribe body = %d bytes, want legacy 8", got)
+	}
+	p := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000, Hops: 2, PathID: 7}
+	pdata, err := p.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(s, got) {
-		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", s, got)
+	if got := len(pdata) - 8; got != 17 {
+		t.Fatalf("pathed subscribe body = %d bytes, want 17", got)
+	}
+}
+
+func TestSubscribeLegacyBodyAccepted(t *testing.T) {
+	// A pre-chaining subscriber marshals only seq + leasems; the parser
+	// must accept the short body and read zero hops / path id.
+	s := &Subscribe{Channel: 2, Seq: 5, LeaseMs: 9000, Hops: 7, PathID: 42}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubscribe(data[:len(data)-9]) // strip hops+pathid
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Subscribe{Channel: 2, Seq: 5, LeaseMs: 9000}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("legacy parse = %+v, want %+v", got, want)
+	}
+}
+
+func TestAnnounceRelayRecordsRoundTrip(t *testing.T) {
+	a := &Announce{
+		Seq: 9,
+		Channels: []ChannelInfo{
+			{ID: 1, Name: "music", Group: "239.72.1.1:5004", Codec: "ovl", Params: audio.CDQuality},
+		},
+		Relays: []RelayInfo{
+			{Addr: "10.0.0.5:5006", Group: "239.72.1.1:5004", Channel: 1},
+			{Addr: "10.0.0.6:5006", Group: "10.0.0.5:5006"}, // chained, wildcard channel
+		},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+	// Truncating the relay section must fail, not silently drop relays.
+	if _, err := UnmarshalAnnounce(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated relay section accepted")
 	}
 }
 
@@ -141,7 +213,7 @@ func TestSubscribeUnsubscribe(t *testing.T) {
 }
 
 func TestSubAckRoundTrip(t *testing.T) {
-	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull} {
+	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop} {
 		a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: status}
 		data, err := a.Marshal()
 		if err != nil {
@@ -257,7 +329,9 @@ func validPackets(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000}
+	// Carry path fields so the truncation table covers the extended
+	// 17-byte body (the zero-path form marshals the legacy 8 bytes).
+	s := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Hops: 1, PathID: 99}
 	sdata, err := s.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -290,7 +364,10 @@ func TestTruncationsNeverPanic(t *testing.T) {
 					}()
 					return p.parse(trunc)
 				}()
-				if i < len(full) && err == nil && p.name != "peek" {
+				// One prefix is legitimately parseable: a subscribe cut
+				// after seq+leasems is exactly the legacy 8-byte body.
+				legacySub := kind == "subscribe" && p.name == "subscribe" && i == 16
+				if i < len(full) && err == nil && p.name != "peek" && !legacySub {
 					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)
 				}
 				if i == len(full) && p.name == kind && err != nil {
@@ -389,7 +466,7 @@ func TestAuthSchemeStrings(t *testing.T) {
 			t.Fatal("empty type name")
 		}
 	}
-	for _, s := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubStatus(9)} {
+	for _, s := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop, SubStatus(9)} {
 		if s.String() == "" {
 			t.Fatal("empty status name")
 		}

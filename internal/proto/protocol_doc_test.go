@@ -90,6 +90,7 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"OK":        uint8(SubOK),
 		"NoChannel": uint8(SubNoChannel),
 		"TableFull": uint8(SubTableFull),
+		"Loop":      uint8(SubLoop),
 	})
 
 	// The framing constants are documented literally.

@@ -25,6 +25,7 @@ type Catalog struct {
 
 	mu       sync.Mutex
 	channels map[uint32]proto.ChannelInfo
+	relays   map[string]proto.RelayInfo // by unicast address
 	seq      uint64
 	stop     bool
 	sent     int64
@@ -41,6 +42,7 @@ func NewCatalog(clock vclock.Clock, conn lan.Conn, group lan.Addr, interval time
 		group:    group,
 		interval: interval,
 		channels: make(map[uint32]proto.ChannelInfo),
+		relays:   make(map[string]proto.RelayInfo),
 	}
 }
 
@@ -56,6 +58,22 @@ func (c *Catalog) RemoveChannel(id uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.channels, id)
+}
+
+// SetRelay adds or updates a relay record (§4.3 applied to bridges):
+// off-LAN speakers and downstream relays learn where to lease a
+// unicast copy without static configuration.
+func (c *Catalog) SetRelay(info proto.RelayInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.relays[info.Addr] = info
+}
+
+// RemoveRelay deletes a relay record by its unicast address.
+func (c *Catalog) RemoveRelay(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.relays, addr)
 }
 
 // Announcements returns how many announce packets have been sent.
@@ -82,6 +100,14 @@ func (c *Catalog) Run() {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			a.Channels = append(a.Channels, c.channels[id])
+		}
+		addrs := make([]string, 0, len(c.relays))
+		for addr := range c.relays {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			a.Relays = append(a.Relays, c.relays[addr])
 		}
 		c.sent++
 		c.mu.Unlock()

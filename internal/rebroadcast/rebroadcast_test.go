@@ -298,3 +298,58 @@ func TestCatalogAnnouncesAndStops(t *testing.T) {
 		t.Fatalf("announcements = %d", got)
 	}
 }
+
+func TestCatalogAnnouncesRelays(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, _ := seg.Attach("10.0.0.1:5000")
+	cat := NewCatalog(sim, conn, "239.72.0.1:5003", 100*time.Millisecond)
+	cat.SetChannel(proto.ChannelInfo{ID: 1, Name: "one", Group: "g1", Codec: "raw"})
+	cat.SetRelay(proto.RelayInfo{Addr: "10.0.0.9:5006", Group: "g1", Channel: 1})
+	cat.SetRelay(proto.RelayInfo{Addr: "10.0.0.8:5006", Group: "10.0.0.9:5006"})
+	recv, _ := seg.Attach("10.0.0.2:5003")
+	recv.Join("239.72.0.1:5003")
+	var anns []*proto.Announce
+	sim.Go("capture", func() {
+		for {
+			pkt, err := recv.Recv(time.Second)
+			if err != nil {
+				return
+			}
+			a, err := proto.UnmarshalAnnounce(pkt.Data)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			anns = append(anns, a)
+			if len(anns) == 2 {
+				// Relay removal must take effect on the next announce.
+				cat.RemoveRelay("10.0.0.8:5006")
+			}
+			if len(anns) == 3 {
+				cat.Stop()
+				recv.Close()
+				return
+			}
+		}
+	})
+	sim.Go("catalog", cat.Run)
+	sim.WaitIdle()
+	if len(anns) < 3 {
+		t.Fatalf("got %d announcements", len(anns))
+	}
+	// Relay records ride along with the channels, sorted by address.
+	a := anns[0]
+	if len(a.Channels) != 1 || len(a.Relays) != 2 {
+		t.Fatalf("announce content: %+v", a)
+	}
+	if a.Relays[0].Addr != "10.0.0.8:5006" || a.Relays[1].Addr != "10.0.0.9:5006" {
+		t.Fatalf("relay order: %+v", a.Relays)
+	}
+	if a.Relays[1].Channel != 1 || a.Relays[1].Group != "g1" {
+		t.Fatalf("relay record: %+v", a.Relays[1])
+	}
+	if last := anns[len(anns)-1]; len(last.Relays) != 1 || last.Relays[0].Addr != "10.0.0.9:5006" {
+		t.Fatalf("relay removal not announced: %+v", last.Relays)
+	}
+}

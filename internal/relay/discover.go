@@ -1,0 +1,52 @@
+package relay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// Discover finds a relay through the §4.3 catalog instead of static
+// configuration: it joins the catalog group through a temporary
+// endpoint attached at local and waits up to timeout for an announce
+// naming a relay that can serve the wanted channel (channel 0 accepts
+// any relay; a relay advertising channel 0 carries everything and
+// matches any request). Off-LAN speakers and downstream relays use it
+// to find a bridge. Call it from a clock-tracked task.
+func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
+	channel uint32, timeout time.Duration) (proto.RelayInfo, error) {
+	conn, err := network.Attach(local)
+	if err != nil {
+		return proto.RelayInfo{}, fmt.Errorf("relay: discover: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.Join(catalog); err != nil {
+		return proto.RelayInfo{}, fmt.Errorf("relay: discover: joining catalog %q: %w", catalog, err)
+	}
+	deadline := clock.Now().Add(timeout)
+	for {
+		remain := deadline.Sub(clock.Now())
+		if remain <= 0 {
+			return proto.RelayInfo{}, fmt.Errorf("relay: discover: no relay for channel %d announced within %v", channel, timeout)
+		}
+		pkt, err := conn.Recv(remain)
+		if err == lan.ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return proto.RelayInfo{}, fmt.Errorf("relay: discover: %w", err)
+		}
+		a, err := proto.UnmarshalAnnounce(pkt.Data)
+		if err != nil {
+			continue // not an announce (or malformed): keep listening
+		}
+		for _, ri := range a.Relays {
+			if ri.Channel == 0 || channel == 0 || ri.Channel == channel {
+				return ri, nil
+			}
+		}
+	}
+}

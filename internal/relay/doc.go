@@ -17,9 +17,20 @@
 // bounded packet queue with drop-oldest backpressure — a slow or dead
 // unicast path cannot stall the multicast receive loop or other
 // subscribers. An upstream packet is parsed once and the same buffer is
-// enqueued to every subscriber by reference; the workers drain queues
-// round-robin into lan.Datagram batches and flush them with one
-// WriteBatch call (sendmmsg on Linux) when the batch fills, when a
-// partial batch has lingered for the flush interval, or when the relay
-// quiesces. See docs/RELAY-OPS.md for the operator view.
+// enqueued to every subscriber leased to its channel by reference; the
+// workers drain queues round-robin into lan.Datagram batches and flush
+// them with one WriteBatch call (sendmmsg on Linux) when the batch
+// fills, when a partial batch has lingered for the flush interval, or
+// when the relay quiesces.
+//
+// Relays chain: a Relay configured with an Upstream address is itself
+// a subscriber — it leases the stream from another relay (through the
+// shared lease package) and fans it out to its own subscribers, so
+// bridges compose across network segments. Subscribe packets carry a
+// hop count and a path identity for loop detection: a relay refuses
+// with proto.SubLoop any subscription path that would revisit it or
+// exceed MaxHops. Relays advertise themselves in the §4.3 catalog
+// (proto.Announce relay records; see Discover) so off-LAN speakers and
+// downstream relays find a bridge without static configuration. See
+// docs/RELAY-OPS.md for the operator view.
 package relay

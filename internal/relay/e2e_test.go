@@ -2,6 +2,7 @@ package relay_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -10,10 +11,12 @@ import (
 	"repro/internal/audiodev"
 	"repro/internal/core"
 	"repro/internal/lan"
+	"repro/internal/proto"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
 	"repro/internal/speaker"
 	"repro/internal/vad"
+	"repro/internal/vclock"
 )
 
 // capture collects the raw bytes a speaker's DAC played (inserted
@@ -211,5 +214,227 @@ func TestRelayLeaseExpiryDropsSilentSpeaker(t *testing.T) {
 	}
 	if subs[0].Queued > relay.DefaultQueueLen {
 		t.Fatalf("survivor queue unbounded: %+v", subs[0])
+	}
+}
+
+// TestMultiChannelRelayFiltersPerSubscriber is the e2e cross-channel
+// leak regression: a channel-0 relay carries a group with two channels
+// on it, and each subscriber must receive exactly the channel it
+// leased — a channel-1 subscriber sees zero channel-2 packets and vice
+// versa, while a wildcard subscriber sees both.
+func TestMultiChannelRelayFiltersPerSubscriber(t *testing.T) {
+	const group = lan.Addr("239.72.1.1:5004")
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond})
+	ch1, err := sys.AddChannel(rebroadcast.Config{ID: 1, Name: "one", Group: group, Codec: "raw"}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := sys.AddChannel(rebroadcast.Config{ID: 2, Name: "two", Group: group, Codec: "raw"}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.AddRelay(relay.Config{Group: group}) // channel 0: carries both
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw subscribers counting data packets per channel.
+	channels := []uint32{1, 2, 0}
+	counts := make([]map[uint32]int64, len(channels))
+	conns := make([]lan.Conn, len(channels))
+	for i, want := range channels {
+		counts[i] = make(map[uint32]int64)
+		conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.0.77.%d:5004", i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = conn
+		i, want := i, want
+		sys.Clock.Go("sub", func() {
+			sub, _ := (&proto.Subscribe{Channel: want, Seq: 1, LeaseMs: 60000}).Marshal()
+			if err := conn.Send(r.Addr(), sub); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				pkt, err := conn.Recv(0)
+				if err != nil {
+					return
+				}
+				if d, err := proto.UnmarshalData(pkt.Data); err == nil {
+					counts[i][d.Channel]++
+				}
+			}
+		})
+	}
+
+	p := audio.Voice
+	sys.Clock.Go("player", func() {
+		for r.NumSubscribers() < len(channels) {
+			sys.Clock.Sleep(5 * time.Millisecond)
+		}
+		sys.Clock.Go("audio-1", func() {
+			ch1.Play(p, audio.NewTone(p.SampleRate, p.Channels, 440, 0.5), 3*time.Second)
+		})
+		sys.Clock.Go("audio-2", func() {
+			ch2.Play(p, audio.NewTone(p.SampleRate, p.Channels, 880, 0.5), 3*time.Second)
+		})
+		sys.Clock.Sleep(5 * time.Second)
+		sys.Shutdown()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	sys.Sim.WaitIdle()
+
+	if counts[0][1] == 0 || counts[1][2] == 0 || counts[2][1] == 0 || counts[2][2] == 0 {
+		t.Fatalf("subscribers starved: %v", counts)
+	}
+	if n := counts[0][2]; n != 0 {
+		t.Fatalf("channel-1 subscriber received %d channel-2 packets (counts %v)", n, counts)
+	}
+	if n := counts[1][1]; n != 0 {
+		t.Fatalf("channel-2 subscriber received %d channel-1 packets (counts %v)", n, counts)
+	}
+}
+
+// TestThreeHopRelayChainDeliversAudio drives the chaining tentpole end
+// to end: a packet published on the multicast group must arrive at a
+// speaker three relay hops away — r1 joins the group, r2 subscribes to
+// r1, r3 to r2, and the speaker leases from r3 — playing byte-identical
+// audio to a directly joined speaker. The first hop is found through
+// the §4.3 catalog, not static configuration.
+func TestThreeHopRelayChainDeliversAudio(t *testing.T) {
+	const group = lan.Addr("239.72.1.1:5004")
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond})
+	if err := sys.StartCatalog(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := sys.AddChannel(rebroadcast.Config{ID: 1, Name: "chained", Group: group, Codec: "raw"}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sys.AddRelay(relay.Config{Group: group, Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.AddRelay(relay.Config{Upstream: r1.Addr(), Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := sys.AddRelay(relay.Config{Upstream: r2.Addr(), Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var direct, relayed capture
+	spDirect, err := sys.AddSpeaker(speaker.Config{Name: "direct", Group: group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.attach(spDirect)
+	spRelayed, err := sys.AddSpeaker(speaker.Config{Name: "hop3", Group: r3.Addr(), Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayed.attach(spRelayed)
+
+	var discovered proto.RelayInfo
+	var discoverErr error
+	p := audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+	sys.Clock.Go("player", func() {
+		discovered, discoverErr = relay.Discover(sys.Clock, sys.Net, "10.0.88.1:5003",
+			core.CatalogGroup, 1, 5*time.Second)
+		ch.Play(p, &core.PositionSource{Channels: 1}, 4*time.Second)
+		sys.Clock.Sleep(6 * time.Second)
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+
+	if discoverErr != nil {
+		t.Fatalf("catalog discovery failed: %v", discoverErr)
+	}
+	known := map[string]bool{string(r1.Addr()): true, string(r2.Addr()): true, string(r3.Addr()): true}
+	if !known[discovered.Addr] || discovered.Channel != 1 {
+		t.Fatalf("discovered %+v, want one of the advertised relays", discovered)
+	}
+
+	// Every hop forwarded data, and the chained hops held exactly one
+	// upstream lease each.
+	for i, r := range []*relay.Relay{r1, r2, r3} {
+		st := r.Stats()
+		if st.UpstreamData == 0 || st.FanoutSent == 0 {
+			t.Fatalf("hop %d forwarded nothing: %+v", i+1, st)
+		}
+		if i > 0 && (st.UpstreamSubscribes == 0 || st.UpstreamAcks == 0) {
+			t.Fatalf("hop %d never leased upstream: %+v", i+1, st)
+		}
+		if st.Loops != 0 {
+			t.Fatalf("hop %d refused a straight chain as a loop: %+v", i+1, st)
+		}
+	}
+	rst := spRelayed.Stats()
+	if rst.ControlPackets == 0 || rst.DataPackets == 0 {
+		t.Fatalf("3-hop speaker got no stream: %+v", rst)
+	}
+
+	// Byte-identical audio across three hops.
+	d := trimSilence(direct.data)
+	rl := trimSilence(relayed.data)
+	n := len(d)
+	if len(rl) < n {
+		n = len(rl)
+	}
+	if min := 3 * p.BytesPerSecond(); n < min {
+		t.Fatalf("overlap too short: direct %d, relayed %d, want >= %d bytes", len(d), len(rl), min)
+	}
+	if !bytes.Equal(d[:n], rl[:n]) {
+		for i := 0; i < n; i++ {
+			if d[i] != rl[i] {
+				t.Fatalf("streams diverge at byte %d of %d", i, n)
+			}
+		}
+	}
+}
+
+// TestRelayLoopRefusedWithSubLoop builds a deliberate two-relay cycle
+// (A upstream B, B upstream A) and proves the path propagation refuses
+// it: within a few refresh cycles each relay sees its own path id come
+// back and answers SubLoop, tearing the offending lease down.
+func TestRelayLoopRefusedWithSubLoop(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	connA, err := seg.Attach("10.0.9.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	connB, err := seg.Attach("10.0.9.2:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rA, err := relay.New(sim, connA, relay.Config{Upstream: "10.0.9.2:5006", UpstreamLease: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB, err := relay.New(sim, connB, relay.Config{Upstream: "10.0.9.1:5006", UpstreamLease: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go("relay-a", rA.Run)
+	sim.Go("relay-b", rB.Run)
+	var stA, stB relay.Stats
+	sim.Go("test", func() {
+		sim.Sleep(10 * time.Second) // several refresh cycles
+		stA, stB = rA.Stats(), rB.Stats()
+		rA.Stop()
+		rB.Stop()
+	})
+	sim.WaitIdle()
+
+	if stA.Loops == 0 && stB.Loops == 0 {
+		t.Fatalf("no SubLoop refusal issued: A %+v, B %+v", stA, stB)
+	}
+	if stA.UpstreamRefused == 0 && stB.UpstreamRefused == 0 {
+		t.Fatalf("no upstream lease refused: A %+v, B %+v", stA, stB)
 	}
 }

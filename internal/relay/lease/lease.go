@@ -1,0 +1,225 @@
+// Package lease maintains one TURN-style relay subscription: the
+// subscribe / refresh / cancel cycle a client runs against a relay's
+// unicast address. It is shared by the speaker (tuning to a relay
+// instead of a multicast group) and by a chained relay (subscribing to
+// its upstream relay), so both sides pace refreshes the same way and
+// carry the same loop-detection path fields.
+package lease
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// MinLease is the smallest lease a relay grants (requests below it are
+// rounded up). The refresh pacing floors the lease — never the wait —
+// at this value, so a refresh always lands strictly inside even the
+// shortest granted lease.
+const MinLease = time.Second
+
+// Stats is the subscription-side accounting.
+type Stats struct {
+	Subscribes int64 // subscribe/refresh/cancel packets sent
+	Acks       int64 // SubAcks received
+	Refusals   int64 // acks refusing the lease (any non-OK status)
+	Loops      int64 // acks refusing with SubLoop (subset of Refusals)
+}
+
+// Subscriber maintains at most one live lease with a relay. The owner
+// keeps receiving on its own connection and feeds SubAck packets in via
+// HandleAck; the Subscriber only sends.
+type Subscriber struct {
+	clock vclock.Clock
+	conn  lan.Conn
+	name  string // refresh-task diagnostics label
+
+	mu      sync.Mutex
+	pace    vclock.Cond   // signaled whenever the refresh pacing changes
+	target  lan.Addr      // relay being leased from; "" while detached
+	channel uint32        // channel requested from the relay
+	want    time.Duration // lease duration requested
+	granted time.Duration // lease duration the relay last granted
+	path    func() (hops uint8, pathID uint64)
+	seq     uint32
+	stats   Stats
+	started bool // refresh task spawned
+	closed  bool
+}
+
+// New creates a detached subscriber sending through conn. name labels
+// the refresh task in diagnostics.
+func New(clock vclock.Clock, conn lan.Conn, name string) *Subscriber {
+	return &Subscriber{clock: clock, conn: conn, name: name, pace: clock.NewCond()}
+}
+
+// SetPath installs the loop-detection path source: fn is consulted for
+// the Hops/PathID pair carried by every subsequent subscribe packet. A
+// chained relay uses it to report the relays already behind it; plain
+// speakers leave it unset (zero hops, zero path id).
+func (s *Subscriber) SetPath(fn func() (hops uint8, pathID uint64)) {
+	s.mu.Lock()
+	s.path = fn
+	s.mu.Unlock()
+}
+
+// Subscribe starts (or re-targets) the lease: it sends one subscribe
+// packet immediately and keeps refreshing until Cancel or Close. A
+// zero channel accepts whatever the relay carries.
+func (s *Subscriber) Subscribe(target lan.Addr, channel uint32, lease time.Duration) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.target = target
+	s.channel = channel
+	s.want = lease
+	s.granted = 0
+	started := s.started
+	s.started = true
+	s.pace.Broadcast()
+	s.mu.Unlock()
+	s.send(target, channel, lease)
+	if !started {
+		s.clock.Go(s.name, s.refreshLoop)
+	}
+}
+
+// Cancel releases the current lease: it sends one zero-lease subscribe
+// (best effort — if the packet is lost the relay expires us) and stops
+// refreshing. The refresh task stays parked for a later Subscribe.
+func (s *Subscriber) Cancel() {
+	s.mu.Lock()
+	target, channel := s.target, s.channel
+	s.target = ""
+	s.granted = 0
+	s.mu.Unlock()
+	if target != "" {
+		s.send(target, channel, 0)
+	}
+}
+
+// Close stops the refresh task for good. It does not cancel the lease;
+// call Cancel first when the relay should forget us immediately.
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.pace.Broadcast()
+	s.mu.Unlock()
+}
+
+// Target returns the relay currently subscribed to ("" if none).
+func (s *Subscriber) Target() lan.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
+
+// Granted returns the lease duration the relay last granted (0 before
+// the first ack).
+func (s *Subscriber) Granted() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.granted
+}
+
+// Stats returns a snapshot of the accounting.
+func (s *Subscriber) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// HandleAck ingests one SubAck from the owner's receive loop and
+// returns its status. A granted lease re-paces the refresh cycle; a
+// refusal is counted but the periodic subscribe keeps going — leases
+// are soft state, so a full table may drain and the refresh doubles as
+// the retry, at one small packet per refresh interval.
+func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Acks++
+	switch {
+	case ack.Status != proto.SubOK:
+		s.stats.Refusals++
+		if ack.Status == proto.SubLoop {
+			s.stats.Loops++
+		}
+	case ack.LeaseMs > 0 && s.target != "":
+		granted := time.Duration(ack.LeaseMs) * time.Millisecond
+		if granted != s.granted {
+			s.granted = granted
+			s.pace.Broadcast() // re-pace the refresh off the real lease
+		}
+	}
+	return ack.Status
+}
+
+// send emits one subscribe packet (lease 0 = cancel).
+func (s *Subscriber) send(target lan.Addr, channel uint32, lease time.Duration) {
+	s.mu.Lock()
+	path := s.path
+	s.mu.Unlock()
+	var hops uint8
+	var pathID uint64
+	if path != nil {
+		// Evaluated outside s.mu: the path source takes the owner's own
+		// locks (e.g. a relay walking its subscriber shards).
+		hops, pathID = path()
+	}
+	s.mu.Lock()
+	s.seq++
+	req := proto.Subscribe{
+		Channel: channel,
+		Seq:     s.seq,
+		LeaseMs: uint32(lease / time.Millisecond),
+		Hops:    hops,
+		PathID:  pathID,
+	}
+	s.stats.Subscribes++
+	s.mu.Unlock()
+	data, err := req.Marshal()
+	if err != nil {
+		return
+	}
+	s.conn.Send(target, data)
+}
+
+// refreshLoop re-sends the subscription well before the lease expires.
+// One long-lived task per subscriber, started by the first Subscribe;
+// it idles (cheaply) while detached. Pacing is off the granted lease —
+// the value the relay actually enforces — floored at MinLease, so with
+// a relay-clamped 1s lease the refresh still lands at ~333ms, three
+// refreshes inside every lease instead of a flapping race at expiry.
+// When a grant arrives mid-wait (the relay clamped our request down),
+// the pace cond wakes the loop to recompute off the real lease instead
+// of finishing a wait sized to the requested one.
+func (s *Subscriber) refreshLoop() {
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		lease := s.granted
+		if lease <= 0 {
+			lease = s.want
+		}
+		if lease < MinLease {
+			lease = MinLease
+		}
+		if s.pace.WaitTimeout(&s.mu, lease/3) {
+			continue // pacing changed (grant, re-target, close): recompute
+		}
+		target, channel, want := s.target, s.channel, s.want
+		s.mu.Unlock()
+		if target != "" {
+			s.send(target, channel, want)
+		}
+		s.mu.Lock()
+	}
+}

@@ -1,0 +1,144 @@
+package lease
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// harness attaches a subscriber and a fake relay endpoint to one
+// simulated segment.
+func harness(t *testing.T) (*vclock.Sim, *Subscriber, lan.Conn) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, New(sim, cc, "lease-test"), rc
+}
+
+// TestRefreshStaysInsideShortGrantedLease is the regression test for
+// the lease-flap bug: with a relay-clamped 1s lease, the old speaker
+// refresh waited max(lease/3, 1s) = 1s — landing at or after expiry.
+// Refreshes must arrive strictly inside every granted lease.
+func TestRefreshStaysInsideShortGrantedLease(t *testing.T) {
+	sim, sub, relay := harness(t)
+	const granted = time.Second
+	var gaps []time.Duration
+	sim.Go("relay", func() {
+		var last time.Time
+		for {
+			pkt, err := relay.Recv(0)
+			if err != nil {
+				return
+			}
+			req, err := proto.UnmarshalSubscribe(pkt.Data)
+			if err != nil || req.LeaseMs == 0 {
+				continue
+			}
+			now := sim.Now()
+			if !last.IsZero() {
+				gaps = append(gaps, now.Sub(last))
+			}
+			last = now
+			ack, _ := (&proto.SubAck{Seq: req.Seq, LeaseMs: uint32(granted / time.Millisecond)}).Marshal()
+			relay.Send(pkt.From, ack)
+		}
+	})
+	sim.Go("sub", func() {
+		sub.Subscribe("10.0.0.1:5006", 1, 15*time.Second)
+		sim.Sleep(100 * time.Millisecond)
+		// The relay granted 1s; simulate the ack reception loop.
+		sub.HandleAck(&proto.SubAck{Status: proto.SubOK, LeaseMs: uint32(granted / time.Millisecond)})
+		sim.Sleep(5 * time.Second)
+		sub.Close()
+		relay.Close()
+	})
+	sim.WaitIdle()
+	if len(gaps) < 3 {
+		t.Fatalf("only %d refreshes in 5s of a 1s lease", len(gaps))
+	}
+	for i, g := range gaps[1:] { // gaps[0] spans the pre-ack pacing
+		if g >= granted {
+			t.Fatalf("refresh gap %d = %v, not inside the %v granted lease (gaps %v)", i+1, g, granted, gaps)
+		}
+	}
+}
+
+func TestSubscribeCancelAndPath(t *testing.T) {
+	sim, sub, relay := harness(t)
+	type seen struct {
+		channel uint32
+		leaseMs uint32
+		hops    uint8
+		pathID  uint64
+	}
+	var got []seen
+	sim.Go("relay", func() {
+		for {
+			pkt, err := relay.Recv(0)
+			if err != nil {
+				return
+			}
+			if req, err := proto.UnmarshalSubscribe(pkt.Data); err == nil {
+				got = append(got, seen{req.Channel, req.LeaseMs, req.Hops, req.PathID})
+			}
+		}
+	})
+	sim.Go("sub", func() {
+		sub.SetPath(func() (uint8, uint64) { return 2, 77 })
+		sub.Subscribe("10.0.0.1:5006", 9, 10*time.Second)
+		sim.Sleep(50 * time.Millisecond)
+		sub.Cancel()
+		if tgt := sub.Target(); tgt != "" {
+			t.Errorf("target after cancel = %q", tgt)
+		}
+		sim.Sleep(50 * time.Millisecond)
+		sub.Close()
+		relay.Close()
+	})
+	sim.WaitIdle()
+	if len(got) != 2 {
+		t.Fatalf("relay saw %d packets, want subscribe + cancel: %+v", len(got), got)
+	}
+	if got[0] != (seen{9, 10000, 2, 77}) {
+		t.Fatalf("subscribe = %+v", got[0])
+	}
+	if got[1] != (seen{9, 0, 2, 77}) {
+		t.Fatalf("cancel = %+v", got[1])
+	}
+	st := sub.Stats()
+	if st.Subscribes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHandleAckAccounting(t *testing.T) {
+	sim, sub, _ := harness(t)
+	sim.Go("sub", func() {
+		sub.Subscribe("10.0.0.1:5006", 0, 10*time.Second)
+		if st := sub.HandleAck(&proto.SubAck{Status: proto.SubOK, LeaseMs: 3000}); st != proto.SubOK {
+			t.Errorf("status = %v", st)
+		}
+		if g := sub.Granted(); g != 3*time.Second {
+			t.Errorf("granted = %v, want 3s", g)
+		}
+		sub.HandleAck(&proto.SubAck{Status: proto.SubTableFull})
+		sub.HandleAck(&proto.SubAck{Status: proto.SubLoop})
+		st := sub.Stats()
+		if st.Acks != 3 || st.Refusals != 2 || st.Loops != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		sub.Close()
+	})
+	sim.WaitIdle()
+}

@@ -1,6 +1,8 @@
 package relay
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sort"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/relay/lease"
 	"repro/internal/stats"
 	"repro/internal/vclock"
 )
@@ -24,10 +27,20 @@ const (
 	// DefaultMaxLease caps any granted lease.
 	DefaultMaxLease = 5 * time.Minute
 	// MinLease is the smallest grantable lease; requests below it are
-	// rounded up so refresh storms cannot be provoked.
-	MinLease = time.Second
+	// rounded up so refresh storms cannot be provoked. It mirrors the
+	// floor the lease layer paces refreshes against.
+	MinLease = lease.MinLease
 	// DefaultSweepInterval is the lease-expiry scan cadence.
 	DefaultSweepInterval = time.Second
+	// DefaultUpstreamLease is the lease a chained relay requests from
+	// its upstream relay.
+	DefaultUpstreamLease = 15 * time.Second
+	// DefaultMaxHops bounds a subscription path's relay depth: a
+	// subscribe whose path already crossed this many relays is refused
+	// with SubLoop. It is the backstop that breaks any cycle the path-id
+	// check misses — around a loop the reported hop count grows with
+	// every refresh until it trips this limit.
+	DefaultMaxHops = 8
 	// DefaultBatch is the fan-out batch size: how many datagrams a shard
 	// worker accumulates before one WriteBatch flush.
 	DefaultBatch = 32
@@ -43,8 +56,20 @@ const (
 
 // Config parameterizes a relay.
 type Config struct {
-	// Group is the multicast group to join and relay. Required.
+	// Group is the multicast group to join and relay. Required unless
+	// Upstream is set.
 	Group lan.Addr
+	// Upstream chains this relay behind another relay: instead of
+	// joining a multicast group it subscribes to the upstream relay's
+	// unicast address (reusing the speaker's lease logic) and fans the
+	// received stream out to its own subscribers, composing bridges
+	// across network segments the way TURN relays compose allocations.
+	// Exactly one of Group and Upstream must be set.
+	Upstream lan.Addr
+	// UpstreamLease overrides DefaultUpstreamLease.
+	UpstreamLease time.Duration
+	// MaxHops overrides DefaultMaxHops.
+	MaxHops int
 	// Channel restricts the relay to one channel id; 0 relays whatever
 	// the group carries and accepts any requested channel.
 	Channel uint32
@@ -93,6 +118,17 @@ func (c *Config) applyDefaults() {
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = DefaultFlushInterval
 	}
+	if c.UpstreamLease <= 0 {
+		c.UpstreamLease = DefaultUpstreamLease
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = DefaultMaxHops
+	}
+	if c.MaxHops > 255 {
+		// Propagated hop counts saturate at 255 on the wire; a larger
+		// limit would never trip and silently disable the loop backstop.
+		c.MaxHops = 255
+	}
 }
 
 // Stats is the relay's cumulative accounting.
@@ -106,9 +142,16 @@ type Stats struct {
 	Unsubscribes    int64 // explicit lease cancellations
 	Expired         int64 // leases that ran out
 	Rejected        int64 // refused subscribe requests
+	Loops           int64 // subscribes refused with SubLoop (subset of Rejected)
 	FanoutSent      int64 // unicast packets delivered to subscribers
 	FanoutDropped   int64 // packets dropped by queue backpressure
 	SendErrors      int64
+
+	// Chaining telemetry (nonzero only with Config.Upstream set): the
+	// relay's own lease against its upstream relay.
+	UpstreamSubscribes int64 // subscribe/refresh packets sent upstream
+	UpstreamAcks       int64 // SubAcks received from upstream
+	UpstreamRefused    int64 // upstream refusals (loop, table full, channel)
 
 	// Batching telemetry: Batches counts WriteBatch flushes, split by
 	// what triggered them. FanoutSent / Batches is the achieved batch
@@ -123,6 +166,7 @@ type Stats struct {
 type SubscriberInfo struct {
 	Addr    lan.Addr
 	Channel uint32
+	Hops    uint8 // relay hops behind this subscriber (0 = a speaker)
 	Sent    int64 // unicast packets sent
 	Dropped int64 // packets dropped by this subscriber's queue
 	Queued  int   // packets currently queued
@@ -133,6 +177,8 @@ type SubscriberInfo struct {
 type subscriber struct {
 	addr    lan.Addr
 	channel uint32
+	hops    uint8  // relay depth behind this subscriber (speakers: 0)
+	pathID  uint64 // path origin carried by its subscribe (speakers: 0)
 	expires time.Time
 	queue   [][]byte // bounded FIFO; head is oldest
 	sent    int64
@@ -164,12 +210,19 @@ func (sh *shard) remove(sub *subscriber) {
 	sub.queue = nil
 }
 
-// Relay bridges one multicast group to unicast subscribers.
+// Relay bridges one multicast group (or, chained, another relay) to
+// unicast subscribers.
 type Relay struct {
-	clock  vclock.Clock
-	conn   lan.Conn
-	cfg    Config
-	shards []*shard
+	clock   vclock.Clock
+	conn    lan.Conn
+	cfg     Config
+	shards  []*shard
+	relayID uint64 // this relay's path identity (loop detection)
+	// upstreamHost gates chained-mode fan-in: data is accepted from any
+	// port on the upstream relay's host, because an upstream running
+	// per-shard send sockets emits data from ephemeral ports.
+	upstreamHost string
+	up           *lease.Subscriber // lease against cfg.Upstream (nil otherwise)
 
 	mu          sync.Mutex
 	stats       Stats
@@ -180,19 +233,38 @@ type Relay struct {
 	workersIdle vclock.Cond // signaled as each worker exits
 }
 
-// New creates a relay that receives cfg.Group via conn and serves
+// New creates a relay that receives cfg.Group via conn — or, with
+// cfg.Upstream set, subscribes to that relay instead — and serves
 // subscribe requests arriving on conn's unicast address. With
 // cfg.Network set, each shard additionally attaches its own
 // ephemeral-port send socket.
 func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 	cfg.applyDefaults()
-	if !cfg.Group.IsMulticast() {
+	switch {
+	case cfg.Upstream != "":
+		if cfg.Group != "" {
+			return nil, fmt.Errorf("relay: configure Group or Upstream, not both")
+		}
+		if err := cfg.Upstream.Validate(); err != nil {
+			return nil, fmt.Errorf("relay: upstream: %w", err)
+		}
+		if cfg.Upstream.IsMulticast() {
+			return nil, fmt.Errorf("relay: upstream %q is multicast; set Group to join a group directly", cfg.Upstream)
+		}
+	case !cfg.Group.IsMulticast():
 		return nil, fmt.Errorf("relay: group %q is not multicast", cfg.Group)
-	}
-	if err := conn.Join(cfg.Group); err != nil {
-		return nil, fmt.Errorf("relay: joining %q: %w", cfg.Group, err)
+	default:
+		if err := conn.Join(cfg.Group); err != nil {
+			return nil, fmt.Errorf("relay: joining %q: %w", cfg.Group, err)
+		}
 	}
 	r := &Relay{clock: clock, conn: conn, cfg: cfg}
+	r.relayID = newPathID(conn.LocalAddr())
+	if cfg.Upstream != "" {
+		r.upstreamHost = cfg.Upstream.Host()
+		r.up = lease.New(clock, conn, "relay-upstream-"+string(conn.LocalAddr()))
+		r.up.SetPath(r.pathInfo)
+	}
 	r.workersIdle = clock.NewCond()
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{conn: conn, subs: make(map[lan.Addr]*subscriber)}
@@ -218,14 +290,77 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 // Addr returns the unicast address subscribers talk to.
 func (r *Relay) Addr() lan.Addr { return r.conn.LocalAddr() }
 
-// Group returns the multicast group being relayed.
+// Group returns the multicast group being relayed (empty for a chained
+// relay; see Upstream).
 func (r *Relay) Group() lan.Addr { return r.cfg.Group }
 
-// Stats returns a snapshot of the accounting.
+// Upstream returns the relay this one is chained behind ("" if it
+// joins a multicast group directly).
+func (r *Relay) Upstream() lan.Addr { return r.cfg.Upstream }
+
+// PathID returns this relay's loop-detection identity: the value a
+// subscription path must not carry back to it.
+func (r *Relay) PathID() uint64 { return r.relayID }
+
+// Source returns the stream source: the multicast group, or the
+// upstream relay for a chained relay.
+func (r *Relay) Source() lan.Addr {
+	if r.cfg.Upstream != "" {
+		return r.cfg.Upstream
+	}
+	return r.cfg.Group
+}
+
+// Info returns the relay's catalog record (§4.3 discovery): where to
+// lease from, what it relays, and any channel restriction.
+func (r *Relay) Info() proto.RelayInfo {
+	return proto.RelayInfo{
+		Addr:    string(r.Addr()),
+		Group:   string(r.Source()),
+		Channel: r.cfg.Channel,
+	}
+}
+
+// newPathID mints a relay's 64-bit path identity. It must be unique
+// per relay *instance*, never per configuration: real daemons all bind
+// the same wildcard "0.0.0.0:5006" by default, so anything derived
+// from the local address would give every relay the same identity and
+// make straight chains refuse themselves as loops. Randomness is all
+// loop detection needs — stability across restarts is not required,
+// because path state is re-propagated on every refresh.
+func newPathID(addr lan.Addr) uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id // 0 means "no path" on the wire
+		}
+	}
+	// Entropy unavailable (or the 1-in-2^64 zero): fall back to an
+	// FNV-1a hash of the bind address — weaker, but never zero.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Stats returns a snapshot of the accounting, folding in the upstream
+// lease counters for a chained relay.
 func (r *Relay) Stats() Stats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	st := r.stats
+	r.mu.Unlock()
+	if r.up != nil {
+		ls := r.up.Stats()
+		st.UpstreamSubscribes = ls.Subscribes
+		st.UpstreamAcks = ls.Acks
+		st.UpstreamRefused = ls.Refusals
+	}
+	return st
 }
 
 // NumSubscribers returns the current subscriber count.
@@ -254,6 +389,7 @@ func (r *Relay) Subscribers() []SubscriberInfo {
 			out = append(out, SubscriberInfo{
 				Addr:    sub.addr,
 				Channel: sub.channel,
+				Hops:    sub.hops,
 				Sent:    sub.sent,
 				Dropped: sub.dropped,
 				Queued:  len(sub.queue),
@@ -272,14 +408,14 @@ func (r *Relay) Table() *stats.Table {
 	st := r.Stats()
 	t := &stats.Table{
 		Title: fmt.Sprintf("relay %s -> %d subscriber(s); upstream %d ctl + %d data, fanout %d sent / %d dropped in %d batches",
-			r.cfg.Group, r.NumSubscribers(), st.UpstreamControl, st.UpstreamData,
+			r.Source(), r.NumSubscribers(), st.UpstreamControl, st.UpstreamData,
 			st.FanoutSent, st.FanoutDropped, st.Batches),
-		Headers: []string{"subscriber", "channel", "sent", "dropped", "queued", "lease-left"},
+		Headers: []string{"subscriber", "channel", "hops", "sent", "dropped", "queued", "lease-left"},
 	}
 	now := r.clock.Now()
 	for _, s := range r.Subscribers() {
-		t.AddRow(string(s.Addr), fmt.Sprint(s.Channel), s.Sent, s.Dropped,
-			s.Queued, s.Expires.Sub(now).Round(time.Millisecond))
+		t.AddRow(string(s.Addr), fmt.Sprint(s.Channel), int(s.Hops), s.Sent,
+			s.Dropped, s.Queued, s.Expires.Sub(now).Round(time.Millisecond))
 	}
 	return t
 }
@@ -297,6 +433,12 @@ func (r *Relay) Stop() {
 	r.stopped = true
 	running := r.running
 	r.mu.Unlock()
+	if r.up != nil {
+		// Release the upstream lease while our socket still works; if
+		// the cancel is lost the upstream expires us after one lease.
+		r.up.Cancel()
+		r.up.Close()
+	}
 	for _, sh := range r.shards {
 		sh.mu.Lock()
 		sh.stopped = true
@@ -327,7 +469,8 @@ func (r *Relay) isStopped() bool {
 }
 
 // Run receives and relays until Stop. Spawn it via clock.Go; it spawns
-// the shard workers and the lease sweeper itself.
+// the shard workers and the lease sweeper itself, and — chained —
+// opens the upstream subscription.
 func (r *Relay) Run() {
 	r.mu.Lock()
 	if r.stopped {
@@ -341,6 +484,9 @@ func (r *Relay) Run() {
 		r.clock.Go(fmt.Sprintf("relay-shard-%d", i), func() { r.shardWorker(sh) })
 	}
 	r.clock.Go("relay-sweep", r.sweep)
+	if r.up != nil {
+		r.up.Subscribe(r.cfg.Upstream, r.cfg.Channel, r.cfg.UpstreamLease)
+	}
 	defer r.Stop() // conn closed externally: unblock the workers too
 	for {
 		pkt, err := r.conn.Recv(recvTimeout)
@@ -371,11 +517,19 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 		r.handleSubscribe(pkt)
 	case proto.TypeControl, proto.TypeData:
 		r.mu.Lock()
-		// Only packets that actually arrived off the multicast group are
-		// relayed. Without this check, anyone who can reach the relay's
-		// unicast address could inject one forged data packet and have
-		// it amplified to every subscriber.
-		if pkt.To != r.cfg.Group {
+		// Only packets from the configured source are relayed: off the
+		// multicast group, or — chained — from the upstream relay's
+		// host (any port: an upstream running per-shard send sockets
+		// emits data from ephemeral ports). Without this check, anyone
+		// who can reach the relay's unicast address could inject one
+		// forged data packet and have it amplified to every subscriber.
+		if r.upstreamHost != "" {
+			if pkt.From.Host() != r.upstreamHost {
+				r.stats.UpstreamForeign++
+				r.mu.Unlock()
+				return
+			}
+		} else if pkt.To != r.cfg.Group {
 			r.stats.UpstreamForeign++
 			r.mu.Unlock()
 			return
@@ -391,9 +545,16 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 			r.stats.UpstreamData++
 		}
 		r.mu.Unlock()
-		r.fanout(pkt.Data)
+		r.fanout(ch, pkt.Data)
+	case proto.TypeSubAck:
+		// Chained: our upstream answering our own lease.
+		if r.up != nil && pkt.From == r.cfg.Upstream {
+			if ack, err := proto.UnmarshalSubAck(pkt.Data); err == nil {
+				r.up.HandleAck(ack)
+			}
+		}
 	default:
-		// Announce and SubAck traffic is not ours to forward.
+		// Announce traffic is not ours to forward.
 	}
 }
 
@@ -411,6 +572,16 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 	case r.cfg.Channel != 0 && req.Channel != 0 && req.Channel != r.cfg.Channel:
 		ack.Status = proto.SubNoChannel
 		r.count(func(s *Stats) { s.Rejected++ })
+	case req.PathID == r.relayID || int(req.Hops) >= r.cfg.MaxHops:
+		// The subscription path already crossed this relay (its own id
+		// came back) or is deeper than any sane chain: granting would
+		// close a forwarding cycle. Refuse, and drop any lease the
+		// subscriber already holds — a refresh is how an established
+		// loop announces itself, and expiry alone would keep the cycle
+		// spinning for a full lease.
+		ack.Status = proto.SubLoop
+		r.unsubscribe(pkt.From)
+		r.count(func(s *Stats) { s.Rejected++; s.Loops++ })
 	case req.LeaseMs == 0:
 		r.unsubscribe(pkt.From)
 	default:
@@ -421,7 +592,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 		if lease > r.cfg.MaxLease {
 			lease = r.cfg.MaxLease
 		}
-		if r.subscribe(pkt.From, req.Channel, lease) {
+		if r.subscribe(pkt.From, req, lease) {
 			ack.LeaseMs = uint32(lease / time.Millisecond)
 		} else {
 			ack.Status = proto.SubTableFull
@@ -446,13 +617,15 @@ func (r *Relay) count(fn func(*Stats)) {
 
 // subscribe adds or refreshes a lease; it reports false when the table
 // is full.
-func (r *Relay) subscribe(addr lan.Addr, channel uint32, lease time.Duration) bool {
+func (r *Relay) subscribe(addr lan.Addr, req *proto.Subscribe, lease time.Duration) bool {
 	expires := r.clock.Now().Add(lease)
 	sh := r.shardFor(addr)
 	sh.mu.Lock()
 	if sub, ok := sh.subs[addr]; ok {
 		sub.expires = expires
-		sub.channel = channel
+		sub.channel = req.Channel
+		sub.hops = req.Hops
+		sub.pathID = req.PathID
 		sh.mu.Unlock()
 		r.count(func(s *Stats) { s.Refreshes++ })
 		return true
@@ -466,11 +639,40 @@ func (r *Relay) subscribe(addr lan.Addr, channel uint32, lease time.Duration) bo
 	r.nsubs++
 	r.stats.Subscribes++
 	r.mu.Unlock()
-	sub := &subscriber{addr: addr, channel: channel, expires: expires}
+	sub := &subscriber{
+		addr: addr, channel: req.Channel,
+		hops: req.Hops, pathID: req.PathID,
+		expires: expires,
+	}
 	sh.subs[addr] = sub
 	sh.order = append(sh.order, sub)
 	sh.mu.Unlock()
 	return true
+}
+
+// pathInfo reports the loop-detection pair the relay's own upstream
+// subscription carries: one hop more than the deepest downstream relay
+// subscribed here, propagating that path's origin id — or this relay's
+// own id when only speakers (hops 0, path 0) are subscribed. Around a
+// cycle the propagated id eventually returns to its origin, which
+// refuses with SubLoop; the growing hop count is the backstop.
+func (r *Relay) pathInfo() (uint8, uint64) {
+	var hops uint8
+	pathID := r.relayID
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, sub := range sh.order {
+			if sub.pathID != 0 && sub.hops >= hops {
+				hops = sub.hops
+				pathID = sub.pathID
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if hops < 255 {
+		hops++
+	}
+	return hops, pathID
 }
 
 // unsubscribe cancels a lease if present.
@@ -490,13 +692,19 @@ func (r *Relay) unsubscribe(addr lan.Addr) {
 	}
 }
 
-// fanout enqueues one upstream packet to every subscriber, applying
-// drop-oldest backpressure per subscriber queue.
-func (r *Relay) fanout(data []byte) {
+// fanout enqueues one upstream packet to every subscriber leased to
+// its channel, applying drop-oldest backpressure per subscriber queue.
+// ch is the packet's channel id (already parsed by handlePacket): a
+// subscriber leased to channel X on a relay carrying a multi-channel
+// group must never receive channel Y.
+func (r *Relay) fanout(ch uint32, data []byte) {
 	var dropped int64
 	for _, sh := range r.shards {
 		sh.mu.Lock()
 		for _, sub := range sh.order {
+			if sub.channel != 0 && sub.channel != ch {
+				continue
+			}
 			if len(sub.queue) >= r.cfg.QueueLen {
 				// Drop the oldest packet: live audio wants fresh data,
 				// and the sync logic discards stale batches anyway.

@@ -121,12 +121,12 @@ func TestLeaseClamping(t *testing.T) {
 
 func TestFanoutDropOldest(t *testing.T) {
 	_, _, r := newTestRelay(t, Config{QueueLen: 4})
-	if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
 		t.Fatal("subscribe failed")
 	}
 	// No worker is running: queue fills, then drop-oldest kicks in.
 	for i := 0; i < 10; i++ {
-		r.fanout([]byte{byte(i)})
+		r.fanout(0, []byte{byte(i)})
 	}
 	subs := r.Subscribers()
 	if len(subs) != 1 {
@@ -161,7 +161,7 @@ func TestShardingSpreadsSubscribers(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		a := lan.Addr("10.0.1." + string(rune('0'+i/10)) + string(rune('0'+i%10)) + ":5004")
 		addrs = append(addrs, a)
-		if !r.subscribe(a, 0, time.Minute) {
+		if !r.subscribe(a, &proto.Subscribe{Channel: 0}, time.Minute) {
 			t.Fatal("subscribe failed")
 		}
 	}
@@ -191,7 +191,7 @@ func TestLeaseExpirySweep(t *testing.T) {
 		r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 60000))
 		// Queue something on the short-lease subscriber so expiry must
 		// also free the queue.
-		r.fanout([]byte{1, 2, 3})
+		r.fanout(0, []byte{1, 2, 3})
 		sim.Sleep(1 * time.Second)
 		midCount = r.NumSubscribers()
 		sim.Sleep(3 * time.Second)
@@ -255,7 +255,7 @@ func TestUnicastInjectionNotRelayed(t *testing.T) {
 	// forged and sent straight to the relay's unicast address) must not
 	// be fanned out — that would be a one-in, N-out amplifier.
 	_, _, r := newTestRelay(t, Config{Channel: 1})
-	if !r.subscribe("10.0.0.2:5004", 1, time.Minute) {
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 1}, time.Minute) {
 		t.Fatal("subscribe failed")
 	}
 	data, err := (&proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: []byte{1}}).Marshal()
@@ -288,12 +288,12 @@ func TestPartialBatchFlushedOnDeadline(t *testing.T) {
 	var st Stats
 	sim.Go("relay", r.Run)
 	sim.Go("test", func() {
-		if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+		if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
 			t.Error("subscribe failed")
 		}
-		r.fanout([]byte{1})
-		r.fanout([]byte{2})
-		r.fanout([]byte{3})
+		r.fanout(0, []byte{1})
+		r.fanout(0, []byte{2})
+		r.fanout(0, []byte{3})
 		sim.Sleep(50 * time.Millisecond)
 		st = r.Stats()
 		r.Stop()
@@ -327,12 +327,12 @@ func TestPartialBatchFlushedOnShutdown(t *testing.T) {
 	})
 	sim.Go("relay", r.Run)
 	sim.Go("test", func() {
-		if !r.subscribe("10.0.0.2:5004", 0, time.Minute) {
+		if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
 			t.Error("subscribe failed")
 		}
-		r.fanout([]byte{1})
-		r.fanout([]byte{2})
-		r.fanout([]byte{3})
+		r.fanout(0, []byte{1})
+		r.fanout(0, []byte{2})
+		r.fanout(0, []byte{3})
 		sim.Sleep(10 * time.Millisecond) // far short of the flush interval
 		r.Stop()
 		st = r.Stats()
@@ -362,11 +362,11 @@ func TestSubscriberExpiringMidBatch(t *testing.T) {
 	var subs int
 	sim.Go("relay", r.Run)
 	sim.Go("test", func() {
-		if !r.subscribe("10.0.0.2:5004", 0, time.Millisecond) {
+		if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Millisecond) {
 			t.Error("subscribe failed")
 		}
-		r.fanout([]byte{1})
-		r.fanout([]byte{2})
+		r.fanout(0, []byte{1})
+		r.fanout(0, []byte{2})
 		// Lease runs out at 1ms; the batch deadline-flushes at 20ms.
 		sim.Sleep(100 * time.Millisecond)
 		st = r.Stats()
@@ -390,7 +390,7 @@ func TestFlushSkipsPoisonedDestination(t *testing.T) {
 		Shards: 1, Batch: 8, FlushInterval: time.Millisecond,
 	})
 	for _, a := range []lan.Addr{"10.0.0.2:5004", "bad-address", "10.0.0.3:5004"} {
-		if !r.subscribe(a, 0, time.Minute) {
+		if !r.subscribe(a, &proto.Subscribe{Channel: 0}, time.Minute) {
 			t.Fatalf("subscribe %s failed", a)
 		}
 	}
@@ -398,8 +398,8 @@ func TestFlushSkipsPoisonedDestination(t *testing.T) {
 	var subs []SubscriberInfo
 	sim.Go("relay", r.Run)
 	sim.Go("test", func() {
-		r.fanout([]byte{1})
-		r.fanout([]byte{2})
+		r.fanout(0, []byte{1})
+		r.fanout(0, []byte{2})
 		sim.Sleep(50 * time.Millisecond)
 		st = r.Stats()
 		subs = r.Subscribers()
@@ -473,9 +473,178 @@ func TestPerShardSendSockets(t *testing.T) {
 	}
 }
 
+func TestFanoutFiltersByChannel(t *testing.T) {
+	// Regression: a channel-0 relay carrying a multi-channel group used
+	// to enqueue every packet to every subscriber regardless of the
+	// channel it leased. A subscriber leased to channel X must receive
+	// zero channel-Y packets; a wildcard (channel 0) subscriber gets
+	// everything.
+	_, _, r := newTestRelay(t, Config{})
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 1, 1, 10000))
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 2, 1, 10000))
+	r.handleSubscribe(subscribePkt(t, "10.0.0.4:5004", 0, 1, 10000))
+	for ch := uint32(1); ch <= 2; ch++ {
+		data, err := (&proto.Data{Channel: ch, Epoch: 1, Seq: 1, Payload: []byte{byte(ch)}}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.handlePacket(lan.Packet{From: "10.0.0.9:5000", To: testGroup, Data: data})
+	}
+	want := map[lan.Addr]int{"10.0.0.2:5004": 1, "10.0.0.3:5004": 1, "10.0.0.4:5004": 2}
+	for _, s := range r.Subscribers() {
+		if s.Queued != want[s.Addr] {
+			t.Errorf("%s (channel %d) queued %d packets, want %d", s.Addr, s.Channel, s.Queued, want[s.Addr])
+		}
+	}
+}
+
+// subscribeLoopPkt builds an inbound subscribe carrying path fields.
+func subscribeLoopPkt(t *testing.T, from lan.Addr, hops uint8, pathID uint64) lan.Packet {
+	t.Helper()
+	data, err := (&proto.Subscribe{Seq: 1, LeaseMs: 10000, Hops: hops, PathID: pathID}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lan.Packet{From: from, To: "10.0.0.1:5006", Data: data}
+}
+
+func TestSubscribeLoopRefused(t *testing.T) {
+	sim, seg, r := newTestRelay(t, Config{MaxHops: 4})
+	sub, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []proto.SubStatus
+	sim.Go("relay", r.Run)
+	sim.Go("test", func() {
+		defer sub.Close()
+		send := func(hops uint8, pathID uint64) {
+			data, _ := (&proto.Subscribe{Seq: 1, LeaseMs: 10000, Hops: hops, PathID: pathID}).Marshal()
+			if err := sub.Send(r.Addr(), data); err != nil {
+				t.Error(err)
+				return
+			}
+			pkt, err := sub.Recv(time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ack, err := proto.UnmarshalSubAck(pkt.Data); err == nil {
+				acks = append(acks, ack.Status)
+			}
+		}
+		send(1, 12345)      // benign downstream relay: granted
+		send(1, r.PathID()) // path revisits this relay: refused, lease dropped
+		send(4, 54321)      // at the hop ceiling: refused
+		r.Stop()
+	})
+	sim.WaitIdle()
+	want := []proto.SubStatus{proto.SubOK, proto.SubLoop, proto.SubLoop}
+	if len(acks) != len(want) {
+		t.Fatalf("acks = %v, want %v", acks, want)
+	}
+	for i := range want {
+		if acks[i] != want[i] {
+			t.Fatalf("ack %d = %v, want %v (all %v)", i, acks[i], want[i], acks)
+		}
+	}
+	// The SubLoop refusal of the refresh must also have dropped the
+	// lease granted in the first exchange: an established loop is torn
+	// down, not left to spin until expiry.
+	if n := r.NumSubscribers(); n != 0 {
+		t.Fatalf("subscribers after loop refusal = %d, want 0", n)
+	}
+	st := r.Stats()
+	if st.Loops != 2 || st.Rejected != 2 {
+		t.Fatalf("loop accounting = %+v", st)
+	}
+}
+
+func TestMaxHopsClampedToWireLimit(t *testing.T) {
+	// Propagated hop counts saturate at 255 on the wire; a configured
+	// limit beyond that would never trip, silently disabling the loop
+	// backstop. It must clamp, so a saturated path is still refused.
+	_, _, r := newTestRelay(t, Config{MaxHops: 300})
+	r.handlePacket(subscribeLoopPkt(t, "10.0.0.2:5004", 255, 777))
+	if n := r.NumSubscribers(); n != 0 {
+		t.Fatalf("saturated-hops subscribe granted under MaxHops=300 (subs %d)", n)
+	}
+	if st := r.Stats(); st.Loops != 1 {
+		t.Fatalf("loop accounting = %+v", st)
+	}
+}
+
+func TestPathIDDistinctForIdenticalBindAddresses(t *testing.T) {
+	// Regression: the path identity used to be a hash of the local bind
+	// address, so two relayds on different hosts both bound to the
+	// default "0.0.0.0:5006" shared one identity and a straight chain
+	// between them refused itself as a loop. Identity must be unique
+	// per instance even when the bind strings are identical.
+	ids := make(map[uint64]bool)
+	for i := 0; i < 4; i++ {
+		sim := vclock.NewSim(time.Time{})
+		seg := lan.NewSegment(sim, lan.SegmentConfig{})
+		conn, err := seg.Attach("10.0.0.1:5006") // same string on every "host"
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(sim, conn, Config{Group: testGroup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PathID() == 0 {
+			t.Fatal("zero path id")
+		}
+		if ids[r.PathID()] {
+			t.Fatalf("duplicate path id %d across instances with the same bind address", r.PathID())
+		}
+		ids[r.PathID()] = true
+	}
+}
+
+func TestPathInfoPropagatesDeepestDownstream(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{})
+	// Only speakers subscribed: the relay originates its own path.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 1, 10000))
+	if hops, pathID := r.pathInfo(); hops != 1 || pathID != r.PathID() {
+		t.Fatalf("pathInfo with speakers only = (%d, %d), want (1, own id %d)", hops, pathID, r.PathID())
+	}
+	// A downstream relay two hops deep dominates.
+	r.handlePacket(subscribeLoopPkt(t, "10.0.0.3:5004", 2, 777))
+	if hops, pathID := r.pathInfo(); hops != 3 || pathID != 777 {
+		t.Fatalf("pathInfo with downstream relay = (%d, %d), want (3, 777)", hops, pathID)
+	}
+}
+
+func TestChainedRelayConfigValidation(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	conn, _ := seg.Attach("10.0.0.1:5006")
+	if _, err := New(sim, conn, Config{Upstream: "10.0.0.2:5006", Group: testGroup}); err == nil {
+		t.Fatal("both Group and Upstream accepted")
+	}
+	if _, err := New(sim, conn, Config{Upstream: testGroup}); err == nil {
+		t.Fatal("multicast upstream accepted")
+	}
+	if _, err := New(sim, conn, Config{Upstream: "not-an-address"}); err == nil {
+		t.Fatal("junk upstream accepted")
+	}
+	r, err := New(sim, conn, Config{Upstream: "10.0.0.2:5006", Channel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source() != "10.0.0.2:5006" || r.Upstream() != "10.0.0.2:5006" || r.Group() != "" {
+		t.Fatalf("source/upstream/group = %q/%q/%q", r.Source(), r.Upstream(), r.Group())
+	}
+	info := r.Info()
+	if info.Addr != "10.0.0.1:5006" || info.Group != "10.0.0.2:5006" || info.Channel != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
 func TestTableRendersSubscribers(t *testing.T) {
 	_, _, r := newTestRelay(t, Config{})
-	r.subscribe("10.0.0.2:5004", 1, time.Minute)
+	r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 1}, time.Minute)
 	var sb strings.Builder
 	r.Table().Render(&sb)
 	out := sb.String()

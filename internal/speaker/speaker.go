@@ -10,6 +10,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/relay/lease"
 	"repro/internal/vclock"
 )
 
@@ -36,6 +37,11 @@ type Config struct {
 	// as a relay and subscribed to over a lease — the tune-in path for
 	// speakers beyond the multicast segment.
 	Group lan.Addr
+	// Channel is the channel id requested when subscribing to a relay;
+	// 0 accepts whatever the relay carries. A channel-restricted relay
+	// refuses a mismatching id with SubNoChannel, and a multi-channel
+	// relay forwards only the leased channel.
+	Channel uint32
 
 	// RelayLease overrides DefaultRelayLease.
 	RelayLease time.Duration
@@ -115,12 +121,11 @@ type Speaker struct {
 	ambient float64 // ambient noise RMS heard by the mic model (§5.2)
 	stopped bool
 	onPlay  []func(audiodev.PlayedBlock)
-	// relay subscription state: set while tuned to a unicast relay
-	// address instead of a multicast group.
-	relay      lan.Addr
-	relayLease time.Duration // granted (or requested) lease
-	subSeq     uint32
-	refresher  bool // lease-refresh task started
+
+	// sub maintains the relay subscription while tuned to a unicast
+	// relay address instead of a multicast group. It has its own lock;
+	// never call it with s.mu held.
+	sub *lease.Subscriber
 }
 
 // New creates a speaker bound to cfg.Local, joined to cfg.Group if set.
@@ -142,6 +147,7 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 		return nil, fmt.Errorf("speaker %s: %w", cfg.Name, err)
 	}
 	s := &Speaker{clock: clock, cfg: cfg, conn: conn, volume: cfg.Volume}
+	s.sub = lease.New(clock, conn, "speaker-"+cfg.Name+"-lease")
 	s.hw = audiodev.NewSimHardware(clock, s.played)
 	if cfg.DACSpeed > 0 {
 		s.hw.SetSpeed(cfg.DACSpeed)
@@ -159,7 +165,8 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 
 // tuneIn attaches to a channel source: a multicast group is joined
 // natively; anything else is treated as a relay's unicast address and
-// subscribed to under a lease (§2.3 beyond one segment).
+// subscribed to under a lease (§2.3 beyond one segment), requesting the
+// configured channel id so a multi-channel relay forwards only it.
 func (s *Speaker) tuneIn(group lan.Addr) error {
 	if group.IsMulticast() {
 		return s.conn.Join(group)
@@ -167,16 +174,7 @@ func (s *Speaker) tuneIn(group lan.Addr) error {
 	if err := group.Validate(); err != nil {
 		return fmt.Errorf("speaker %s: relay address: %w", s.cfg.Name, err)
 	}
-	s.mu.Lock()
-	s.relay = group
-	s.relayLease = s.cfg.RelayLease
-	started := s.refresher
-	s.refresher = true
-	s.mu.Unlock()
-	s.sendSubscribe(group, s.cfg.RelayLease)
-	if !started {
-		s.clock.Go("speaker-"+s.cfg.Name+"-lease", s.refreshLoop)
-	}
+	s.sub.Subscribe(group, s.cfg.Channel, s.cfg.RelayLease)
 	return nil
 }
 
@@ -185,71 +183,22 @@ func (s *Speaker) tuneOut(group lan.Addr) error {
 	if group.IsMulticast() {
 		return s.conn.Leave(group)
 	}
-	s.mu.Lock()
-	s.relay = ""
-	s.mu.Unlock()
 	// Cancel the lease; if the packet is lost the relay expires us.
-	s.sendSubscribe(group, 0)
+	s.sub.Cancel()
 	return nil
 }
 
-// sendSubscribe sends one subscribe/refresh (or, with zero lease,
-// cancel) packet to a relay.
-func (s *Speaker) sendSubscribe(target lan.Addr, lease time.Duration) {
-	s.mu.Lock()
-	s.subSeq++
-	req := proto.Subscribe{
-		Seq:     s.subSeq,
-		LeaseMs: uint32(lease / time.Millisecond),
-	}
-	s.stats.RelaySubscribes++
-	s.mu.Unlock()
-	data, err := req.Marshal()
-	if err != nil {
-		return
-	}
-	s.conn.Send(target, data)
-}
-
-// refreshLoop re-sends the relay subscription well before the lease
-// expires. One long-lived task per speaker, started on the first relay
-// tune; it idles (cheaply) while tuned to plain multicast.
-func (s *Speaker) refreshLoop() {
-	for {
-		s.mu.Lock()
-		stopped := s.stopped
-		lease := s.relayLease
-		s.mu.Unlock()
-		if stopped {
-			return
-		}
-		if lease <= 0 {
-			lease = s.cfg.RelayLease
-		}
-		wait := lease / 3
-		if wait < time.Second {
-			wait = time.Second
-		}
-		s.clock.Sleep(wait)
-		s.mu.Lock()
-		stopped = s.stopped
-		target := s.relay
-		lease = s.relayLease
-		s.mu.Unlock()
-		if stopped {
-			return
-		}
-		if target != "" {
-			s.sendSubscribe(target, lease)
-		}
-	}
-}
-
-// Stats returns a snapshot of the speaker accounting.
+// Stats returns a snapshot of the speaker accounting, folding in the
+// relay-subscription counters the lease layer keeps.
 func (s *Speaker) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	ls := s.sub.Stats()
+	st.RelaySubscribes = ls.Subscribes
+	st.RelaySubAcks = ls.Acks
+	st.RelayRefusals = ls.Refusals
+	return st
 }
 
 // Device exposes the underlying audio device (for its driver stats).
@@ -344,11 +293,12 @@ func (s *Speaker) Tune(group lan.Addr) error {
 	return nil
 }
 
-// Stop shuts the speaker down; Run returns.
+// Stop shuts the speaker down; Run and the lease refresher return.
 func (s *Speaker) Stop() {
 	s.mu.Lock()
 	s.stopped = true
 	s.mu.Unlock()
+	s.sub.Close()
 	s.conn.Close()
 }
 
@@ -410,11 +360,12 @@ func (s *Speaker) handlePacket(pkt lan.Packet) {
 	}
 }
 
-// handleSubAck records the relay's granted lease; the refresh loop
-// paces itself off it. A refusal (table full, wrong channel) is
-// counted but the periodic subscribe keeps going: leases are soft
-// state, so a full table may drain and the refresh doubles as the
-// retry — at one small packet per refresh interval.
+// handleSubAck feeds the relay's reply to the lease layer, which
+// records the granted lease and re-paces its refresh off it. A refusal
+// (table full, wrong channel, loop) is counted but the periodic
+// subscribe keeps going: leases are soft state, so a full table may
+// drain and the refresh doubles as the retry — at one small packet per
+// refresh interval.
 func (s *Speaker) handleSubAck(data []byte) {
 	ack, err := proto.UnmarshalSubAck(data)
 	if err != nil {
@@ -423,14 +374,7 @@ func (s *Speaker) handleSubAck(data []byte) {
 		s.mu.Unlock()
 		return
 	}
-	s.mu.Lock()
-	s.stats.RelaySubAcks++
-	if ack.Status != proto.SubOK {
-		s.stats.RelayRefusals++
-	} else if ack.LeaseMs > 0 && s.relay != "" {
-		s.relayLease = time.Duration(ack.LeaseMs) * time.Millisecond
-	}
-	s.mu.Unlock()
+	s.sub.HandleAck(ack)
 }
 
 // handleControl ingests a control packet: (re)configure on a new epoch
