@@ -21,6 +21,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
+	"repro/internal/security"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -246,26 +247,33 @@ func BenchmarkSegmentMulticast(b *testing.B) {
 // channel out to unicast subscribers on the simulated segment, as a
 // table over the subscriber count and the send strategy: batch=1 is the
 // per-subscriber-send baseline (PR 1's data path), batch=64 the batched
-// WriteBatch path, and the hops=2 row routes the stream through a
-// chained relay (group -> relay -> relay -> subscribers) to price one
-// extra bridge hop. The headline metric is ns/pkt — wall time per
-// fanned-out packet — which records the scaling curve toward thousands
-// of subscribers per relay; pkts-fanned-out and pkts-dropped keep the
-// delivery and backpressure counts honest.
+// WriteBatch path, the hops=2 row routes the stream through a chained
+// relay (group -> relay -> relay -> subscribers) to price one extra
+// bridge hop, and the auth=hmac row runs the §5.1-authenticated control
+// plane (signed subscribes, verified and signed SubAcks) to show that
+// securing lease setup leaves the steady-state fan-out untouched — the
+// data path is never wrapped by the relay.
+// The headline metric is ns/pkt — wall time per fanned-out packet —
+// which records the scaling curve toward thousands of subscribers per
+// relay; pkts-fanned-out and pkts-dropped keep the delivery and
+// backpressure counts honest.
 func BenchmarkRelayFanout(b *testing.B) {
 	for _, subs := range []int{100, 1000, 5000} {
 		for _, batch := range []int{1, 64} {
 			b.Run(fmt.Sprintf("subs=%d/batch=%d", subs, batch), func(b *testing.B) {
-				benchRelayFanout(b, subs, batch, 1)
+				benchRelayFanout(b, subs, batch, 1, nil)
 			})
 		}
 	}
 	b.Run("subs=1000/batch=64/hops=2", func(b *testing.B) {
-		benchRelayFanout(b, 1000, 64, 2)
+		benchRelayFanout(b, 1000, 64, 2, nil)
+	})
+	b.Run("subs=1000/batch=64/auth=hmac", func(b *testing.B) {
+		benchRelayFanout(b, 1000, 64, 1, security.NewHMAC([]byte("bench control key")))
 	})
 }
 
-func benchRelayFanout(b *testing.B, subscribers, batch, hops int) {
+func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.Authenticator) {
 	var sent, dropped int64
 	var active time.Duration // wall time of the fan-out window only
 	for i := 0; i < b.N; i++ {
@@ -280,6 +288,7 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int) {
 			Group: "239.72.1.1:5004", Channel: 1,
 			Batch:          batch,
 			MaxSubscribers: subscribers,
+			Auth:           auth,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -291,6 +300,7 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int) {
 				Upstream: r.Addr(), Channel: 1,
 				Batch:          batch,
 				MaxSubscribers: subscribers,
+				Auth:           auth,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -323,6 +333,9 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int) {
 			if err != nil {
 				b.Error(err)
 				return
+			}
+			if auth != nil {
+				sub = auth.Sign(sub)
 			}
 			for _, conn := range conns {
 				if err := conn.Send(r.Addr(), sub); err != nil {

@@ -9,12 +9,19 @@
 // Example:
 //
 //	esd -group 239.72.1.1:5004 -mgmt 0.0.0.0:5005 | aplay -f cd
+//
+// Beyond the multicast segment, -group may name a relay's unicast
+// address instead — or the literal 'discover', which picks a relay for
+// -channel from the §4.3 catalog at boot. Against an authenticated
+// relay (relayd -auth hmac), pass the same -auth hmac -key-file so the
+// speaker signs its subscribes and verifies the granted lease.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	stdnet "net"
 	"os"
 	"os/signal"
 	"time"
@@ -22,23 +29,33 @@ import (
 	"repro/internal/audiodev"
 	"repro/internal/lan"
 	"repro/internal/mgmt"
+	"repro/internal/relay"
+	"repro/internal/security"
 	"repro/internal/speaker"
 	"repro/internal/vclock"
 )
 
 func main() {
 	var (
-		group  = flag.String("group", "239.72.1.1:5004", "channel multicast group, or a relay's unicast address")
-		chanID = flag.Uint("channel", 0, "channel id to request when -group is a relay (0 = whatever it carries)")
-		local  = flag.String("local", "0.0.0.0:5004", "local bind address")
-		mgmtAt = flag.String("mgmt", "", "management agent bind address (empty disables)")
-		name   = flag.String("name", "es", "speaker name")
-		out    = flag.String("out", "-", "raw PCM output: '-' for stdout, or a file path")
-		statsI = flag.Duration("stats", 10*time.Second, "stats report interval (0 disables)")
+		group    = flag.String("group", "239.72.1.1:5004", "channel multicast group, a relay's unicast address, or 'discover' to find a relay in the catalog")
+		catalog  = flag.String("catalog", "239.72.0.1:5003", "catalog group queried by -group discover")
+		chanID   = flag.Uint("channel", 0, "channel id to request when -group is a relay (0 = whatever it carries)")
+		local    = flag.String("local", "0.0.0.0:5004", "local bind address")
+		mgmtAt   = flag.String("mgmt", "", "management agent bind address (empty disables)")
+		name     = flag.String("name", "es", "speaker name")
+		authFlag = flag.String("auth", "none", "relay control-plane auth scheme: none, or hmac with -key-file (must match the relay's -auth)")
+		keyFile  = flag.String("key-file", "", "file holding the shared relay control-plane key (with -auth hmac)")
+		out      = flag.String("out", "-", "raw PCM output: '-' for stdout, or a file path")
+		statsI   = flag.Duration("stats", 10*time.Second, "stats report interval (0 disables)")
 	)
 	flag.Parse()
 	log.SetPrefix("esd: ")
 	log.SetFlags(0)
+
+	relayAuth, err := security.LoadControlAuth(*authFlag, *keyFile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var sink *os.File
 	switch *out {
@@ -57,11 +74,27 @@ func main() {
 
 	clock := vclock.System
 	net := &lan.UDPNetwork{}
+
+	if *group == "discover" {
+		// Find a bridge through the §4.3 catalog instead of static
+		// configuration — the tune-in path for speakers that can reach
+		// the catalog group but not the channel's own.
+		ri, err := relay.Discover(clock, net,
+			lan.Addr(stdnet.JoinHostPort(lan.Addr(*local).Host(), "0")),
+			lan.Addr(*catalog), uint32(*chanID), 15*time.Second, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*group = ri.Addr
+		log.Printf("discovered relay %s (relaying %s)", ri.Addr, ri.Group)
+	}
+
 	sp, err := speaker.New(clock, net, speaker.Config{
-		Name:    *name,
-		Local:   lan.Addr(*local),
-		Group:   lan.Addr(*group),
-		Channel: uint32(*chanID),
+		Name:      *name,
+		Local:     lan.Addr(*local),
+		Group:     lan.Addr(*group),
+		Channel:   uint32(*chanID),
+		RelayAuth: relayAuth,
 	})
 	if err != nil {
 		log.Fatal(err)

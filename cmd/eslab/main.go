@@ -125,6 +125,13 @@ func main() {
 			}
 			experiments.E13Chain(w, hops)
 		}},
+		{"authrelay", "E14 (§5.1): authenticated relay control plane — signed chain, forged-subscribe drop", func(q bool) {
+			secs := 4
+			if q {
+				secs = 2
+			}
+			experiments.E14AuthRelay(w, secs)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

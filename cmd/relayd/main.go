@@ -26,14 +26,23 @@
 // Relays chain: -upstream points this relay at another relay instead
 // of a multicast group, so bridges compose across several network
 // segments (each hop holds a TURN-style lease on the previous one, and
-// loops are refused with SubLoop). -advertise publishes this relay in
-// the §4.3 catalog so off-LAN speakers and downstream relays can find
-// it without static configuration (-advertise requires a routable
-// -listen address — a wildcard bind would advertise an address no
-// subscriber can reach):
+// loops are refused with SubLoop). -upstream discover picks the bridge
+// from the §4.3 catalog at boot instead of static configuration
+// (excluding this relay's own advertised address, so it cannot chain
+// behind itself). -advertise publishes this relay in the catalog so
+// off-LAN speakers and downstream relays can find it (-advertise
+// requires a routable -listen address — a wildcard bind would advertise
+// an address no subscriber can reach):
 //
 //	relayd -upstream 192.0.2.10:5006 -listen 198.51.100.7:5006 \
 //	       -advertise 239.72.0.1:5003
+//
+// On an untrusted network, authenticate the control plane: with
+// -auth hmac -key-file the relay verifies every Subscribe before it
+// creates forwarding state (forged ones are dropped silently — no
+// SubAck, so a spoofed request reflects nothing at a victim) and signs
+// every SubAck. Subscribers (esd, downstream relayds) must carry the
+// same key. See "Securing a relay" in docs/RELAY-OPS.md.
 package main
 
 import (
@@ -46,13 +55,15 @@ import (
 	"repro/internal/lan"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
 func main() {
 	var (
 		group    = flag.String("group", "239.72.1.1:5004", "multicast group to relay (ignored with -upstream)")
-		upstream = flag.String("upstream", "", "chain behind another relay: its unicast address (replaces -group)")
+		upstream = flag.String("upstream", "", "chain behind another relay: its unicast address, or 'discover' to pick one from the catalog (replaces -group)")
+		catalog  = flag.String("catalog", "239.72.0.1:5003", "catalog group queried by -upstream discover")
 		adverts  = flag.String("advertise", "", "catalog group to advertise this relay on (empty = off; the system default is 239.72.0.1:5003)")
 		maxHops  = flag.Int("max-hops", relay.DefaultMaxHops, "refuse subscription paths deeper than this many relays")
 		listen   = flag.String("listen", "0.0.0.0:5006", "unicast address subscribers lease from")
@@ -64,14 +75,42 @@ func main() {
 		batch    = flag.Int("batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
 		flush    = flag.Duration("flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
 		shardSk  = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
+		authFlag = flag.String("auth", "none", "control-plane auth scheme: none, or hmac with -key-file (§5.1; forged subscribes are dropped silently)")
+		keyFile  = flag.String("key-file", "", "file holding the shared control-plane key (with -auth hmac)")
 		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
 	)
 	flag.Parse()
 	log.SetPrefix("relayd: ")
 	log.SetFlags(0)
 
+	auth, err := security.LoadControlAuth(*authFlag, *keyFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	clock := vclock.System
 	net := &lan.UDPNetwork{}
+
+	if *upstream == "discover" {
+		// Pick the bridge from the catalog, refusing our own advertised
+		// address — the catalog echoes this relay's announce back at it
+		// — and everything chained behind us at any depth: a chained
+		// relay advertises its upstream in the record's Group field, so
+		// ExcludeChainOf follows those edges from our address through
+		// the whole downstream subtree. Selecting any of it builds the
+		// cycle SubLoop would then refuse on every refresh forever
+		// instead of ever converging.
+		ri, err := relay.Discover(clock, net,
+			lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")),
+			lan.Addr(*catalog), uint32(*channel), 15*time.Second,
+			relay.ExcludeChainOf(lan.Addr(*listen)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		*upstream = ri.Addr
+		log.Printf("discovered upstream %s (relaying %s)", ri.Addr, ri.Group)
+	}
+
 	conn, err := net.Attach(lan.Addr(*listen))
 	if err != nil {
 		log.Fatal(err)
@@ -89,6 +128,7 @@ func main() {
 		MaxLease:       *maxLs,
 		Batch:          *batch,
 		FlushInterval:  *flush,
+		Auth:           auth,
 	}
 	if *upstream != "" {
 		cfg.Group = "" // chained: the upstream relay is the source
@@ -107,6 +147,9 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("relaying %s, subscribers lease at %s", r.Source(), r.Addr())
+	if auth != nil {
+		log.Printf("control plane authenticated (%s); unsigned subscribes are dropped silently", auth.Scheme())
+	}
 
 	if *adverts != "" {
 		// Publish this relay in the channel catalog (§4.3) so off-LAN

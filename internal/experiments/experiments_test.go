@@ -311,6 +311,31 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+func TestE14Shape(t *testing.T) {
+	res := E14AuthRelay(io.Discard, 2)
+	// The signed chain still delivers: grants verified at both the
+	// speaker and the chained relay, stream playing at the far end.
+	if res.SpeakerData == 0 {
+		t.Fatalf("no data crossed the signed 2-hop chain: %+v", res)
+	}
+	if res.SpeakerAcks == 0 || res.ChainAcks == 0 {
+		t.Fatalf("signed grants not accepted: %+v", res)
+	}
+	// The anti-amplification property: forged subscribes draw nothing —
+	// no SubAck, no fan-out, nothing at the spoofed victim — and are
+	// counted.
+	if res.AttackerAcks != 0 || res.AttackerData != 0 {
+		t.Fatalf("attacker drew %d acks / %d data packets, want 0/0: %+v",
+			res.AttackerAcks, res.AttackerData, res)
+	}
+	if res.SpoofedData != 0 {
+		t.Fatalf("spoofed victim received %d packets, want 0: %+v", res.SpoofedData, res)
+	}
+	if res.AuthDropped == 0 || !res.SpoofedDropped {
+		t.Fatalf("forged subscribes not counted in auth.dropped: %+v", res)
+	}
+}
+
 func TestE13Shape(t *testing.T) {
 	res := E13Chain(io.Discard, 3)
 	if res.Hops != 3 {

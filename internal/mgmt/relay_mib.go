@@ -51,12 +51,18 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 		func(s relay.Stats) int64 { return s.Rejected })
 	stat("es.relay.loops", "subscribes refused with SubLoop (path revisits or too deep)",
 		func(s relay.Stats) int64 { return s.Loops })
+	stat("es.relay.auth.dropped", "subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)",
+		func(s relay.Stats) int64 { return s.AuthDropped })
 	stat("es.relay.upstream.subscribes", "lease packets sent to the upstream relay",
 		func(s relay.Stats) int64 { return s.UpstreamSubscribes })
 	stat("es.relay.upstream.acks", "lease acks received from the upstream relay",
 		func(s relay.Stats) int64 { return s.UpstreamAcks })
 	stat("es.relay.upstream.refused", "upstream lease refusals (loop, table full, channel)",
 		func(s relay.Stats) int64 { return s.UpstreamRefused })
+	stat("es.relay.upstream.stale", "upstream acks ignored as stale or foreign",
+		func(s relay.Stats) int64 { return s.UpstreamStaleAcks })
+	stat("es.relay.upstream.auth.dropped", "upstream acks dropped by verification",
+		func(s relay.Stats) int64 { return s.UpstreamAuthDropped })
 	stat("es.relay.fanout.sent", "unicast packets delivered",
 		func(s relay.Stats) int64 { return s.FanoutSent })
 	stat("es.relay.fanout.dropped", "packets dropped by queue backpressure",

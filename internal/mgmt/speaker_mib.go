@@ -107,6 +107,8 @@ func SpeakerMIB(name string, sp *speaker.Speaker) *MIB {
 	stat("es.stats.droppedAuth", "packets failing authentication", func(s speaker.Stats) int64 { return s.DroppedAuth })
 	stat("es.stats.tunes", "channel switches", func(s speaker.Stats) int64 { return s.Tunes })
 	stat("es.stats.relayRefused", "relay lease refusals", func(s speaker.Stats) int64 { return s.RelayRefusals })
+	stat("es.stats.relayStale", "relay acks ignored as stale or foreign", func(s speaker.Stats) int64 { return s.RelayStaleAcks })
+	stat("es.stats.relayAuthDropped", "relay acks dropped by control-plane verification", func(s speaker.Stats) int64 { return s.RelayAuthDropped })
 	m.Register(IntVar("es.dev.underruns", "audio device underruns",
 		func() int64 { return sp.Device().GetStats().Underruns }, nil))
 	m.Register(IntVar("es.dev.silence", "silence blocks inserted",

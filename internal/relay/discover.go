@@ -6,8 +6,18 @@ import (
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/rebroadcast"
 	"repro/internal/vclock"
 )
+
+// discoverSettle is how long Discover keeps collecting announces after
+// the first eligible record when an exclude predicate is installed:
+// two full catalog cycles (plus slack) so every relay on the segment —
+// real relayds advertise themselves in separate announce packets — has
+// been heard before a candidate is trusted. Without the wait, a relay
+// chained behind the caller at depth ≥ 2 could be selected before the
+// intermediate hop's record arrives to prove the chain.
+const discoverSettle = 2*rebroadcast.DefaultCatalogInterval + time.Second
 
 // Discover finds a relay through the §4.3 catalog instead of static
 // configuration: it joins the catalog group through a temporary
@@ -16,8 +26,26 @@ import (
 // any relay; a relay advertising channel 0 carries everything and
 // matches any request). Off-LAN speakers and downstream relays use it
 // to find a bridge. Call it from a clock-tracked task.
+//
+// exclude, when non-nil, vetoes individual records: a record for which
+// it returns true is skipped. A relay using discovery to pick its own
+// upstream must exclude its own advertised address and everything
+// chained behind it (ExcludeChainOf) — the catalog happily echoes the
+// caller's own announce back at it, and a relay that selects itself or
+// any downstream, at any depth, builds a chain that SubLoop then
+// refuses but that churns on every refresh instead of ever converging.
+//
+// With an excluder installed, Discover does not take the first
+// acceptable record at face value: it collects records (all channels —
+// an off-channel hop still forms a cycle) for discoverSettle after the
+// first eligible one, then re-applies the predicate over everything
+// heard until no further record is vetoed, so a stateful predicate's
+// exclusions propagate transitively regardless of announce arrival
+// order, and only then picks the earliest-heard survivor. A nil
+// excluder keeps the fast path: the first matching record wins.
 func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
-	channel uint32, timeout time.Duration) (proto.RelayInfo, error) {
+	channel uint32, timeout time.Duration,
+	exclude func(proto.RelayInfo) bool) (proto.RelayInfo, error) {
 	conn, err := network.Attach(local)
 	if err != nil {
 		return proto.RelayInfo{}, fmt.Errorf("relay: discover: %w", err)
@@ -27,12 +55,37 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 		return proto.RelayInfo{}, fmt.Errorf("relay: discover: joining catalog %q: %w", catalog, err)
 	}
 	deadline := clock.Now().Add(timeout)
+	var (
+		order    []string // record addresses in arrival order
+		records  = make(map[string]proto.RelayInfo)
+		settleAt time.Time // zero until the first eligible record
+	)
+	fail := func() (proto.RelayInfo, error) {
+		return proto.RelayInfo{}, fmt.Errorf("relay: discover: no relay for channel %d announced within %v", channel, timeout)
+	}
 	for {
-		remain := deadline.Sub(clock.Now())
-		if remain <= 0 {
-			return proto.RelayInfo{}, fmt.Errorf("relay: discover: no relay for channel %d announced within %v", channel, timeout)
+		now := clock.Now()
+		if !settleAt.IsZero() && !now.Before(settleAt) {
+			if ri, ok := pickRelay(records, order, channel, exclude); ok {
+				return ri, nil
+			}
+			settleAt = time.Time{} // all heard so far vetoed: keep listening
 		}
-		pkt, err := conn.Recv(remain)
+		remain := deadline.Sub(now)
+		if remain <= 0 {
+			// Out of time: judge what was heard rather than discard it.
+			if ri, ok := pickRelay(records, order, channel, exclude); ok {
+				return ri, nil
+			}
+			return fail()
+		}
+		wait := remain
+		if !settleAt.IsZero() {
+			if d := settleAt.Sub(now); d < wait {
+				wait = d
+			}
+		}
+		pkt, err := conn.Recv(wait)
 		if err == lan.ErrTimeout {
 			continue
 		}
@@ -44,9 +97,89 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 			continue // not an announce (or malformed): keep listening
 		}
 		for _, ri := range a.Relays {
-			if ri.Channel == 0 || channel == 0 || ri.Channel == channel {
-				return ri, nil
+			eligible := ri.Channel == 0 || channel == 0 || ri.Channel == channel
+			if exclude == nil {
+				if eligible {
+					return ri, nil
+				}
+				continue
+			}
+			if _, seen := records[ri.Addr]; !seen {
+				order = append(order, ri.Addr)
+			}
+			records[ri.Addr] = ri
+			if eligible && settleAt.IsZero() {
+				settleAt = now.Add(discoverSettle)
 			}
 		}
+	}
+}
+
+// pickRelay re-applies the exclude predicate over every collected
+// record until a full pass vetoes nothing new — a stateful predicate
+// (ExcludeChainOf) learns the chain graph from the records themselves,
+// so each pass can prove more of the caller's subtree — then returns
+// the earliest-heard surviving record serving the wanted channel.
+func pickRelay(records map[string]proto.RelayInfo, order []string, channel uint32,
+	exclude func(proto.RelayInfo) bool) (proto.RelayInfo, bool) {
+	excluded := make(map[string]bool)
+	if exclude != nil {
+		for changed := true; changed; {
+			changed = false
+			for _, addr := range order {
+				if !excluded[addr] && exclude(records[addr]) {
+					excluded[addr] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, addr := range order {
+		ri := records[addr]
+		if excluded[addr] {
+			continue
+		}
+		if ri.Channel != 0 && channel != 0 && ri.Channel != channel {
+			continue
+		}
+		return ri, true
+	}
+	return proto.RelayInfo{}, false
+}
+
+// ExcludeAddrs builds a Discover exclude predicate vetoing the given
+// unicast addresses — typically the caller's own advertised address and
+// any known-downstream relay, so discovery-driven chaining cannot pick
+// a bridge that would immediately loop.
+func ExcludeAddrs(addrs ...lan.Addr) func(proto.RelayInfo) bool {
+	set := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		set[string(a)] = true
+	}
+	return func(ri proto.RelayInfo) bool { return set[ri.Addr] }
+}
+
+// ExcludeChainOf builds the exclude predicate for a relay picking its
+// own upstream by discovery: it vetoes the caller's own advertised
+// address and, transitively, every relay whose record's Group chain
+// leads back to it — a chained relay advertises its upstream in the
+// record's Group field, so Group naming a known-downstream address
+// proves the record sits somewhere below the caller, at any depth.
+// Selecting any of those would close a cycle that SubLoop refuses on
+// every refresh without ever converging. The predicate is stateful
+// (it accumulates the downstream set as records pass through it);
+// Discover re-applies it to a fixpoint over all records heard, so the
+// proof does not depend on announce arrival order.
+func ExcludeChainOf(self lan.Addr) func(proto.RelayInfo) bool {
+	downstream := map[string]bool{string(self): true}
+	return func(ri proto.RelayInfo) bool {
+		if downstream[ri.Addr] {
+			return true
+		}
+		if downstream[ri.Group] {
+			downstream[ri.Addr] = true
+			return true
+		}
+		return false
 	}
 }

@@ -1,0 +1,108 @@
+package relay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/rebroadcast"
+	"repro/internal/vclock"
+)
+
+const testCatalog = lan.Addr("239.72.0.9:5003")
+
+// announceRelays starts a catalog announcing the given relay records on
+// the test catalog group.
+func announceRelays(t *testing.T, sim *vclock.Sim, seg *lan.Segment, infos ...proto.RelayInfo) *rebroadcast.Catalog {
+	t.Helper()
+	conn, err := seg.Attach("10.0.0.100:5003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := rebroadcast.NewCatalog(sim, conn, testCatalog, 100*time.Millisecond)
+	for _, ri := range infos {
+		cat.SetRelay(ri)
+	}
+	sim.Go("catalog", cat.Run)
+	return cat
+}
+
+// TestDiscoverExcludesOwnAnnounce is the regression test for the
+// self-discovery bug: the catalog echoes every relay's own announce
+// back at it, so a relay picking its upstream by discovery could select
+// itself (or its downstream) and build a chain that SubLoop refuses but
+// that churns on every refresh forever. The exclude predicate must
+// skip vetoed records and keep listening for an acceptable one.
+func TestDiscoverExcludesOwnAnnounce(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	self := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004"}
+	other := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "239.72.5.1:5004"}
+	cat := announceRelays(t, sim, seg, self, other)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.3:5003", testCatalog, 0,
+			2*time.Second, ExcludeAddrs("10.0.0.1:5006"))
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != other.Addr {
+		t.Fatalf("discovered %+v, want the non-excluded relay %s", got, other.Addr)
+	}
+}
+
+// TestDiscoverAllExcludedTimesOut: when every announced relay is
+// vetoed, discovery reports failure instead of returning a record the
+// caller refused.
+func TestDiscoverAllExcludedTimesOut(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	self := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004"}
+	cat := announceRelays(t, sim, seg, self)
+	var err error
+	sim.Go("discover", func() {
+		_, err = Discover(sim, seg, "10.0.0.3:5003", testCatalog, 0,
+			time.Second, ExcludeAddrs("10.0.0.1:5006"))
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err == nil {
+		t.Fatal("discovery returned an excluded relay")
+	}
+}
+
+// TestDiscoverExcludesTransitiveDownstream: a depth-2 downstream must
+// be vetoed too. In the chain A <- B <- C only B's record names A in
+// its Group field, so proving C sits below A takes the B edge — and
+// the records are announced with C sorting before B, so a single
+// arrival-order pass would trust C. Discover's fixpoint re-application
+// of the stateful ExcludeChainOf predicate must still reject it and
+// pick the independent relay.
+func TestDiscoverExcludesTransitiveDownstream(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	self := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004"}
+	depth2 := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "10.0.0.3:5006"} // C: behind B
+	depth1 := proto.RelayInfo{Addr: "10.0.0.3:5006", Group: "10.0.0.1:5006"} // B: behind A
+	other := proto.RelayInfo{Addr: "10.0.0.9:5006", Group: "239.72.5.2:5004"}
+	cat := announceRelays(t, sim, seg, self, depth2, depth1, other)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)))
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != other.Addr {
+		t.Fatalf("discovered %+v, want the independent relay %s", got, other.Addr)
+	}
+}

@@ -31,6 +31,14 @@
 // with proto.SubLoop any subscription path that would revisit it or
 // exceed MaxHops. Relays advertise themselves in the §4.3 catalog
 // (proto.Announce relay records; see Discover) so off-LAN speakers and
-// downstream relays find a bridge without static configuration. See
-// docs/RELAY-OPS.md for the operator view.
+// downstream relays find a bridge without static configuration.
+//
+// The control plane authenticates (§5.1 applied to the one packet that
+// creates forwarding state): with Config.Auth set, a Subscribe must
+// verify before it can touch the lease table — failures drop silently,
+// with no SubAck, so a request forged from a spoofed source reflects
+// nothing at the victim and the relay cannot be grown into a TURN-style
+// amplifier — and every SubAck is signed so subscribers adopt only
+// leases their real relay granted. See docs/RELAY-OPS.md ("Securing a
+// relay") for the operator view.
 package relay

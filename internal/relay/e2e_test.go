@@ -14,6 +14,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
+	"repro/internal/security"
 	"repro/internal/speaker"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -344,7 +345,7 @@ func TestThreeHopRelayChainDeliversAudio(t *testing.T) {
 	p := audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
 	sys.Clock.Go("player", func() {
 		discovered, discoverErr = relay.Discover(sys.Clock, sys.Net, "10.0.88.1:5003",
-			core.CatalogGroup, 1, 5*time.Second)
+			core.CatalogGroup, 1, 5*time.Second, nil)
 		ch.Play(p, &core.PositionSource{Channels: 1}, 4*time.Second)
 		sys.Clock.Sleep(6 * time.Second)
 		sys.Shutdown()
@@ -394,6 +395,75 @@ func TestThreeHopRelayChainDeliversAudio(t *testing.T) {
 				t.Fatalf("streams diverge at byte %d of %d", i, n)
 			}
 		}
+	}
+}
+
+// TestStreamVerifyingSpeakerLearnsLeaseFromUnsignedRelay is the
+// regression test for the broken Verify + relay-fallback combination:
+// SubAcks used to run through the speaker's stream Verify hook, and
+// since a relay signs nothing with the producer's key, an authenticated
+// speaker dropped every SubAck as DroppedAuth and never learned its
+// granted lease — it kept refreshing against its own requested value
+// while playing a stream it could not have leased reliably. SubAck is
+// relay control plane: it must reach the lease layer regardless of the
+// stream authenticator.
+func TestStreamVerifyingSpeakerLearnsLeaseFromUnsignedRelay(t *testing.T) {
+	const group = lan.Addr("239.72.1.1:5004")
+	streamAuth := security.NewHMAC([]byte("producer stream key"))
+	sys := core.NewSim(lan.SegmentConfig{})
+	ch, err := sys.AddChannel(rebroadcast.Config{
+		ID: 1, Name: "signed-stream", Group: group, Codec: "raw",
+		Sign: streamAuth.Sign,
+	}, vad.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relay carries the signed stream untouched and signs nothing
+	// itself (no control-plane auth configured).
+	r, err := sys.AddRelay(relay.Config{Group: group, Channel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spAddr = lan.Addr("10.0.50.1:5004")
+	sp, err := sys.AddSpeaker(speaker.Config{
+		Name: "authed", Local: spAddr, Group: r.Addr(), Channel: 1,
+		RelayLease: 30 * time.Second, Verify: streamAuth.Verify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flip side of routing SubAcks around the stream Verify hook:
+	// a forged plaintext SubAck from an off-path host must still never
+	// reach the lease state — only the leased relay's address may
+	// answer the control plane.
+	attacker, err := sys.Net.Attach("10.0.50.66:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := audio.Voice
+	sys.Clock.Go("player", func() {
+		forged, _ := (&proto.SubAck{Channel: 1, Seq: 1, Status: proto.SubOK,
+			LeaseMs: 3_600_000}).Marshal()
+		attacker.Send(spAddr, forged)
+		ch.Play(p, audio.NewTone(p.SampleRate, p.Channels, 440, 0.5), 3*time.Second)
+		sys.Clock.Sleep(5 * time.Second)
+		sys.Shutdown()
+		attacker.Close()
+	})
+	sys.Sim.WaitIdle()
+
+	st := sp.Stats()
+	if st.RelaySubAcks == 0 {
+		t.Fatalf("speaker accepted no SubAck — the lease never confirmed: %+v", st)
+	}
+	if st.DroppedAuth != 0 {
+		t.Fatalf("SubAcks still counted against the stream authenticator: %+v", st)
+	}
+	if st.RelayStaleAcks == 0 {
+		t.Fatalf("forged off-path SubAck was not dropped as stale: %+v", st)
+	}
+	if st.DataPackets == 0 || st.BytesPlayed == 0 {
+		t.Fatalf("signed stream did not play through the relay: %+v", st)
 	}
 }
 

@@ -2,16 +2,20 @@
 // subscribe / refresh / cancel cycle a client runs against a relay's
 // unicast address. It is shared by the speaker (tuning to a relay
 // instead of a multicast group) and by a chained relay (subscribing to
-// its upstream relay), so both sides pace refreshes the same way and
-// carry the same loop-detection path fields.
+// its upstream relay), so both sides pace refreshes the same way, carry
+// the same loop-detection path fields, and — when an authenticator is
+// installed — sign their subscribes and verify the relay's grants the
+// same way (§5.1 applied to the control plane).
 package lease
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -21,17 +25,24 @@ import (
 // shortest granted lease.
 const MinLease = time.Second
 
+// ErrAuthFailed reports a SubAck that failed control-plane verification
+// and was dropped before reaching the lease state.
+var ErrAuthFailed = errors.New("lease: suback failed authentication")
+
 // Stats is the subscription-side accounting.
 type Stats struct {
-	Subscribes int64 // subscribe/refresh/cancel packets sent
-	Acks       int64 // SubAcks received
-	Refusals   int64 // acks refusing the lease (any non-OK status)
-	Loops      int64 // acks refusing with SubLoop (subset of Refusals)
+	Subscribes  int64 // subscribe/refresh/cancel packets sent
+	Acks        int64 // SubAcks accepted (answering an outstanding request)
+	Refusals    int64 // acks refusing the lease (any non-OK status)
+	Loops       int64 // acks refusing with SubLoop (subset of Refusals)
+	Stale       int64 // acks ignored: detached, or a seq this target was never asked
+	AuthDropped int64 // acks dropped by control-plane verification
 }
 
 // Subscriber maintains at most one live lease with a relay. The owner
 // keeps receiving on its own connection and feeds SubAck packets in via
-// HandleAck; the Subscriber only sends.
+// HandleAckData (or pre-parsed ones via HandleAck); the Subscriber only
+// sends.
 type Subscriber struct {
 	clock vclock.Clock
 	conn  lan.Conn
@@ -44,10 +55,17 @@ type Subscriber struct {
 	want    time.Duration // lease duration requested
 	granted time.Duration // lease duration the relay last granted
 	path    func() (hops uint8, pathID uint64)
+	auth    security.Authenticator // signs subscribes, verifies acks; nil = plaintext
 	seq     uint32
-	stats   Stats
-	started bool // refresh task spawned
-	closed  bool
+	// ackFloor is the seq of the first subscribe sent to the current
+	// target: only acks echoing a seq in [ackFloor, seq] answer a
+	// request this target was actually asked. Anything below is a late
+	// reply from a previous target (or a duplicated datagram from that
+	// exchange); anything above was never sent at all.
+	ackFloor uint32
+	stats    Stats
+	started  bool // refresh task spawned
+	closed   bool
 }
 
 // New creates a detached subscriber sending through conn. name labels
@@ -66,6 +84,18 @@ func (s *Subscriber) SetPath(fn func() (hops uint8, pathID uint64)) {
 	s.mu.Unlock()
 }
 
+// SetAuth installs the control-plane authenticator: every subsequent
+// subscribe packet is signed with it, and HandleAckData verifies every
+// SubAck before the grant can touch the lease state. A nil
+// authenticator restores plaintext operation. The authenticator must be
+// safe for use from the refresh task concurrently with the owner's
+// receive loop (the HMAC scheme is; one-way stream signers are not).
+func (s *Subscriber) SetAuth(a security.Authenticator) {
+	s.mu.Lock()
+	s.auth = a
+	s.mu.Unlock()
+}
+
 // Subscribe starts (or re-targets) the lease: it sends one subscribe
 // packet immediately and keeps refreshing until Cancel or Close. A
 // zero channel accepts whatever the relay carries.
@@ -79,6 +109,9 @@ func (s *Subscriber) Subscribe(target lan.Addr, channel uint32, lease time.Durat
 	s.channel = channel
 	s.want = lease
 	s.granted = 0
+	// The next send uses seq+1; acks for anything earlier belong to a
+	// previous target and must not install a grant here.
+	s.ackFloor = s.seq + 1
 	started := s.started
 	s.started = true
 	s.pace.Broadcast()
@@ -134,14 +167,61 @@ func (s *Subscriber) Stats() Stats {
 	return s.stats
 }
 
-// HandleAck ingests one SubAck from the owner's receive loop and
-// returns its status. A granted lease re-paces the refresh cycle; a
-// refusal is counted but the periodic subscribe keeps going — leases
-// are soft state, so a full table may drain and the refresh doubles as
-// the retry, at one small packet per refresh interval.
+// HandleAckData ingests one raw SubAck datagram from the owner's
+// receive loop. from is the datagram's source address: only the relay
+// currently subscribed to may answer the control plane, so an ack from
+// anywhere else — an off-path forger, or a previous target after
+// re-targeting — is counted stale and never reaches the lease state,
+// even before the seq window applies. The packet is then verified when
+// an authenticator is installed (a forged or unsigned grant is dropped
+// and counted, never applied), parsed, and applied via HandleAck. It
+// returns ErrAuthFailed on a verification failure and the parse error
+// on a malformed packet; a stale-but-well-formed ack is not an error
+// (it is counted and ignored).
+func (s *Subscriber) HandleAckData(from lan.Addr, data []byte) (proto.SubStatus, error) {
+	s.mu.Lock()
+	auth := s.auth
+	if s.target == "" || from != s.target {
+		s.stats.Stale++
+		s.mu.Unlock()
+		return 0, nil
+	}
+	s.mu.Unlock()
+	if auth != nil {
+		inner, ok := auth.Verify(data)
+		if !ok {
+			s.mu.Lock()
+			s.stats.AuthDropped++
+			s.mu.Unlock()
+			return 0, ErrAuthFailed
+		}
+		data = inner
+	}
+	ack, err := proto.UnmarshalSubAck(data)
+	if err != nil {
+		return 0, err
+	}
+	return s.HandleAck(ack), nil
+}
+
+// HandleAck ingests one parsed SubAck and returns its status. A granted
+// lease re-paces the refresh cycle; a refusal is counted but the
+// periodic subscribe keeps going — leases are soft state, so a full
+// table may drain and the refresh doubles as the retry, at one small
+// packet per refresh interval.
+//
+// Only acks answering a request sent to the *current* target are
+// applied: while detached every ack is stale by definition, and a seq
+// outside [ackFloor, seq] is a late reply from a previous target or a
+// duplicated datagram — installing its grant would adopt a lease the
+// current relay never made and mis-pace the refresh loop against it.
 func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.target == "" || ack.Seq < s.ackFloor || ack.Seq > s.seq {
+		s.stats.Stale++
+		return ack.Status
+	}
 	s.stats.Acks++
 	switch {
 	case ack.Status != proto.SubOK:
@@ -149,7 +229,7 @@ func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 		if ack.Status == proto.SubLoop {
 			s.stats.Loops++
 		}
-	case ack.LeaseMs > 0 && s.target != "":
+	case ack.LeaseMs > 0:
 		granted := time.Duration(ack.LeaseMs) * time.Millisecond
 		if granted != s.granted {
 			s.granted = granted
@@ -180,11 +260,15 @@ func (s *Subscriber) send(target lan.Addr, channel uint32, lease time.Duration) 
 		Hops:    hops,
 		PathID:  pathID,
 	}
+	auth := s.auth
 	s.stats.Subscribes++
 	s.mu.Unlock()
 	data, err := req.Marshal()
 	if err != nil {
 		return
+	}
+	if auth != nil {
+		data = auth.Sign(data)
 	}
 	s.conn.Send(target, data)
 }

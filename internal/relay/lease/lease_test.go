@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -57,8 +58,9 @@ func TestRefreshStaysInsideShortGrantedLease(t *testing.T) {
 	sim.Go("sub", func() {
 		sub.Subscribe("10.0.0.1:5006", 1, 15*time.Second)
 		sim.Sleep(100 * time.Millisecond)
-		// The relay granted 1s; simulate the ack reception loop.
-		sub.HandleAck(&proto.SubAck{Status: proto.SubOK, LeaseMs: uint32(granted / time.Millisecond)})
+		// The relay granted 1s; simulate the ack reception loop (Seq 1
+		// echoes the first subscribe).
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: uint32(granted / time.Millisecond)})
 		sim.Sleep(5 * time.Second)
 		sub.Close()
 		relay.Close()
@@ -126,17 +128,146 @@ func TestHandleAckAccounting(t *testing.T) {
 	sim, sub, _ := harness(t)
 	sim.Go("sub", func() {
 		sub.Subscribe("10.0.0.1:5006", 0, 10*time.Second)
-		if st := sub.HandleAck(&proto.SubAck{Status: proto.SubOK, LeaseMs: 3000}); st != proto.SubOK {
+		if st := sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: 3000}); st != proto.SubOK {
 			t.Errorf("status = %v", st)
 		}
 		if g := sub.Granted(); g != 3*time.Second {
 			t.Errorf("granted = %v, want 3s", g)
 		}
-		sub.HandleAck(&proto.SubAck{Status: proto.SubTableFull})
-		sub.HandleAck(&proto.SubAck{Status: proto.SubLoop})
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubTableFull})
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubLoop})
 		st := sub.Stats()
 		if st.Acks != 3 || st.Refusals != 2 || st.Loops != 1 {
 			t.Errorf("stats = %+v", st)
+		}
+		sub.Close()
+	})
+	sim.WaitIdle()
+}
+
+// TestStaleAckFromPreviousTargetIgnored is the regression test for the
+// stale-ack bug: HandleAck never checked ack.Seq against the last sent
+// seq, so after re-targeting, a late ack from the *previous* relay (or
+// a duplicated datagram from that exchange) installed a grant the
+// current relay never made and mis-paced the refresh loop against it.
+func TestStaleAckFromPreviousTargetIgnored(t *testing.T) {
+	sim, sub, _ := harness(t)
+	sim.Go("sub", func() {
+		// Lease from relay A; its grant (echoing seq 1) applies.
+		sub.Subscribe("10.0.0.1:5006", 1, 10*time.Second)
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: 60000})
+		if g := sub.Granted(); g != time.Minute {
+			t.Errorf("granted from A = %v, want 1m", g)
+		}
+		// Re-target to relay B: the next subscribe is seq 2, and A's
+		// duplicated/late ack still echoes seq 1. It must not install
+		// A's 60s grant as if B had made it.
+		sub.Subscribe("10.0.0.9:5006", 1, 10*time.Second)
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: 60000})
+		if g := sub.Granted(); g != 0 {
+			t.Errorf("granted after stale ack = %v, want 0 (no grant from B yet)", g)
+		}
+		// An ack echoing a seq never sent (forged/foreign) is ignored too.
+		sub.HandleAck(&proto.SubAck{Seq: 99, Status: proto.SubOK, LeaseMs: 1000})
+		if g := sub.Granted(); g != 0 {
+			t.Errorf("granted after foreign ack = %v, want 0", g)
+		}
+		// B's real answer applies.
+		sub.HandleAck(&proto.SubAck{Seq: 2, Status: proto.SubOK, LeaseMs: 2000})
+		if g := sub.Granted(); g != 2*time.Second {
+			t.Errorf("granted from B = %v, want 2s", g)
+		}
+		st := sub.Stats()
+		if st.Stale != 2 || st.Acks != 2 {
+			t.Errorf("stats = %+v, want 2 stale / 2 accepted", st)
+		}
+		sub.Close()
+	})
+	sim.WaitIdle()
+}
+
+// TestAuthSignsSubscribesAndVerifiesAcks exercises the §5.1 control
+// plane from the subscriber side: with an authenticator installed every
+// outgoing subscribe verifies under the shared key, a signed grant is
+// accepted through HandleAckData, and an unsigned or wrong-key grant is
+// dropped before it can touch the lease state.
+func TestAuthSignsSubscribesAndVerifiesAcks(t *testing.T) {
+	sim, sub, relayConn := harness(t)
+	auth := security.NewHMAC([]byte("control key"))
+	var verified, rejected int
+	sim.Go("relay", func() {
+		for {
+			pkt, err := relayConn.Recv(0)
+			if err != nil {
+				return
+			}
+			if inner, ok := auth.Verify(pkt.Data); ok {
+				if _, err := proto.UnmarshalSubscribe(inner); err == nil {
+					verified++
+				}
+			} else {
+				rejected++
+			}
+		}
+	})
+	sim.Go("sub", func() {
+		sub.SetAuth(auth)
+		sub.Subscribe("10.0.0.1:5006", 1, 10*time.Second)
+		sim.Sleep(50 * time.Millisecond)
+
+		ack, _ := (&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: 3000}).Marshal()
+		// Unsigned and wrong-key grants are dropped with ErrAuthFailed.
+		if _, err := sub.HandleAckData("10.0.0.1:5006", ack); err != ErrAuthFailed {
+			t.Errorf("unsigned ack: err = %v, want ErrAuthFailed", err)
+		}
+		wrong := security.NewHMAC([]byte("wrong key"))
+		if _, err := sub.HandleAckData("10.0.0.1:5006", wrong.Sign(ack)); err != ErrAuthFailed {
+			t.Errorf("wrong-key ack: err = %v, want ErrAuthFailed", err)
+		}
+		if g := sub.Granted(); g != 0 {
+			t.Errorf("granted after forged acks = %v, want 0", g)
+		}
+		// A correctly signed grant from an off-path source is still
+		// refused: only the leased relay's address may answer.
+		if _, err := sub.HandleAckData("10.0.0.66:5006", auth.Sign(ack)); err != nil {
+			t.Errorf("off-path ack: err = %v, want silent stale drop", err)
+		}
+		if g := sub.Granted(); g != 0 {
+			t.Errorf("granted after off-path ack = %v, want 0", g)
+		}
+		// The genuine signed grant from the leased relay applies.
+		if st, err := sub.HandleAckData("10.0.0.1:5006", auth.Sign(ack)); err != nil || st != proto.SubOK {
+			t.Errorf("signed ack: (%v, %v)", st, err)
+		}
+		if g := sub.Granted(); g != 3*time.Second {
+			t.Errorf("granted = %v, want 3s", g)
+		}
+		if st := sub.Stats(); st.AuthDropped != 2 || st.Acks != 1 || st.Stale != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		sub.Close()
+		relayConn.Close()
+	})
+	sim.WaitIdle()
+	if verified == 0 || rejected != 0 {
+		t.Fatalf("relay saw %d verified / %d rejected subscribes, want all signed", verified, rejected)
+	}
+}
+
+// TestAckWhileDetachedIgnored: after Cancel the subscriber holds no
+// lease, and any ack still in flight — even one echoing a valid seq —
+// must not resurrect a grant.
+func TestAckWhileDetachedIgnored(t *testing.T) {
+	sim, sub, _ := harness(t)
+	sim.Go("sub", func() {
+		sub.Subscribe("10.0.0.1:5006", 1, 10*time.Second)
+		sub.Cancel()
+		sub.HandleAck(&proto.SubAck{Seq: 1, Status: proto.SubOK, LeaseMs: 60000})
+		if g := sub.Granted(); g != 0 {
+			t.Errorf("granted while detached = %v, want 0", g)
+		}
+		if st := sub.Stats(); st.Stale != 1 || st.Acks != 0 {
+			t.Errorf("stats = %+v, want the detached ack counted stale", st)
 		}
 		sub.Close()
 	})

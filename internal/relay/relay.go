@@ -12,6 +12,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/relay/lease"
+	"repro/internal/security"
 	"repro/internal/stats"
 	"repro/internal/vclock"
 )
@@ -94,6 +95,19 @@ type Config struct {
 	// socket's lock and each can batch independently. When nil all
 	// shards send through the relay's main connection.
 	Network lan.Network
+	// Auth, when set, authenticates the relay control plane (§5.1
+	// applied to the one path that creates forwarding state): every
+	// inbound Subscribe must verify before it can touch the lease table
+	// — failures are dropped silently, without a SubAck, so a forged
+	// request from a spoofed source draws zero reply traffic and the
+	// relay cannot be grown into a reflection amplifier — and every
+	// outbound SubAck is signed so subscribers can trust the granted
+	// lease. A chained relay uses the same authenticator for its own
+	// upstream lease (signing its subscribes, verifying the upstream's
+	// grants), so one shared key secures a whole chain. The
+	// authenticator must be safe for concurrent use (the HMAC scheme
+	// is; one-way stream signers are not).
+	Auth security.Authenticator
 }
 
 func (c *Config) applyDefaults() {
@@ -143,15 +157,18 @@ type Stats struct {
 	Expired         int64 // leases that ran out
 	Rejected        int64 // refused subscribe requests
 	Loops           int64 // subscribes refused with SubLoop (subset of Rejected)
+	AuthDropped     int64 // subscribes dropped by control-plane verification (no SubAck sent)
 	FanoutSent      int64 // unicast packets delivered to subscribers
 	FanoutDropped   int64 // packets dropped by queue backpressure
 	SendErrors      int64
 
 	// Chaining telemetry (nonzero only with Config.Upstream set): the
 	// relay's own lease against its upstream relay.
-	UpstreamSubscribes int64 // subscribe/refresh packets sent upstream
-	UpstreamAcks       int64 // SubAcks received from upstream
-	UpstreamRefused    int64 // upstream refusals (loop, table full, channel)
+	UpstreamSubscribes  int64 // subscribe/refresh packets sent upstream
+	UpstreamAcks        int64 // SubAcks accepted from upstream
+	UpstreamRefused     int64 // upstream refusals (loop, table full, channel)
+	UpstreamStaleAcks   int64 // upstream acks ignored as stale or foreign
+	UpstreamAuthDropped int64 // upstream acks dropped by verification
 
 	// Batching telemetry: Batches counts WriteBatch flushes, split by
 	// what triggered them. FanoutSent / Batches is the achieved batch
@@ -264,6 +281,10 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		r.upstreamHost = cfg.Upstream.Host()
 		r.up = lease.New(clock, conn, "relay-upstream-"+string(conn.LocalAddr()))
 		r.up.SetPath(r.pathInfo)
+		// One shared authenticator secures the whole chain: this relay
+		// signs its upstream subscribes and verifies the upstream's
+		// grants with the same scheme it demands of its own subscribers.
+		r.up.SetAuth(cfg.Auth)
 	}
 	r.workersIdle = clock.NewCond()
 	for i := 0; i < cfg.Shards; i++ {
@@ -359,6 +380,8 @@ func (r *Relay) Stats() Stats {
 		st.UpstreamSubscribes = ls.Subscribes
 		st.UpstreamAcks = ls.Acks
 		st.UpstreamRefused = ls.Refusals
+		st.UpstreamStaleAcks = ls.Stale
+		st.UpstreamAuthDropped = ls.AuthDropped
 	}
 	return st
 }
@@ -503,6 +526,13 @@ func (r *Relay) Run() {
 	}
 }
 
+// Inject processes pkt as if it had arrived on the relay's connection.
+// It exists for the experiments and tests that need a forged source
+// address (real UDP source spoofing — the attack the control-plane auth
+// closes), which the simulated segment cannot produce: its Send always
+// stamps the sender's true address.
+func (r *Relay) Inject(pkt lan.Packet) { r.handlePacket(pkt) }
+
 // handlePacket classifies one received datagram.
 func (r *Relay) handlePacket(pkt lan.Packet) {
 	t, ch, err := proto.PeekType(pkt.Data)
@@ -547,11 +577,11 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 		r.mu.Unlock()
 		r.fanout(ch, pkt.Data)
 	case proto.TypeSubAck:
-		// Chained: our upstream answering our own lease.
+		// Chained: our upstream answering our own lease. The lease layer
+		// verifies the grant (when the chain is authenticated) and
+		// rejects stale or foreign acks before re-pacing on it.
 		if r.up != nil && pkt.From == r.cfg.Upstream {
-			if ack, err := proto.UnmarshalSubAck(pkt.Data); err == nil {
-				r.up.HandleAck(ack)
-			}
+			r.up.HandleAckData(pkt.From, pkt.Data)
 		}
 	default:
 		// Announce traffic is not ours to forward.
@@ -559,8 +589,22 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 }
 
 // handleSubscribe grants, refreshes, or cancels one lease and replies.
+// With Config.Auth set, the request must verify before it can touch the
+// lease table, and a failure draws no reply at all: a SubAck to an
+// unverified source would let a spoofed Subscribe reflect traffic at a
+// victim, which is exactly the amplifier shape the auth exists to
+// close.
 func (r *Relay) handleSubscribe(pkt lan.Packet) {
-	req, err := proto.UnmarshalSubscribe(pkt.Data)
+	data := pkt.Data
+	if r.cfg.Auth != nil {
+		inner, ok := r.cfg.Auth.Verify(data)
+		if !ok {
+			r.count(func(s *Stats) { s.AuthDropped++ })
+			return
+		}
+		data = inner
+	}
+	req, err := proto.UnmarshalSubscribe(data)
 	if err != nil {
 		r.mu.Lock()
 		r.stats.Malformed++
@@ -599,11 +643,14 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 			r.count(func(s *Stats) { s.Rejected++ })
 		}
 	}
-	data, err := ack.Marshal()
+	out, err := ack.Marshal()
 	if err != nil {
 		return
 	}
-	if err := r.conn.Send(pkt.From, data); err != nil {
+	if r.cfg.Auth != nil {
+		out = r.cfg.Auth.Sign(out)
+	}
+	if err := r.conn.Send(pkt.From, out); err != nil {
 		r.count(func(s *Stats) { s.SendErrors++ })
 	}
 }

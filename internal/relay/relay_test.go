@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -639,6 +640,156 @@ func TestChainedRelayConfigValidation(t *testing.T) {
 	info := r.Info()
 	if info.Addr != "10.0.0.1:5006" || info.Group != "10.0.0.2:5006" || info.Channel != 3 {
 		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestAuthRelayDropsForgedSubscribeSilently is the amplification
+// regression test: against an auth-enabled relay, a Subscribe forged
+// from a spoofed source must create no forwarding state, draw no
+// SubAck (a reply to an unverified source is exactly the reflection
+// primitive the auth closes), receive zero fan-out packets, and tick
+// es.relay.auth.dropped.
+func TestAuthRelayDropsForgedSubscribeSilently(t *testing.T) {
+	auth := security.NewHMAC([]byte("relay key"))
+	sim, seg, r := newTestRelay(t, Config{Channel: 1, Auth: auth})
+	victim, err := seg.Attach("10.0.0.66:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victimPkts int
+	sim.Go("relay", r.Run)
+	sim.Go("victim", func() {
+		for {
+			if _, err := victim.Recv(0); err != nil {
+				return
+			}
+			victimPkts++
+		}
+	})
+	sim.Go("test", func() {
+		// The forged subscribe, "from" the victim: unsigned, and signed
+		// under the wrong key. Neither may create state or a reply.
+		forged, _ := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
+		r.Inject(lan.Packet{From: "10.0.0.66:5004", To: r.Addr(), Data: forged})
+		wrong := security.NewHMAC([]byte("wrong key"))
+		r.Inject(lan.Packet{From: "10.0.0.66:5004", To: r.Addr(), Data: wrong.Sign(forged)})
+		if n := r.NumSubscribers(); n != 0 {
+			t.Errorf("forged subscribe created %d lease(s)", n)
+		}
+		// Data off the group must fan out to nobody — the victim holds
+		// no lease.
+		data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: []byte{1}}).Marshal()
+		r.Inject(lan.Packet{From: "10.0.0.9:5000", To: testGroup, Data: data})
+		sim.Sleep(100 * time.Millisecond)
+		r.Stop()
+		victim.Close()
+	})
+	sim.WaitIdle()
+	if victimPkts != 0 {
+		t.Fatalf("spoofed victim received %d packets, want 0 (amplification)", victimPkts)
+	}
+	st := r.Stats()
+	if st.AuthDropped != 2 {
+		t.Fatalf("auth dropped = %d, want 2 (stats %+v)", st.AuthDropped, st)
+	}
+	if st.FanoutSent != 0 {
+		t.Fatalf("fanout sent = %d, want 0", st.FanoutSent)
+	}
+}
+
+// TestAuthRelayGrantsSignedSubscribe: the legitimate path under auth —
+// a properly signed Subscribe is granted, the SubAck comes back signed
+// and verifies under the shared key, and the granted lease then
+// receives fan-out (data packets themselves are forwarded unwrapped:
+// the control plane, not the stream, is what creates state).
+func TestAuthRelayGrantsSignedSubscribe(t *testing.T) {
+	auth := security.NewHMAC([]byte("relay key"))
+	sim, seg, r := newTestRelay(t, Config{Channel: 1, Auth: auth})
+	sub, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack *proto.SubAck
+	var gotData bool
+	sim.Go("relay", r.Run)
+	sim.Go("subscriber", func() {
+		defer sub.Close()
+		req, _ := (&proto.Subscribe{Channel: 1, Seq: 7, LeaseMs: 10000}).Marshal()
+		if err := sub.Send(r.Addr(), auth.Sign(req)); err != nil {
+			t.Error(err)
+			return
+		}
+		pkt, err := sub.Recv(2 * time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		inner, ok := auth.Verify(pkt.Data)
+		if !ok {
+			t.Errorf("suback not signed under the relay key")
+			return
+		}
+		ack, _ = proto.UnmarshalSubAck(inner)
+		data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: 1, Payload: []byte{1}}).Marshal()
+		r.Inject(lan.Packet{From: "10.0.0.9:5000", To: testGroup, Data: data})
+		if pkt, err := sub.Recv(2 * time.Second); err == nil {
+			if d, err := proto.UnmarshalData(pkt.Data); err == nil && d.Channel == 1 {
+				gotData = true
+			}
+		}
+		r.Stop()
+	})
+	sim.WaitIdle()
+	if ack == nil || ack.Seq != 7 || ack.Status != proto.SubOK || ack.LeaseMs == 0 {
+		t.Fatalf("signed subscribe not granted: %+v", ack)
+	}
+	if !gotData {
+		t.Fatal("granted signed subscriber received no fan-out")
+	}
+	if st := r.Stats(); st.AuthDropped != 0 || st.Subscribes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAuthChainedRelayLeasesUpstream: a 2-relay chain sharing one
+// control-plane key — the downstream signs its upstream subscribes and
+// verifies the signed grants, so the chain composes exactly as an
+// unauthenticated one does.
+func TestAuthChainedRelayLeasesUpstream(t *testing.T) {
+	auth := security.NewHMAC([]byte("chain key"))
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	c1, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := seg.Attach("10.0.0.2:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := New(sim, c1, Config{Group: testGroup, Auth: auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(sim, c2, Config{Upstream: r1.Addr(), Auth: auth, UpstreamLease: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go("r1", r1.Run)
+	sim.Go("r2", r2.Run)
+	var st1, st2 Stats
+	sim.Go("test", func() {
+		sim.Sleep(5 * time.Second) // several refresh cycles
+		st1, st2 = r1.Stats(), r2.Stats()
+		r2.Stop()
+		r1.Stop()
+	})
+	sim.WaitIdle()
+	if st1.Subscribes != 1 || st1.AuthDropped != 0 {
+		t.Fatalf("upstream relay stats = %+v, want one signed lease and no drops", st1)
+	}
+	if st2.UpstreamAcks == 0 || st2.UpstreamAuthDropped != 0 || st2.UpstreamRefused != 0 {
+		t.Fatalf("downstream lease stats = %+v, want verified acks", st2)
 	}
 }
 

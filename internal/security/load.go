@@ -1,0 +1,36 @@
+package security
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// LoadControlAuth builds the daemons' control-plane authenticator from
+// their -auth/-key-file flags: "none" (or "") disables authentication,
+// "hmac" reads the shared key from keyFile (trailing whitespace
+// trimmed). Only the shared-key HMAC scheme fits a request/response
+// control plane — the one-way stream schemes (chain, HORS) sign a
+// broadcast in one direction and cannot authenticate the subscriber
+// side.
+func LoadControlAuth(scheme, keyFile string) (Authenticator, error) {
+	switch scheme {
+	case "", "none":
+		return nil, nil
+	case "hmac":
+		if keyFile == "" {
+			return nil, fmt.Errorf("-auth hmac requires -key-file")
+		}
+		key, err := os.ReadFile(keyFile)
+		if err != nil {
+			return nil, err
+		}
+		key = bytes.TrimSpace(key)
+		if len(key) == 0 {
+			return nil, fmt.Errorf("key file %s is empty", keyFile)
+		}
+		return NewHMAC(key), nil
+	default:
+		return nil, fmt.Errorf("unknown -auth scheme %q (want none or hmac)", scheme)
+	}
+}

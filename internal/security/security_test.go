@@ -183,6 +183,112 @@ func TestHORSDifferentMessagesDifferentIndices(t *testing.T) {
 	}
 }
 
+// TestUnwrapMalformedTable is the proto-style malformed sweep over the
+// trailer framing, run against all three schemes: every mutation of a
+// validly wrapped packet that breaks the `inner || trailer || u16 len
+// || u8 scheme` grammar must be rejected — never a panic, never a
+// partially accepted packet.
+func TestUnwrapMalformedTable(t *testing.T) {
+	hm := NewHMAC([]byte("k"))
+	chainSender := NewChain([]byte("seed"), 50)
+	horsKey := GenerateHORS([]byte("hors"))
+	schemes := []struct {
+		name   string
+		sign   Authenticator
+		verify func() Authenticator // fresh receiver per case (chain is stateful)
+	}{
+		{"hmac", hm, func() Authenticator { return hm }},
+		{"chain", chainSender, func() Authenticator { return NewChainVerifier(chainSender.Anchor()) }},
+		{"hors", &HORSAuth{Key: horsKey, Pub: horsKey.Public()},
+			func() Authenticator { return &HORSAuth{Pub: horsKey.Public()} }},
+	}
+	for _, s := range schemes {
+		wrapped := s.sign.Sign(testPkt)
+		if _, ok := s.verify().Verify(wrapped); !ok {
+			t.Fatalf("%s: baseline packet does not verify", s.name)
+		}
+		overhead := len(wrapped) - len(testPkt) // trailer + 3-byte frame
+		cases := []struct {
+			name string
+			pkt  func() []byte
+		}{
+			{"nil", func() []byte { return nil }},
+			{"one byte", func() []byte { return []byte{1} }},
+			{"two bytes (shorter than the frame)", func() []byte { return []byte{1, 2} }},
+			{"frame only, zero-length trailer", func() []byte {
+				return wrap(s.sign.Scheme(), nil, nil)
+			}},
+			{"zero-length trailer on a real packet", func() []byte {
+				return wrap(s.sign.Scheme(), testPkt, nil)
+			}},
+			{"trailer truncated by one byte", func() []byte {
+				// Re-framing after the cut keeps the scheme byte and
+				// declared length intact while the bytes go missing.
+				mut := append([]byte(nil), wrapped[:len(wrapped)-4]...)
+				return append(mut, wrapped[len(wrapped)-3:]...)
+			}},
+			{"tlen at the packet boundary (inner empty)", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				tlen := len(mut) - 3 // claims the whole packet is trailer
+				mut[len(mut)-3] = byte(tlen >> 8)
+				mut[len(mut)-2] = byte(tlen)
+				return mut
+			}},
+			{"tlen one past the packet boundary", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				tlen := len(mut) - 2
+				mut[len(mut)-3] = byte(tlen >> 8)
+				mut[len(mut)-2] = byte(tlen)
+				return mut
+			}},
+			{"tlen maximal (65535)", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				mut[len(mut)-3], mut[len(mut)-2] = 0xFF, 0xFF
+				return mut
+			}},
+			{"wrong scheme byte", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				mut[len(mut)-1] ^= 0x7F
+				return mut
+			}},
+			{"scheme byte AuthNone", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				mut[len(mut)-1] = byte(proto.AuthNone)
+				return mut
+			}},
+			{"trailer zeroed", func() []byte {
+				mut := append([]byte(nil), wrapped...)
+				for i := len(testPkt); i < len(testPkt)+overhead-3; i++ {
+					mut[i] = 0
+				}
+				return mut
+			}},
+		}
+		for _, c := range cases {
+			if inner, ok := s.verify().Verify(c.pkt()); ok {
+				t.Errorf("%s: %s accepted (inner %d bytes)", s.name, c.name, len(inner))
+			}
+		}
+	}
+}
+
+func TestUnwrapBoundaryExact(t *testing.T) {
+	// unwrap itself (framing only, no MAC) must accept a trailer that
+	// consumes the whole packet — an empty inner is the scheme layer's
+	// problem to reject — and refuse anything declaring more bytes than
+	// exist.
+	trailer := []byte{1, 2, 3, 4}
+	pkt := wrap(proto.AuthHMAC, nil, trailer)
+	inner, tr, ok := unwrap(proto.AuthHMAC, pkt)
+	if !ok || len(inner) != 0 || !bytes.Equal(tr, trailer) {
+		t.Fatalf("boundary-exact unwrap = (%v, %v, %v)", inner, tr, ok)
+	}
+	pkt[len(pkt)-3], pkt[len(pkt)-2] = 0, byte(len(trailer)+1)
+	if _, _, ok := unwrap(proto.AuthHMAC, pkt); ok {
+		t.Fatal("tlen past the boundary accepted")
+	}
+}
+
 func TestPeekScheme(t *testing.T) {
 	a := NewHMAC([]byte("k"))
 	s, err := PeekScheme(a.Sign(testPkt))

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/relay/lease"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -67,9 +68,18 @@ type Config struct {
 	AutoVolume *AutoVolume
 	// ControlTimeout overrides DefaultControlTimeout.
 	ControlTimeout time.Duration
-	// Verify, when set, authenticates every incoming packet before any
-	// parsing (§5.1); packets failing verification are dropped.
+	// Verify, when set, authenticates every incoming stream packet
+	// before any parsing (§5.1); packets failing verification are
+	// dropped. It covers the data plane (Control/Data) only — SubAck
+	// replies are the relay's control plane, authenticated separately
+	// by RelayAuth, so a stream-verifying speaker behind an unsigned
+	// relay still learns its granted lease.
 	Verify func(pkt []byte) ([]byte, bool)
+	// RelayAuth, when set, authenticates the relay control plane: every
+	// Subscribe the speaker sends is signed with it and every SubAck
+	// must verify before the grant is applied. It must match the
+	// relay's configured scheme and key (relayd -auth/-key-file).
+	RelayAuth security.Authenticator
 }
 
 // Stats is the speaker's cumulative accounting.
@@ -86,8 +96,10 @@ type Stats struct {
 	GapFills         int64 // silence insertions covering lost content
 	Tunes            int64 // channel switches
 	RelaySubscribes  int64 // subscribe/refresh packets sent to a relay
-	RelaySubAcks     int64 // lease acknowledgements received
+	RelaySubAcks     int64 // lease acknowledgements accepted
 	RelayRefusals    int64 // acks refusing the lease (no channel / table full)
+	RelayStaleAcks   int64 // acks ignored as stale or foreign (seq/target mismatch)
+	RelayAuthDropped int64 // acks dropped by control-plane verification (§5.1)
 }
 
 // Speaker is one Ethernet Speaker instance.
@@ -148,6 +160,9 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 	}
 	s := &Speaker{clock: clock, cfg: cfg, conn: conn, volume: cfg.Volume}
 	s.sub = lease.New(clock, conn, "speaker-"+cfg.Name+"-lease")
+	if cfg.RelayAuth != nil {
+		s.sub.SetAuth(cfg.RelayAuth)
+	}
 	s.hw = audiodev.NewSimHardware(clock, s.played)
 	if cfg.DACSpeed > 0 {
 		s.hw.SetSpeed(cfg.DACSpeed)
@@ -198,6 +213,8 @@ func (s *Speaker) Stats() Stats {
 	st.RelaySubscribes = ls.Subscribes
 	st.RelaySubAcks = ls.Acks
 	st.RelayRefusals = ls.Refusals
+	st.RelayStaleAcks = ls.Stale
+	st.RelayAuthDropped = ls.AuthDropped
 	return st
 }
 
@@ -329,8 +346,22 @@ func (s *Speaker) Run() {
 }
 
 // handlePacket verifies, classifies and dispatches one datagram.
+//
+// SubAck is classified before the stream Verify hook runs: it answers
+// the relay control plane, whose trust root is Config.RelayAuth (the
+// relay's key), not the producer's stream key. Running it through the
+// stream hook was the bug that made Verify + relay fallback unusable —
+// the relay signs nothing with the producer's key, so an authenticated
+// speaker dropped every SubAck as DroppedAuth and never learned its
+// granted lease. The common 8-byte header is plaintext in both the
+// wrapped and unwrapped forms (the auth trailer is appended), so the
+// peek works before any verification.
 func (s *Speaker) handlePacket(pkt lan.Packet) {
 	data := pkt.Data
+	if t, _, err := proto.PeekType(data); err == nil && t == proto.TypeSubAck {
+		s.handleSubAck(pkt.From, data)
+		return
+	}
 	if s.cfg.Verify != nil {
 		inner, ok := s.cfg.Verify(data)
 		if !ok {
@@ -353,28 +384,29 @@ func (s *Speaker) handlePacket(pkt lan.Packet) {
 		s.handleControl(data, pkt.Recv)
 	case proto.TypeData:
 		s.handleData(data)
-	case proto.TypeSubAck:
-		s.handleSubAck(data)
 	default:
 		// Announce packets are the tuner UI's business, not playback's.
 	}
 }
 
-// handleSubAck feeds the relay's reply to the lease layer, which
-// records the granted lease and re-paces its refresh off it. A refusal
-// (table full, wrong channel, loop) is counted but the periodic
-// subscribe keeps going: leases are soft state, so a full table may
-// drain and the refresh doubles as the retry — at one small packet per
-// refresh interval.
-func (s *Speaker) handleSubAck(data []byte) {
-	ack, err := proto.UnmarshalSubAck(data)
-	if err != nil {
+// handleSubAck feeds the relay's raw reply to the lease layer, which
+// drops acks not sent by the leased relay's own address (off-path
+// forgeries and late replies from a previous target), verifies the
+// rest (under Config.RelayAuth), rejects stale seqs, records the
+// granted lease, and re-paces its refresh off it. A refusal (table
+// full, wrong channel, loop) is counted but the periodic subscribe
+// keeps going: leases are soft state, so a full table may drain and
+// the refresh doubles as the retry — at one small packet per refresh
+// interval.
+func (s *Speaker) handleSubAck(from lan.Addr, data []byte) {
+	if _, err := s.sub.HandleAckData(from, data); err != nil && err != lease.ErrAuthFailed {
+		// Verification failures are already counted by the lease layer
+		// (surfaced as RelayAuthDropped); only parse failures are the
+		// speaker's malformed-traffic problem.
 		s.mu.Lock()
 		s.stats.DroppedMalformed++
 		s.mu.Unlock()
-		return
 	}
-	s.sub.HandleAck(ack)
 }
 
 // handleControl ingests a control packet: (re)configure on a new epoch
