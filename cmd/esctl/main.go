@@ -10,12 +10,21 @@
 //	esctl -target 10.0.0.7:5005 set es.tuner.channel 239.72.1.2:5004
 //	esctl broadcast es.override.begin 239.72.1.9:5004
 //	esctl broadcast es.override.end 1
+//
+// The ops verb talks HTTP to a daemon's -ops-addr endpoint instead of
+// the MIB protocol — Prometheus metrics, the JSON snapshot, the packet
+// trace ring (draining it), or liveness:
+//
+//	esctl -target 10.0.0.7:9090 ops metrics
+//	esctl -target 10.0.0.7:9090 ops trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 
 	"repro/internal/lan"
@@ -79,6 +88,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("broadcast sent (no acknowledgement by design)")
+	case "ops":
+		// The ops plane speaks HTTP, not the MIB protocol: -target here
+		// is a daemon's -ops-addr. "trace" drains the packet trace ring.
+		requireTarget(*target)
+		what := "metrics"
+		if len(args) > 1 {
+			what = args[1]
+		}
+		route, ok := map[string]string{
+			"metrics":  "/metrics",
+			"snapshot": "/snapshot",
+			"trace":    "/trace",
+			"health":   "/healthz",
+		}[what]
+		if !ok {
+			usage()
+		}
+		resp, err := http.Get("http://" + *target + route)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s returned %s", route, resp.Status)
+		}
 	default:
 		usage()
 	}
@@ -89,6 +126,7 @@ func usage() {
   esctl -target host:port get <name>
   esctl -target host:port set <name> <value>
   esctl -target host:port walk [prefix]
+  esctl -target host:port ops [metrics|snapshot|trace|health]   (target = a daemon's -ops-addr)
   esctl broadcast <name> <value>`)
 	os.Exit(2)
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/audiodev"
 	"repro/internal/lan"
 	"repro/internal/mgmt"
+	"repro/internal/obs"
 	"repro/internal/relay"
 	"repro/internal/security"
 	"repro/internal/speaker"
@@ -47,6 +48,7 @@ func main() {
 		keyFile  = flag.String("key-file", "", "file holding the shared relay control-plane key (with -auth hmac)")
 		out      = flag.String("out", "-", "raw PCM output: '-' for stdout, or a file path")
 		statsI   = flag.Duration("stats", 10*time.Second, "stats report interval (0 disables)")
+		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("esd: ")
@@ -103,6 +105,17 @@ func main() {
 		sp.OnPlay(func(b audiodev.PlayedBlock) {
 			sink.Write(b.Data)
 		})
+	}
+
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		sp.RegisterObs(reg)
+		srv, err := obs.Serve(*opsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("ops endpoint at http://%s/metrics", srv.Addr())
 	}
 
 	if *mgmtAt != "" {

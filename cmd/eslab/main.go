@@ -132,6 +132,13 @@ func main() {
 			}
 			experiments.E14AuthRelay(w, secs)
 		}},
+		{"opsplane", "E15: ops plane — live scrape coverage mid-storm, forged-subscribe drop attribution", func(q bool) {
+			secs := 4
+			if q {
+				secs = 2
+			}
+			experiments.E15OpsPlane(w, secs)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

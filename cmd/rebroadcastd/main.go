@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/audio"
 	"repro/internal/lan"
+	"repro/internal/obs"
 	"repro/internal/rebroadcast"
 	"repro/internal/vad"
 	"repro/internal/vclock"
@@ -39,6 +40,7 @@ func main() {
 		rate     = flag.Int("rate", 44100, "sample rate of stdin PCM")
 		channels = flag.Int("channels", 2, "channels of stdin PCM")
 		wav      = flag.Bool("wav", false, "parse stdin as a WAV file instead of raw PCM")
+		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /healthz, /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 	log.SetPrefix("rebroadcastd: ")
@@ -61,6 +63,26 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		// The rebroadcaster's stats carry no mib tags (it has no MIB);
+		// StructCounters falls back to es_reb_<snake_case> names.
+		reg.StructCounters("es_reb", func() any { return reb.Stats() })
+		reg.Info("es_reb_info", "rebroadcaster identity", func() []obs.KV {
+			return []obs.KV{
+				{Key: "name", Value: *name},
+				{Key: "group", Value: *group},
+				{Key: "channel", Value: fmt.Sprint(*id)},
+			}
+		})
+		srv, err := obs.Serve(*opsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("ops endpoint at http://%s/metrics", srv.Addr())
 	}
 
 	v := vad.New(clock, vad.Config{})

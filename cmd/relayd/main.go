@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/lan"
+	"repro/internal/obs"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
 	"repro/internal/security"
@@ -78,6 +79,8 @@ func main() {
 		authFlag = flag.String("auth", "none", "control-plane auth scheme: none, or hmac with -key-file (§5.1; forged subscribes are dropped silently)")
 		keyFile  = flag.String("key-file", "", "file holding the shared control-plane key (with -auth hmac)")
 		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
+		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
+		traceN   = flag.Int("trace-sample", 0, "packet tracer 1-in-N sampling for the event ring (0 = default; drop counters are always exact)")
 	)
 	flag.Parse()
 	log.SetPrefix("relayd: ")
@@ -129,6 +132,7 @@ func main() {
 		Batch:          *batch,
 		FlushInterval:  *flush,
 		Auth:           auth,
+		TraceSample:    *traceN,
 	}
 	if *upstream != "" {
 		cfg.Group = "" // chained: the upstream relay is the source
@@ -149,6 +153,17 @@ func main() {
 	log.Printf("relaying %s, subscribers lease at %s", r.Source(), r.Addr())
 	if auth != nil {
 		log.Printf("control plane authenticated (%s); unsigned subscribes are dropped silently", auth.Scheme())
+	}
+
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		r.RegisterObs(reg)
+		srv, err := obs.Serve(*opsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("ops endpoint at http://%s/metrics", srv.Addr())
 	}
 
 	if *adverts != "" {

@@ -311,6 +311,36 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+func TestE15Shape(t *testing.T) {
+	res := E15OpsPlane(io.Discard, 2)
+	// The storm really happened, and the ops endpoints were scraped
+	// from real HTTP clients while it did.
+	if res.SpeakerData == 0 {
+		t.Fatalf("no data crossed the observed 2-hop chain: %+v", res)
+	}
+	if res.StormScrapes == 0 {
+		t.Fatalf("ops endpoints never scraped mid-storm: %+v", res)
+	}
+	// The live-coverage guarantee: every relay.Stats counter and all
+	// four hot-path histograms appear in both relays' scrapes.
+	if len(res.MissingMetrics) > 0 {
+		t.Fatalf("live scrape missing %v", res.MissingMetrics)
+	}
+	if res.HistogramsLive != len(e15Histograms) {
+		t.Fatalf("only %d/%d histograms in the live scrape: %+v",
+			res.HistogramsLive, len(e15Histograms), res)
+	}
+	// Drop attribution from the outside: the injected forged Subscribe
+	// ticks exactly the control/auth counter and shows up in /trace.
+	if res.ForgedAuthDrops != 1 {
+		t.Fatalf("forged Subscribe counted %d control/auth drops, want 1: %+v",
+			res.ForgedAuthDrops, res)
+	}
+	if !res.TraceShowsAuth {
+		t.Fatalf("drained /trace has no control-path auth drop: %+v", res)
+	}
+}
+
 func TestE14Shape(t *testing.T) {
 	res := E14AuthRelay(io.Discard, 2)
 	// The signed chain still delivers: grants verified at both the

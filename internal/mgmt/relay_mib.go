@@ -32,50 +32,10 @@ func RelayMIB(name string, r *relay.Relay) *MIB {
 			return strings.Join(parts, ", ")
 		}, nil))
 
-	stat := func(name, help string, get func(relay.Stats) int64) {
-		m.Register(IntVar(name, help, func() int64 { return get(r.Stats()) }, nil))
-	}
-	stat("es.relay.upstream.control", "control packets taken off the group",
-		func(s relay.Stats) int64 { return s.UpstreamControl })
-	stat("es.relay.upstream.data", "data packets taken off the group",
-		func(s relay.Stats) int64 { return s.UpstreamData })
-	stat("es.relay.upstream.foreign", "packets refused as not-from-the-group (injection attempts) or for a foreign channel",
-		func(s relay.Stats) int64 { return s.UpstreamForeign })
-	stat("es.relay.subscribes", "new subscriptions granted",
-		func(s relay.Stats) int64 { return s.Subscribes })
-	stat("es.relay.refreshes", "lease refreshes",
-		func(s relay.Stats) int64 { return s.Refreshes })
-	stat("es.relay.expired", "leases expired for silence",
-		func(s relay.Stats) int64 { return s.Expired })
-	stat("es.relay.rejected", "refused subscribe requests",
-		func(s relay.Stats) int64 { return s.Rejected })
-	stat("es.relay.loops", "subscribes refused with SubLoop (path revisits or too deep)",
-		func(s relay.Stats) int64 { return s.Loops })
-	stat("es.relay.auth.dropped", "subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)",
-		func(s relay.Stats) int64 { return s.AuthDropped })
-	stat("es.relay.upstream.subscribes", "lease packets sent to the upstream relay",
-		func(s relay.Stats) int64 { return s.UpstreamSubscribes })
-	stat("es.relay.upstream.acks", "lease acks received from the upstream relay",
-		func(s relay.Stats) int64 { return s.UpstreamAcks })
-	stat("es.relay.upstream.refused", "upstream lease refusals (loop, table full, channel)",
-		func(s relay.Stats) int64 { return s.UpstreamRefused })
-	stat("es.relay.upstream.stale", "upstream acks ignored as stale or foreign",
-		func(s relay.Stats) int64 { return s.UpstreamStaleAcks })
-	stat("es.relay.upstream.auth.dropped", "upstream acks dropped by verification",
-		func(s relay.Stats) int64 { return s.UpstreamAuthDropped })
-	stat("es.relay.fanout.sent", "unicast packets delivered",
-		func(s relay.Stats) int64 { return s.FanoutSent })
-	stat("es.relay.fanout.dropped", "packets dropped by queue backpressure",
-		func(s relay.Stats) int64 { return s.FanoutDropped })
-	stat("es.relay.fanout.batches", "WriteBatch flushes issued",
-		func(s relay.Stats) int64 { return s.Batches })
-	stat("es.relay.fanout.flush.size", "flushes triggered by a full batch",
-		func(s relay.Stats) int64 { return s.FlushSize })
-	stat("es.relay.fanout.flush.deadline", "partial batches flushed on the flush interval",
-		func(s relay.Stats) int64 { return s.FlushDeadline })
-	stat("es.relay.fanout.flush.quiesce", "partial batches flushed at shutdown",
-		func(s relay.Stats) int64 { return s.FlushQuiesce })
-	stat("es.relay.senderrors", "unicast send failures",
-		func(s relay.Stats) int64 { return s.SendErrors })
+	// Every relay.Stats counter, named by its mib tag — one reflective
+	// call instead of twenty hand-wired registrations, and impossible
+	// for a new Stats field to miss (StatsVars panics on a missing tag,
+	// and the coverage test in this package checks the full surface).
+	m.StatsVars(func() any { return r.Stats() })
 	return m
 }

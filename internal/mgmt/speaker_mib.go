@@ -96,19 +96,8 @@ func SpeakerMIB(name string, sp *speaker.Speaker) *MIB {
 			return "0"
 		}, nil))
 
-	stat := func(name, help string, get func(speaker.Stats) int64) {
-		m.Register(IntVar(name, help, func() int64 { return get(sp.Stats()) }, nil))
-	}
-	stat("es.stats.control", "control packets received", func(s speaker.Stats) int64 { return s.ControlPackets })
-	stat("es.stats.data", "data packets received", func(s speaker.Stats) int64 { return s.DataPackets })
-	stat("es.stats.played", "decoded bytes played", func(s speaker.Stats) int64 { return s.BytesPlayed })
-	stat("es.stats.droppedLate", "batches discarded by sync", func(s speaker.Stats) int64 { return s.DroppedLate })
-	stat("es.stats.droppedNoConfig", "data before first control", func(s speaker.Stats) int64 { return s.DroppedNoConfig })
-	stat("es.stats.droppedAuth", "packets failing authentication", func(s speaker.Stats) int64 { return s.DroppedAuth })
-	stat("es.stats.tunes", "channel switches", func(s speaker.Stats) int64 { return s.Tunes })
-	stat("es.stats.relayRefused", "relay lease refusals", func(s speaker.Stats) int64 { return s.RelayRefusals })
-	stat("es.stats.relayStale", "relay acks ignored as stale or foreign", func(s speaker.Stats) int64 { return s.RelayStaleAcks })
-	stat("es.stats.relayAuthDropped", "relay acks dropped by control-plane verification", func(s speaker.Stats) int64 { return s.RelayAuthDropped })
+	// Every speaker.Stats counter, named by its mib tag (see RelayMIB).
+	m.StatsVars(func() any { return sp.Stats() })
 	m.Register(IntVar("es.dev.underruns", "audio device underruns",
 		func() int64 { return sp.Device().GetStats().Underruns }, nil))
 	m.Register(IntVar("es.dev.silence", "silence blocks inserted",

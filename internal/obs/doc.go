@@ -1,0 +1,32 @@
+// Package obs is the ops plane: it bridges every counter source in a
+// daemon — relay stats, speaker stats, the mgmt MIB's numeric surface,
+// batch-writer flush counters, lease accounting — into one Registry
+// served over a per-daemon HTTP endpoint (relayd/esd/rebroadcastd
+// -ops-addr) as Prometheus text exposition (/metrics), a JSON snapshot
+// (/snapshot), drainable packet traces (/trace), liveness (/healthz),
+// and the standard Go profiling routes (/debug/pprof).
+//
+// Two primitives keep the hot paths honest:
+//
+//   - Histogram: fixed-bucket, lock-free, allocation-free on the
+//     record path (three atomic adds), so fan-out inner loops can be
+//     timed without perturbing what they measure. The four hot-path
+//     histograms are batch flush latency, per-subscriber queue
+//     residency, Subscribe→SubAck control RTT, and lease refresh
+//     margin. Histograms record wall-clock time even under a simulated
+//     clock: they instrument the process, not the simulation.
+//
+//   - Tracer: sampled (1-in-N) packet-path events in a bounded ring,
+//     plus exact per-(path, reason) drop counters that are never
+//     sampled away — every drop is attributed to queue-full, auth,
+//     loop, send-error, channel-filter, malformed, foreign, or
+//     table-full. The ring drains through /trace.
+//
+// Registration is mechanical where it can be: StructCounters reflects
+// over a stats struct's int64 fields (named by their `mib` tags, the
+// same tags mgmt.StatsVars registers in the MIB), so adding a counter
+// to relay.Stats or speaker.Stats exports it everywhere at once — the
+// coverage test in internal/mgmt enforces it.
+//
+// See docs/OBSERVABILITY.md for the endpoint and metric catalog.
+package obs

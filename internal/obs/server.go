@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the ops HTTP surface for a registry:
+//
+//	/metrics      Prometheus text exposition
+//	/healthz      liveness: {"status":"ok","uptime_seconds":...}
+//	/snapshot     every metric as one JSON document
+//	/trace        drain the packet tracers (clears the event rings)
+//	/debug/pprof  the standard Go profiling endpoints
+func (g *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": g.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Traces())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Server is one live ops endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves the
+// registry's Handler on it until Close. It returns as soon as the
+// listener is bound, so Addr is immediately routable — daemons log it
+// and experiments scrape it.
+func Serve(addr string, g *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down, closing in-flight connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/lan"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/security"
 	"repro/internal/vclock"
@@ -66,6 +67,20 @@ type Subscriber struct {
 	stats    Stats
 	started  bool // refresh task spawned
 	closed   bool
+
+	// Optional instruments (SetInstruments): rtt observes the wall-clock
+	// Subscribe→SubAck round trip, margin observes how much of the
+	// granted lease was still left each time a refresh went out — the
+	// distance-to-expiry safety margin the pacing is supposed to keep
+	// comfortably positive. Wall clock on purpose: these measure the
+	// process, not the simulation.
+	rtt    *obs.Histogram
+	margin *obs.Histogram
+	// sentSeq/sentAt stamp the most recent subscribe for RTT matching;
+	// expiresWall is the wall-clock expiry of the current grant.
+	sentSeq     uint32
+	sentAt      time.Time
+	expiresWall time.Time
 }
 
 // New creates a detached subscriber sending through conn. name labels
@@ -93,6 +108,17 @@ func (s *Subscriber) SetPath(fn func() (hops uint8, pathID uint64)) {
 func (s *Subscriber) SetAuth(a security.Authenticator) {
 	s.mu.Lock()
 	s.auth = a
+	s.mu.Unlock()
+}
+
+// SetInstruments installs the control-plane histograms: rtt observes
+// each Subscribe→SubAck round trip, margin observes the lease time
+// remaining whenever a refresh is sent. Either may be nil. The owner
+// registers the same histograms with its obs registry.
+func (s *Subscriber) SetInstruments(rtt, margin *obs.Histogram) {
+	s.mu.Lock()
+	s.rtt = rtt
+	s.margin = margin
 	s.mu.Unlock()
 }
 
@@ -223,6 +249,12 @@ func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 		return ack.Status
 	}
 	s.stats.Acks++
+	if s.rtt != nil && ack.Seq == s.sentSeq {
+		// Control RTT: only the newest outstanding request is timed — an
+		// earlier in-window ack is a retransmit answer whose send time we
+		// no longer hold.
+		s.rtt.Observe(time.Since(s.sentAt))
+	}
 	switch {
 	case ack.Status != proto.SubOK:
 		s.stats.Refusals++
@@ -231,6 +263,9 @@ func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 		}
 	case ack.LeaseMs > 0:
 		granted := time.Duration(ack.LeaseMs) * time.Millisecond
+		// Every OK grant extends the wall-clock expiry, even when the
+		// duration is unchanged — that is what a refresh does.
+		s.expiresWall = time.Now().Add(granted)
 		if granted != s.granted {
 			s.granted = granted
 			s.pace.Broadcast() // re-pace the refresh off the real lease
@@ -253,6 +288,14 @@ func (s *Subscriber) send(target lan.Addr, channel uint32, lease time.Duration) 
 	}
 	s.mu.Lock()
 	s.seq++
+	s.sentSeq = s.seq
+	s.sentAt = time.Now()
+	if s.margin != nil && lease > 0 && s.granted > 0 && !s.expiresWall.IsZero() {
+		// Refresh margin: how close to expiry this refresh cut it. A
+		// negative margin (lease already lapsed) clamps into the lowest
+		// bucket, which is exactly where an operator should see it.
+		s.margin.Observe(time.Until(s.expiresWall))
+	}
 	req := proto.Subscribe{
 		Channel: channel,
 		Seq:     s.seq,

@@ -1,0 +1,119 @@
+package relay
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// TestOpsScrapeUnderFanout serves a live ops endpoint for a relay
+// fanning out to 1,000 subscribers and scrapes it concurrently from
+// real OS goroutines while the (simulated) data plane runs — the
+// race-detector workout for every lock the ops surface shares with the
+// hot path. The final scrape must cover every relay.Stats counter and
+// show the hot-path histograms actually observing.
+func TestOpsScrapeUnderFanout(t *testing.T) {
+	const nsubs = 1000
+	sim, _, r := newTestRelay(t, Config{Shards: 4, QueueLen: 8, TraceSample: 1})
+	reg := obs.NewRegistry()
+	r.RegisterObs(reg)
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < nsubs; i++ {
+		addr := lan.Addr(fmt.Sprintf("10.0.%d.%d:5004", 1+i/200, i%200))
+		if !r.subscribe(addr, &proto.Subscribe{}, time.Hour) {
+			t.Fatalf("subscribe %d failed", i)
+		}
+	}
+
+	// Scrapers: plain goroutines hammering every route while the sim
+	// drives the fan-out. They only read shared state, so they need no
+	// simulated time of their own.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, route := range []string{"/metrics", "/snapshot", "/trace", "/healthz"} {
+					resp, err := http.Get("http://" + srv.Addr() + route)
+					if err != nil {
+						t.Errorf("%s: %v", route, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						t.Errorf("%s: status %d", route, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	sim.Go("relay", r.Run)
+	sim.Go("driver", func() {
+		for i := 0; i < 50; i++ {
+			r.fanout(0, []byte{byte(i)})
+			sim.Sleep(5 * time.Millisecond) // let the workers flush
+		}
+		r.Stop()
+	})
+	sim.WaitIdle()
+	close(done)
+	wg.Wait()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+
+	// Every Stats counter is on the wire, named by its mib tag.
+	st := reflect.TypeOf(Stats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		if name := obs.CounterName("es_relay", f); !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
+	// The hot-path histograms observed real work.
+	fl := r.Instruments().FlushLatency
+	if fl.Count() == 0 {
+		t.Error("flush latency histogram never observed")
+	}
+	if r.Instruments().QueueResidency.Count() == 0 {
+		t.Error("queue residency histogram never observed")
+	}
+	if !strings.Contains(out, "es_relay_flush_latency_seconds_bucket") {
+		t.Error("scrape missing flush latency histogram")
+	}
+	if !strings.Contains(out, `es_relay_shard_sent_total{shard="0"}`) {
+		t.Error("scrape missing per-shard counters")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/lan"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/relay/lease"
 	"repro/internal/security"
@@ -108,6 +109,14 @@ type Config struct {
 	// authenticator must be safe for concurrent use (the HMAC scheme
 	// is; one-way stream signers are not).
 	Auth security.Authenticator
+	// TraceSample sets the packet tracer's 1-in-N sampling rate for
+	// send events (drop events always hit the exact reason counters;
+	// sampling only thins the event ring). 0 uses obs.DefaultTraceSample;
+	// 1 records everything — the setting experiments use to assert on
+	// individual drop events.
+	TraceSample int
+	// TraceRing overrides obs.DefaultTraceRing, the event ring length.
+	TraceRing int
 }
 
 func (c *Config) applyDefaults() {
@@ -145,38 +154,42 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Stats is the relay's cumulative accounting.
+// Stats is the relay's cumulative accounting. The `mib` and `help`
+// tags drive registration everywhere a counter is exported — the mgmt
+// MIB (mgmt.StatsVars) and the obs registry (obs.StructCounters) — so
+// a new field is published on every surface by adding it here, and the
+// coverage test in internal/mgmt fails if a field lacks its tag.
 type Stats struct {
-	UpstreamControl int64 // control packets taken off the group
-	UpstreamData    int64 // data packets taken off the group
-	UpstreamForeign int64 // group packets for a channel we don't carry
-	Malformed       int64 // unparseable packets (any direction)
-	Subscribes      int64 // new subscriptions granted
-	Refreshes       int64 // lease refreshes
-	Unsubscribes    int64 // explicit lease cancellations
-	Expired         int64 // leases that ran out
-	Rejected        int64 // refused subscribe requests
-	Loops           int64 // subscribes refused with SubLoop (subset of Rejected)
-	AuthDropped     int64 // subscribes dropped by control-plane verification (no SubAck sent)
-	FanoutSent      int64 // unicast packets delivered to subscribers
-	FanoutDropped   int64 // packets dropped by queue backpressure
-	SendErrors      int64
+	UpstreamControl int64 `mib:"es.relay.upstream.control" help:"control packets taken off the group"`
+	UpstreamData    int64 `mib:"es.relay.upstream.data" help:"data packets taken off the group"`
+	UpstreamForeign int64 `mib:"es.relay.upstream.foreign" help:"packets refused as not-from-the-group (injection attempts) or for a foreign channel"`
+	Malformed       int64 `mib:"es.relay.malformed" help:"unparseable packets (any direction)"`
+	Subscribes      int64 `mib:"es.relay.subscribes" help:"new subscriptions granted"`
+	Refreshes       int64 `mib:"es.relay.refreshes" help:"lease refreshes"`
+	Unsubscribes    int64 `mib:"es.relay.unsubscribes" help:"explicit lease cancellations"`
+	Expired         int64 `mib:"es.relay.expired" help:"leases expired for silence"`
+	Rejected        int64 `mib:"es.relay.rejected" help:"refused subscribe requests"`
+	Loops           int64 `mib:"es.relay.loops" help:"subscribes refused with SubLoop (path revisits or too deep)"`
+	AuthDropped     int64 `mib:"es.relay.auth.dropped" help:"subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)"`
+	FanoutSent      int64 `mib:"es.relay.fanout.sent" help:"unicast packets delivered"`
+	FanoutDropped   int64 `mib:"es.relay.fanout.dropped" help:"packets dropped by queue backpressure"`
+	SendErrors      int64 `mib:"es.relay.senderrors" help:"unicast send failures"`
 
 	// Chaining telemetry (nonzero only with Config.Upstream set): the
 	// relay's own lease against its upstream relay.
-	UpstreamSubscribes  int64 // subscribe/refresh packets sent upstream
-	UpstreamAcks        int64 // SubAcks accepted from upstream
-	UpstreamRefused     int64 // upstream refusals (loop, table full, channel)
-	UpstreamStaleAcks   int64 // upstream acks ignored as stale or foreign
-	UpstreamAuthDropped int64 // upstream acks dropped by verification
+	UpstreamSubscribes  int64 `mib:"es.relay.upstream.subscribes" help:"lease packets sent to the upstream relay"`
+	UpstreamAcks        int64 `mib:"es.relay.upstream.acks" help:"lease acks received from the upstream relay"`
+	UpstreamRefused     int64 `mib:"es.relay.upstream.refused" help:"upstream lease refusals (loop, table full, channel)"`
+	UpstreamStaleAcks   int64 `mib:"es.relay.upstream.stale" help:"upstream acks ignored as stale or foreign"`
+	UpstreamAuthDropped int64 `mib:"es.relay.upstream.auth.dropped" help:"upstream acks dropped by verification"`
 
 	// Batching telemetry: Batches counts WriteBatch flushes, split by
 	// what triggered them. FanoutSent / Batches is the achieved batch
 	// size — the syscall amortization factor on a real network.
-	Batches       int64 // WriteBatch flushes issued
-	FlushSize     int64 // flushes triggered by a full batch
-	FlushDeadline int64 // partial batches flushed on the flush interval
-	FlushQuiesce  int64 // partial batches flushed at shutdown
+	Batches       int64 `mib:"es.relay.fanout.batches" help:"WriteBatch flushes issued"`
+	FlushSize     int64 `mib:"es.relay.fanout.flush.size" help:"flushes triggered by a full batch"`
+	FlushDeadline int64 `mib:"es.relay.fanout.flush.deadline" help:"partial batches flushed on the flush interval"`
+	FlushQuiesce  int64 `mib:"es.relay.fanout.flush.quiesce" help:"partial batches flushed at shutdown"`
 }
 
 // SubscriberInfo is one subscriber's public accounting snapshot.
@@ -190,6 +203,16 @@ type SubscriberInfo struct {
 	Expires time.Time
 }
 
+// queued is one packet waiting in a subscriber queue, stamped with its
+// enqueue time so the worker can observe queue residency — the latency
+// the relay itself adds to the stream — when it gathers the packet.
+// The stamp is wall clock, not the relay's vclock: residency measures
+// the process, and the simulated clock would report it as zero.
+type queued struct {
+	data []byte
+	at   time.Time
+}
+
 // subscriber is one leased unicast destination.
 type subscriber struct {
 	addr    lan.Addr
@@ -197,7 +220,7 @@ type subscriber struct {
 	hops    uint8  // relay depth behind this subscriber (speakers: 0)
 	pathID  uint64 // path origin carried by its subscribe (speakers: 0)
 	expires time.Time
-	queue   [][]byte // bounded FIFO; head is oldest
+	queue   []queued // bounded FIFO; head is oldest
 	sent    int64
 	dropped int64
 }
@@ -213,6 +236,13 @@ type shard struct {
 	subs    map[lan.Addr]*subscriber
 	order   []*subscriber // insertion order, for deterministic fan-out
 	stopped bool
+
+	// Per-shard pressure accounting (satellite to the lumped Stats
+	// totals): a hot shard shows up here before it shows up anywhere.
+	sent      int64 // unicast packets this shard's worker delivered
+	dropped   int64 // packets its queues dropped (drop-oldest)
+	queued    int   // packets currently queued across its subscribers
+	maxQueued int   // high-water mark of queued
 }
 
 // remove drops sub from the shard; caller holds sh.mu.
@@ -224,7 +254,18 @@ func (sh *shard) remove(sub *subscriber) {
 			break
 		}
 	}
+	sh.queued -= len(sub.queue)
 	sub.queue = nil
+}
+
+// ShardStats is one shard's pressure snapshot.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Subscribers int   `json:"subscribers"`
+	Queued      int   `json:"queued"`     // packets waiting right now
+	MaxQueued   int   `json:"max_queued"` // high-water mark
+	Sent        int64 `json:"sent"`
+	Dropped     int64 `json:"dropped"`
 }
 
 // Relay bridges one multicast group (or, chained, another relay) to
@@ -240,6 +281,15 @@ type Relay struct {
 	// per-shard send sockets emits data from ephemeral ports.
 	upstreamHost string
 	up           *lease.Subscriber // lease against cfg.Upstream (nil otherwise)
+
+	// Hot-path instruments (see internal/obs): wall-clock histograms
+	// and the sampled packet tracer. Always present — recording is a
+	// few atomic adds, cheap enough to leave compiled in.
+	flushLatency   *obs.Histogram // WriteBatch flush duration
+	queueResidency *obs.Histogram // enqueue→gather time per packet
+	upRTT          *obs.Histogram // upstream Subscribe→SubAck RTT (chained)
+	leaseMargin    *obs.Histogram // upstream refresh margin (chained)
+	tracer         *obs.Tracer
 
 	mu          sync.Mutex
 	stats       Stats
@@ -277,6 +327,15 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 	}
 	r := &Relay{clock: clock, conn: conn, cfg: cfg}
 	r.relayID = newPathID(conn.LocalAddr())
+	r.flushLatency = obs.NewHistogram("es_relay_flush_latency_seconds",
+		"WriteBatch flush duration, gather to syscall return", nil)
+	r.queueResidency = obs.NewHistogram("es_relay_queue_residency_seconds",
+		"time a packet waits in a subscriber queue before its worker gathers it", nil)
+	r.upRTT = obs.NewHistogram("es_relay_upstream_rtt_seconds",
+		"upstream Subscribe→SubAck round trip (chained relays only)", nil)
+	r.leaseMargin = obs.NewHistogram("es_relay_lease_margin_seconds",
+		"upstream lease time remaining at each refresh (chained relays only)", nil)
+	r.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceRing)
 	if cfg.Upstream != "" {
 		r.upstreamHost = cfg.Upstream.Host()
 		r.up = lease.New(clock, conn, "relay-upstream-"+string(conn.LocalAddr()))
@@ -285,6 +344,7 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		// signs its upstream subscribes and verifies the upstream's
 		// grants with the same scheme it demands of its own subscribers.
 		r.up.SetAuth(cfg.Auth)
+		r.up.SetInstruments(r.upRTT, r.leaseMargin)
 	}
 	r.workersIdle = clock.NewCond()
 	for i := 0; i < cfg.Shards; i++ {
@@ -391,6 +451,46 @@ func (r *Relay) NumSubscribers() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.nsubs
+}
+
+// ShardStats returns every shard's pressure snapshot, in shard order.
+func (r *Relay) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Shard:       i,
+			Subscribers: len(sh.order),
+			Queued:      sh.queued,
+			MaxQueued:   sh.maxQueued,
+			Sent:        sh.sent,
+			Dropped:     sh.dropped,
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Instruments exposes the relay's hot-path histograms and tracer, for
+// registration (RegisterObs) and for benchmarks that fold latency
+// percentiles into their reported results.
+type Instruments struct {
+	FlushLatency   *obs.Histogram
+	QueueResidency *obs.Histogram
+	UpstreamRTT    *obs.Histogram
+	LeaseMargin    *obs.Histogram
+	Tracer         *obs.Tracer
+}
+
+// Instruments returns the live instruments (never nil).
+func (r *Relay) Instruments() Instruments {
+	return Instruments{
+		FlushLatency:   r.flushLatency,
+		QueueResidency: r.queueResidency,
+		UpstreamRTT:    r.upRTT,
+		LeaseMargin:    r.leaseMargin,
+		Tracer:         r.tracer,
+	}
 }
 
 // shardFor hashes a subscriber address onto its shard (FNV-1a).
@@ -540,6 +640,7 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 		r.mu.Lock()
 		r.stats.Malformed++
 		r.mu.Unlock()
+		r.tracer.Drop(obs.PathUpstream, obs.ReasonMalformed, string(pkt.From), 0)
 		return
 	}
 	switch t {
@@ -557,16 +658,19 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 			if pkt.From.Host() != r.upstreamHost {
 				r.stats.UpstreamForeign++
 				r.mu.Unlock()
+				r.tracer.Drop(obs.PathUpstream, obs.ReasonForeign, string(pkt.From), ch)
 				return
 			}
 		} else if pkt.To != r.cfg.Group {
 			r.stats.UpstreamForeign++
 			r.mu.Unlock()
+			r.tracer.Drop(obs.PathUpstream, obs.ReasonForeign, string(pkt.From), ch)
 			return
 		}
 		if r.cfg.Channel != 0 && ch != r.cfg.Channel {
 			r.stats.UpstreamForeign++
 			r.mu.Unlock()
+			r.tracer.Drop(obs.PathUpstream, obs.ReasonChannelFilter, string(pkt.From), ch)
 			return
 		}
 		if t == proto.TypeControl {
@@ -600,6 +704,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 		inner, ok := r.cfg.Auth.Verify(data)
 		if !ok {
 			r.count(func(s *Stats) { s.AuthDropped++ })
+			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(pkt.From), 0)
 			return
 		}
 		data = inner
@@ -609,6 +714,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 		r.mu.Lock()
 		r.stats.Malformed++
 		r.mu.Unlock()
+		r.tracer.Drop(obs.PathControl, obs.ReasonMalformed, string(pkt.From), 0)
 		return
 	}
 	ack := proto.SubAck{Channel: req.Channel, Seq: req.Seq, Status: proto.SubOK}
@@ -616,6 +722,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 	case r.cfg.Channel != 0 && req.Channel != 0 && req.Channel != r.cfg.Channel:
 		ack.Status = proto.SubNoChannel
 		r.count(func(s *Stats) { s.Rejected++ })
+		r.tracer.Drop(obs.PathControl, obs.ReasonChannelFilter, string(pkt.From), req.Channel)
 	case req.PathID == r.relayID || int(req.Hops) >= r.cfg.MaxHops:
 		// The subscription path already crossed this relay (its own id
 		// came back) or is deeper than any sane chain: granting would
@@ -626,6 +733,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 		ack.Status = proto.SubLoop
 		r.unsubscribe(pkt.From)
 		r.count(func(s *Stats) { s.Rejected++; s.Loops++ })
+		r.tracer.Drop(obs.PathControl, obs.ReasonLoop, string(pkt.From), req.Channel)
 	case req.LeaseMs == 0:
 		r.unsubscribe(pkt.From)
 	default:
@@ -641,6 +749,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 		} else {
 			ack.Status = proto.SubTableFull
 			r.count(func(s *Stats) { s.Rejected++ })
+			r.tracer.Drop(obs.PathControl, obs.ReasonTableFull, string(pkt.From), req.Channel)
 		}
 	}
 	out, err := ack.Marshal()
@@ -652,6 +761,7 @@ func (r *Relay) handleSubscribe(pkt lan.Packet) {
 	}
 	if err := r.conn.Send(pkt.From, out); err != nil {
 		r.count(func(s *Stats) { s.SendErrors++ })
+		r.tracer.Drop(obs.PathControl, obs.ReasonSendError, string(pkt.From), req.Channel)
 	}
 }
 
@@ -745,6 +855,7 @@ func (r *Relay) unsubscribe(addr lan.Addr) {
 // subscriber leased to channel X on a relay carrying a multi-channel
 // group must never receive channel Y.
 func (r *Relay) fanout(ch uint32, data []byte) {
+	now := time.Now() // one residency stamp per fan-out, not per subscriber
 	var dropped int64
 	for _, sh := range r.shards {
 		sh.mu.Lock()
@@ -758,9 +869,16 @@ func (r *Relay) fanout(ch uint32, data []byte) {
 				copy(sub.queue, sub.queue[1:])
 				sub.queue = sub.queue[:len(sub.queue)-1]
 				sub.dropped++
+				sh.dropped++
+				sh.queued--
 				dropped++
+				r.tracer.Drop(obs.PathFanout, obs.ReasonQueueFull, string(sub.addr), ch)
 			}
-			sub.queue = append(sub.queue, data)
+			sub.queue = append(sub.queue, queued{data: data, at: now})
+			sh.queued++
+		}
+		if sh.queued > sh.maxQueued {
+			sh.maxQueued = sh.queued
 		}
 		if len(sh.order) > 0 {
 			sh.work.Broadcast()
@@ -809,17 +927,24 @@ func (r *Relay) shardWorker(sh *shard) {
 		sh.mu.Lock()
 		for {
 			// Gather: one queued packet per subscriber per pass, oldest
-			// first, until the batch fills or the queues drain.
+			// first, until the batch fills or the queues drain. One
+			// wall-clock read serves the whole pass's residency math.
 			progress := false
+			var now time.Time
 			for _, sub := range sh.order {
 				if len(dgs) >= maxBatch {
 					break
 				}
 				if len(sub.queue) > 0 {
-					data := sub.queue[0]
+					q := sub.queue[0]
 					copy(sub.queue, sub.queue[1:])
 					sub.queue = sub.queue[:len(sub.queue)-1]
-					dgs = append(dgs, lan.Datagram{To: sub.addr, Data: data})
+					sh.queued--
+					if now.IsZero() {
+						now = time.Now()
+					}
+					r.queueResidency.Observe(now.Sub(q.at))
+					dgs = append(dgs, lan.Datagram{To: sub.addr, Data: q.data})
 					owners = append(owners, sub)
 					progress = true
 				}
@@ -868,6 +993,8 @@ func (r *Relay) shardWorker(sh *shard) {
 // retried: one subscriber with a poisoned path (ICMP-refused port,
 // firewall EPERM) must not starve the subscribers batched after it.
 func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigger flushTrigger) {
+	t0 := time.Now()
+	first, size := dgs[0].To, len(dgs)
 	var sent, errs int64
 	for len(dgs) > 0 {
 		n, err := lan.WriteBatch(sh.conn, dgs)
@@ -878,6 +1005,7 @@ func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigg
 		for _, sub := range owners[:n] {
 			sub.sent++
 		}
+		sh.sent += int64(n)
 		sh.mu.Unlock()
 		sent += int64(n)
 		dgs, owners = dgs[n:], owners[n:]
@@ -885,10 +1013,13 @@ func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigg
 			break
 		}
 		if len(dgs) > 0 { // skip the datagram that errored, keep going
+			r.tracer.Drop(obs.PathFanout, obs.ReasonSendError, string(dgs[0].To), 0)
 			dgs, owners = dgs[1:], owners[1:]
 		}
 		errs++
 	}
+	r.flushLatency.Observe(time.Since(t0))
+	r.tracer.Send(obs.PathFanout, string(first), 0, size)
 	r.count(func(s *Stats) {
 		s.FanoutSent += sent
 		s.SendErrors += errs

@@ -148,7 +148,7 @@ func TestFanoutDropOldest(t *testing.T) {
 	q := sh.subs["10.0.0.2:5004"].queue
 	var got []byte
 	for _, p := range q {
-		got = append(got, p[0])
+		got = append(got, p.data[0])
 	}
 	sh.mu.Unlock()
 	if string(got) != string([]byte{6, 7, 8, 9}) {

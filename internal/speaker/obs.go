@@ -1,0 +1,28 @@
+package speaker
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// RegisterObs publishes the speaker's ops surface on reg: every Stats
+// counter (mechanically, via the mib tags), the audio-device driver
+// counters, the two control-plane histograms, and an identity info
+// metric. Call once per registry.
+func (s *Speaker) RegisterObs(reg *obs.Registry) {
+	reg.StructCounters("es_speaker", func() any { return s.Stats() })
+	reg.Counter("es_dev_underruns_total", "audio device underruns",
+		func() int64 { return s.Device().GetStats().Underruns })
+	reg.Counter("es_dev_silence_total", "silence blocks inserted by the driver",
+		func() int64 { return s.Device().GetStats().SilenceBlocks })
+	reg.Histogram(s.ctlRTT)
+	reg.Histogram(s.leaseMargin)
+	reg.Info("es_speaker_info", "speaker identity", func() []obs.KV {
+		return []obs.KV{
+			{Key: "name", Value: s.cfg.Name},
+			{Key: "group", Value: string(s.Group())},
+			{Key: "channel", Value: strconv.FormatUint(uint64(s.cfg.Channel), 10)},
+		}
+	})
+}

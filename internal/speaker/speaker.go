@@ -9,6 +9,7 @@ import (
 	"repro/internal/audiodev"
 	"repro/internal/codec"
 	"repro/internal/lan"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/relay/lease"
 	"repro/internal/security"
@@ -82,24 +83,27 @@ type Config struct {
 	RelayAuth security.Authenticator
 }
 
-// Stats is the speaker's cumulative accounting.
+// Stats is the speaker's cumulative accounting. The `mib` and `help`
+// tags drive registration in the mgmt MIB and the obs registry (see
+// relay.Stats for the pattern); the coverage test in internal/mgmt
+// fails if a field lacks its tag.
 type Stats struct {
-	ControlPackets   int64
-	DataPackets      int64
-	DroppedNoConfig  int64 // data before the first control packet (§2.3)
-	DroppedEpoch     int64 // stale epoch after reconfiguration
-	DroppedLate      int64 // batches discarded by the sync logic (§3.2)
-	DroppedMalformed int64
-	DroppedAuth      int64 // failed packet verification (§5.1)
-	BytesPlayed      int64 // decoded bytes written to the audio device
-	SleepsToSync     int64 // fresh-start alignment sleeps
-	GapFills         int64 // silence insertions covering lost content
-	Tunes            int64 // channel switches
-	RelaySubscribes  int64 // subscribe/refresh packets sent to a relay
-	RelaySubAcks     int64 // lease acknowledgements accepted
-	RelayRefusals    int64 // acks refusing the lease (no channel / table full)
-	RelayStaleAcks   int64 // acks ignored as stale or foreign (seq/target mismatch)
-	RelayAuthDropped int64 // acks dropped by control-plane verification (§5.1)
+	ControlPackets   int64 `mib:"es.stats.control" help:"control packets accepted"`
+	DataPackets      int64 `mib:"es.stats.data" help:"data packets accepted"`
+	DroppedNoConfig  int64 `mib:"es.stats.droppedNoConfig" help:"data dropped before the first control packet"`
+	DroppedEpoch     int64 `mib:"es.stats.droppedEpoch" help:"data dropped for a stale epoch after reconfiguration"`
+	DroppedLate      int64 `mib:"es.stats.droppedLate" help:"batches discarded by the sync logic as too late"`
+	DroppedMalformed int64 `mib:"es.stats.droppedMalformed" help:"unparseable packets dropped"`
+	DroppedAuth      int64 `mib:"es.stats.droppedAuth" help:"packets dropped by stream verification"`
+	BytesPlayed      int64 `mib:"es.stats.played" help:"decoded bytes written to the audio device"`
+	SleepsToSync     int64 `mib:"es.stats.sleepsToSync" help:"fresh-start alignment sleeps"`
+	GapFills         int64 `mib:"es.stats.gapFills" help:"silence insertions covering lost content"`
+	Tunes            int64 `mib:"es.stats.tunes" help:"channel switches"`
+	RelaySubscribes  int64 `mib:"es.stats.relaySubscribes" help:"subscribe/refresh packets sent to a relay"`
+	RelaySubAcks     int64 `mib:"es.stats.relaySubAcks" help:"lease acknowledgements accepted"`
+	RelayRefusals    int64 `mib:"es.stats.relayRefused" help:"acks refusing the lease (no channel / table full / loop)"`
+	RelayStaleAcks   int64 `mib:"es.stats.relayStale" help:"acks ignored as stale or foreign"`
+	RelayAuthDropped int64 `mib:"es.stats.relayAuthDropped" help:"acks dropped by control-plane verification"`
 }
 
 // Speaker is one Ethernet Speaker instance.
@@ -138,6 +142,11 @@ type Speaker struct {
 	// relay address instead of a multicast group. It has its own lock;
 	// never call it with s.mu held.
 	sub *lease.Subscriber
+
+	// Control-plane instruments (see internal/obs), fed by the lease
+	// layer: Subscribe→SubAck RTT and refresh margin, wall clock.
+	ctlRTT      *obs.Histogram
+	leaseMargin *obs.Histogram
 }
 
 // New creates a speaker bound to cfg.Local, joined to cfg.Group if set.
@@ -159,7 +168,12 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 		return nil, fmt.Errorf("speaker %s: %w", cfg.Name, err)
 	}
 	s := &Speaker{clock: clock, cfg: cfg, conn: conn, volume: cfg.Volume}
+	s.ctlRTT = obs.NewHistogram("es_speaker_control_rtt_seconds",
+		"relay Subscribe→SubAck round trip", nil)
+	s.leaseMargin = obs.NewHistogram("es_speaker_lease_margin_seconds",
+		"relay lease time remaining at each refresh", nil)
 	s.sub = lease.New(clock, conn, "speaker-"+cfg.Name+"-lease")
+	s.sub.SetInstruments(s.ctlRTT, s.leaseMargin)
 	if cfg.RelayAuth != nil {
 		s.sub.SetAuth(cfg.RelayAuth)
 	}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run the relay fan-out benchmark and record the perf trajectory as
+# BENCH_6.json (one row per configuration: ns/pkt plus the relay's own
+# hot-path histogram percentiles, measured with the ops endpoint live
+# and being scraped — the numbers price the relay as deployed).
+#
+# Usage:
+#   scripts/bench.sh                 # quick pass (-benchtime 1x), used by CI
+#   BENCHTIME=3x scripts/bench.sh    # more iterations for steadier numbers
+#   BENCH_OUT=perf.json scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+: "${BENCHTIME:=1x}"
+: "${BENCH_OUT:=BENCH_6.json}"
+BENCH_JSON="$BENCH_OUT" go test -run '^$' -bench '^BenchmarkRelayFanout$' \
+	-benchtime "$BENCHTIME" .
+echo "wrote $BENCH_OUT:"
+cat "$BENCH_OUT"
