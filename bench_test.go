@@ -302,13 +302,16 @@ type benchRow struct {
 
 // benchRows accumulates rows across the table's sub-benchmarks; the
 // file is rewritten whole after each row so the last one to finish
-// leaves the complete document.
+// leaves the complete document. Rows from different benchmark tables
+// (fan-out, join-storm) share the file, each self-describing via its
+// "name" field.
 var benchRows struct {
 	sync.Mutex
-	rows []benchRow
+	names []string
+	rows  map[string]any
 }
 
-func recordBenchRow(b *testing.B, row benchRow) {
+func recordBenchRow(b *testing.B, name string, row any) {
 	path := os.Getenv("BENCH_JSON")
 	if path == "" {
 		return
@@ -317,18 +320,18 @@ func recordBenchRow(b *testing.B, row benchRow) {
 	defer benchRows.Unlock()
 	// The harness may invoke a sub-benchmark several times (warm-up,
 	// -benchtime rounds); keep only the last — largest-b.N — run's row.
-	replaced := false
-	for i := range benchRows.rows {
-		if benchRows.rows[i].Name == row.Name {
-			benchRows.rows[i] = row
-			replaced = true
-			break
-		}
+	if benchRows.rows == nil {
+		benchRows.rows = make(map[string]any)
 	}
-	if !replaced {
-		benchRows.rows = append(benchRows.rows, row)
+	if _, seen := benchRows.rows[name]; !seen {
+		benchRows.names = append(benchRows.names, name)
 	}
-	data, err := json.MarshalIndent(benchRows.rows, "", "  ")
+	benchRows.rows[name] = row
+	ordered := make([]any, 0, len(benchRows.names))
+	for _, n := range benchRows.names {
+		ordered = append(ordered, benchRows.rows[n])
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -481,7 +484,7 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 	if auth != nil {
 		authName = auth.Scheme().String()
 	}
-	recordBenchRow(b, benchRow{
+	recordBenchRow(b, b.Name(), benchRow{
 		Name:           b.Name(),
 		Subscribers:    subscribers,
 		Batch:          batch,
@@ -495,6 +498,107 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 		ResidencyP50Us: float64(resAgg.Quantile(0.50).Nanoseconds()) / 1e3,
 		ResidencyP99Us: float64(resAgg.Quantile(0.99).Nanoseconds()) / 1e3,
 		OpsScrapes:     scrapes,
+	})
+}
+
+// BenchmarkJoinStorm measures the relay's admission path under a flash
+// crowd: 2,000 HMAC-signed Subscribes arrive in the same instant and
+// the benchmark times the wall clock until every one holds a lease.
+// admit=1 is the per-packet baseline (each Subscribe verified, acked,
+// and inserted alone); admit=256 is the batched path (one
+// BatchAuthenticator pass per gather, coalesced SubAck signing, one
+// shard-lock acquisition per shard per pass, one WriteBatch). The
+// headline metric is subscribes/sec; ns/subscribe records the same
+// curve per admission for the trajectory file.
+func BenchmarkJoinStorm(b *testing.B) {
+	for _, admit := range []int{1, 256} {
+		b.Run(fmt.Sprintf("subs=2000/admit=%d", admit), func(b *testing.B) {
+			benchJoinStorm(b, 2000, admit)
+		})
+	}
+}
+
+// stormRow is one BenchmarkJoinStorm row in the perf-trajectory file.
+type stormRow struct {
+	Name         string  `json:"name"`
+	Subscribers  int     `json:"subscribers"`
+	AdmitBatch   int     `json:"admit_batch"`
+	Auth         string  `json:"auth"`
+	NsPerSub     float64 `json:"ns_per_subscribe"`
+	SubsPerSec   float64 `json:"subscribes_per_sec"`
+	AdmitBatches float64 `json:"admit_batches"`
+}
+
+func benchJoinStorm(b *testing.B, subscribers, admitBatch int) {
+	auth := security.NewHMAC([]byte("bench control key"))
+	var active time.Duration
+	var batches int64
+	for i := 0; i < b.N; i++ {
+		// NIC buffers sized for the storm: every Subscribe lands on one
+		// relay socket in the same simulated instant.
+		sys := NewSimSystem(lan.SegmentConfig{QueueLen: 4 * subscribers})
+		r, err := sys.AddRelay(relay.Config{
+			Group: "239.72.1.1:5004", Channel: 1,
+			MaxSubscribers: subscribers,
+			Auth:           auth,
+			AdmitBatch:     admitBatch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns := make([]lan.Conn, 0, subscribers)
+		for s := 0; s < subscribers; s++ {
+			conn, err := sys.Net.Attach(lan.Addr(
+				fmt.Sprintf("10.%d.%d.%d:5004", 9+s/65025, (s/255)%255, 1+s%255)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			conns = append(conns, conn)
+		}
+		sys.Clock.Go("storm", func() {
+			// One signed request reused by every source: the window below
+			// times the relay's admission work, not 2,000 client signings.
+			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			sub = auth.Sign(sub)
+			start := time.Now()
+			for _, conn := range conns {
+				if err := conn.Send(r.Addr(), sub); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			for r.NumSubscribers() < subscribers {
+				sys.Clock.Sleep(time.Millisecond)
+			}
+			active += time.Since(start)
+			sys.Shutdown()
+			for _, c := range conns {
+				c.Close()
+			}
+		})
+		sys.Sim.WaitIdle()
+		st := r.Stats()
+		if st.Subscribes != int64(subscribers) {
+			b.Fatalf("only %d of %d subscribers admitted", st.Subscribes, subscribers)
+		}
+		batches += st.AdmitBatches
+	}
+	total := int64(subscribers) * int64(b.N)
+	nsPerSub := float64(active.Nanoseconds()) / float64(total)
+	b.ReportMetric(nsPerSub, "ns/subscribe")
+	b.ReportMetric(float64(total)/active.Seconds(), "subscribes/sec")
+	recordBenchRow(b, b.Name(), stormRow{
+		Name:         b.Name(),
+		Subscribers:  subscribers,
+		AdmitBatch:   admitBatch,
+		Auth:         auth.Scheme().String(),
+		NsPerSub:     nsPerSub,
+		SubsPerSec:   float64(total) / active.Seconds(),
+		AdmitBatches: float64(batches) / float64(b.N),
 	})
 }
 

@@ -139,6 +139,13 @@ func main() {
 			}
 			experiments.E15OpsPlane(w, secs)
 		}},
+		{"joinstorm", "E16: join storm — load-shed redirects steer a flash crowd of subscribes", func(q bool) {
+			n := 2000
+			if q {
+				n = 400
+			}
+			experiments.E16JoinStorm(w, n)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

@@ -78,6 +78,9 @@ func main() {
 		shardSk  = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
 		authFlag = flag.String("auth", "none", "control-plane auth scheme: none, or hmac with -key-file (§5.1; forged subscribes are dropped silently)")
 		keyFile  = flag.String("key-file", "", "file holding the shared control-plane key (with -auth hmac)")
+		shedSubs = flag.Int("shed-subscribers", 0, "shed new subscribers (SubRedirect to a catalog sibling) at this subscriber count (0 = off; needs -advertise so siblings are watched)")
+		shedPres = flag.Int("shed-pressure", 0, "shed new subscribers at this queue-pressure score, 1-255 (0 = off; needs -advertise so siblings are watched)")
+		admitB   = flag.Int("admit-batch", relay.DefaultAdmitBatch, "subscribe admission batch size (1 = per-packet verification)")
 		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
 		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
 		traceN   = flag.Int("trace-sample", 0, "packet tracer 1-in-N sampling for the event ring (0 = default; drop counters are always exact)")
@@ -94,6 +97,7 @@ func main() {
 	clock := vclock.System
 	net := &lan.UDPNetwork{}
 
+	sourceHops := 0
 	if *upstream == "discover" {
 		// Pick the bridge from the catalog, refusing our own advertised
 		// address — the catalog echoes this relay's announce back at it
@@ -111,6 +115,11 @@ func main() {
 			log.Fatal(err)
 		}
 		*upstream = ri.Addr
+		if ri.HasLoad && ri.Hops < 255 {
+			// Depth accumulates along discovered chains: our catalog
+			// record reports one hop more than the upstream's.
+			sourceHops = int(ri.Hops) + 1
+		}
 		log.Printf("discovered upstream %s (relaying %s)", ri.Addr, ri.Group)
 	}
 
@@ -121,18 +130,22 @@ func main() {
 	defer conn.Close()
 
 	cfg := relay.Config{
-		Group:          lan.Addr(*group),
-		Upstream:       lan.Addr(*upstream),
-		MaxHops:        *maxHops,
-		Channel:        uint32(*channel),
-		Shards:         *shards,
-		QueueLen:       *queue,
-		MaxSubscribers: *maxSubs,
-		MaxLease:       *maxLs,
-		Batch:          *batch,
-		FlushInterval:  *flush,
-		Auth:           auth,
-		TraceSample:    *traceN,
+		Group:           lan.Addr(*group),
+		Upstream:        lan.Addr(*upstream),
+		MaxHops:         *maxHops,
+		Channel:         uint32(*channel),
+		Shards:          *shards,
+		QueueLen:        *queue,
+		MaxSubscribers:  *maxSubs,
+		MaxLease:        *maxLs,
+		Batch:           *batch,
+		FlushInterval:   *flush,
+		Auth:            auth,
+		TraceSample:     *traceN,
+		ShedSubscribers: *shedSubs,
+		ShedPressure:    *shedPres,
+		AdmitBatch:      *admitB,
+		SourceHops:      sourceHops,
 	}
 	if *upstream != "" {
 		cfg.Group = "" // chained: the upstream relay is the source
@@ -184,10 +197,32 @@ func main() {
 		}
 		defer cconn.Close()
 		cat := rebroadcast.NewCatalog(clock, cconn, lan.Addr(*adverts), 0)
-		cat.SetRelay(r.Info())
+		// Live record provider: every announce carries the load vector
+		// (subscribers, queue pressure, hops from source) as of that
+		// cycle, which is what discovery ranks candidates by.
+		cat.SetRelayFunc(r.Info)
 		clock.Go("advertise", cat.Run)
 		defer cat.Stop()
 		log.Printf("advertising on %s", *adverts)
+
+		if *shedSubs > 0 || *shedPres > 0 {
+			// Shedding needs somewhere to steer: watch the same catalog
+			// group for sibling relays and feed live snapshots to the
+			// redirect picker.
+			w, err := relay.NewWatcher(clock, net,
+				lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")),
+				lan.Addr(*adverts))
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.SetSiblings(w.Snapshot)
+			clock.Go("sibling-watch", w.Run)
+			defer w.Stop()
+			log.Printf("shedding enabled (subscribers>=%d, pressure>=%d); steering to catalog siblings", *shedSubs, *shedPres)
+		}
+	}
+	if (*shedSubs > 0 || *shedPres > 0) && *adverts == "" {
+		log.Printf("warning: -shed-subscribers/-shed-pressure set without -advertise: no sibling watch, so the relay admits normally instead of shedding")
 	}
 
 	if *report > 0 {

@@ -142,7 +142,9 @@ func (s *System) StartCatalog(interval time.Duration) error {
 		cat.SetChannel(ch.Info())
 	}
 	for _, r := range s.relays {
-		cat.SetRelay(r.Info())
+		// Live record provider: every announce cycle re-reads the
+		// relay's load vector instead of freezing it at registration.
+		cat.SetRelayFunc(r.Info)
 	}
 	s.mu.Unlock()
 	s.Clock.Go("catalog", cat.Run)
@@ -205,7 +207,7 @@ func (s *System) AddRelay(cfg relay.Config) (*relay.Relay, error) {
 	cat := s.catalog
 	s.mu.Unlock()
 	if cat != nil {
-		cat.SetRelay(r.Info())
+		cat.SetRelayFunc(r.Info)
 	}
 	s.Clock.Go("relay-"+string(r.Addr()), r.Run)
 	return r, nil

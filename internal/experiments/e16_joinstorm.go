@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/relay"
+	"repro/internal/relay/lease"
+	"repro/internal/security"
+	"repro/internal/stats"
+)
+
+// E16Result is the outcome of the join-storm experiment.
+type E16Result struct {
+	Subscribers   int           // storm size
+	Leased        int           // subscribers holding a granted lease at the end
+	Redirected    int64         // SubRedirects followed across the storm
+	ShedFinal     int           // shedding relay's final subscriber count
+	Threshold     int           // its configured ShedSubscribers cap
+	RedirectLoops int64         // ErrRedirectLimit hits (a loop or over-long chain)
+	Converge      time.Duration // storm start → every subscriber leased (sim time)
+	Window        time.Duration // the lease window the whole storm had to fit in
+	ForgedIgnored bool          // unsigned and wrong-key redirects dropped, target kept
+}
+
+// E16JoinStorm drives a flash crowd at a load-shedding relay tree: three
+// sibling relays advertise load vectors on the catalog, one of them is
+// capped well below the crowd, and n subscribers fire their Subscribes
+// at the capped relay in the same instant. The shedding relay must
+// answer the overflow with signed SubRedirects naming its siblings, the
+// subscribers must chase them, and the storm must converge — every
+// subscriber leased somewhere, the capped relay at or under its
+// threshold, nobody bounced around a redirect loop — all inside one
+// lease window. A forged redirect (unsigned, then wrong-key) must be
+// dropped by ack verification without moving the subscriber.
+func E16JoinStorm(w io.Writer, n int) E16Result {
+	if n <= 0 {
+		n = 2000
+	}
+	section(w, "E16", "join storm: load-shed redirects under a flash crowd of subscribes")
+	res := e16Run(n)
+	tab := stats.Table{Headers: []string{"subscribers", "leased", "redirected",
+		"shed relay subs", "threshold", "redirect loops", "converged in", "forged ignored"}}
+	tab.AddRow(res.Subscribers, res.Leased, res.Redirected,
+		res.ShedFinal, res.Threshold, res.RedirectLoops,
+		res.Converge.Round(time.Millisecond), res.ForgedIgnored)
+	tab.Render(w)
+	fmt.Fprintf(w, "  every subscriber must end leased within the %v window, the capped relay\n", res.Window)
+	fmt.Fprintf(w, "  at or under its threshold, with zero redirect-budget exhaustions\n")
+	return res
+}
+
+func e16Run(n int) E16Result {
+	const window = 30 * time.Second
+	res := E16Result{Subscribers: n, Threshold: n / 4, Window: window}
+	auth := security.NewHMAC([]byte("relay control-plane key"))
+	// The segment needs NIC buffers sized for the storm: n Subscribes
+	// land on one relay socket in the same instant, and the redirected
+	// overflow then lands on the siblings nearly as fast.
+	sys := core.NewSim(lan.SegmentConfig{Latency: 100 * time.Microsecond, QueueLen: 4 * n})
+	if err := sys.StartCatalog(250 * time.Millisecond); err != nil {
+		return res
+	}
+	shed, err := sys.AddRelay(relay.Config{Group: groupA, Channel: 1, Auth: auth,
+		MaxSubscribers: 2 * n, ShedSubscribers: res.Threshold})
+	if err != nil {
+		return res
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sys.AddRelay(relay.Config{Group: groupA, Channel: 1, Auth: auth,
+			MaxSubscribers: 2 * n}); err != nil {
+			return res
+		}
+	}
+	// The shedding relay watches the same catalog its siblings advertise
+	// on — exactly the relayd -advertise + -shed-subscribers wiring.
+	watch, err := relay.NewWatcher(sys.Clock, sys.Net, "10.9.0.1:5003", core.CatalogGroup)
+	if err != nil {
+		return res
+	}
+	shed.SetSiblings(watch.Snapshot)
+	sys.Clock.Go("sibling-watch", watch.Run)
+
+	// The crowd: each subscriber owns a connection, a lease.Subscriber
+	// signing with the shared control-plane key, and a receive loop
+	// feeding acks back in — the same split esd uses.
+	subs := make([]*lease.Subscriber, n)
+	conns := make([]lan.Conn, n)
+	var stop int32
+	for i := 0; i < n; i++ {
+		conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.9.%d.%d:7000", 1+i/200, 1+i%200)))
+		if err != nil {
+			return res
+		}
+		conns[i] = conn
+		sub := lease.New(sys.Clock, conn, fmt.Sprintf("storm-%d", i))
+		sub.SetAuth(auth)
+		subs[i] = sub
+		sys.Clock.Go(fmt.Sprintf("storm-%d-recv", i), func() {
+			for {
+				pkt, err := conn.Recv(2 * time.Second)
+				if err == lan.ErrTimeout {
+					if atomic.LoadInt32(&stop) != 0 {
+						return
+					}
+					continue
+				}
+				if err != nil {
+					return
+				}
+				if _, err := sub.HandleAckData(pkt.From, pkt.Data); err == lease.ErrRedirectLimit {
+					atomic.AddInt64(&res.RedirectLoops, 1)
+				}
+			}
+		})
+	}
+
+	sys.Clock.Go("storm", func() {
+		// Let a few announce cycles pass so the watcher holds both
+		// siblings' load vectors before the crowd arrives.
+		sys.Clock.Sleep(time.Second)
+		start := sys.Clock.Now()
+		for _, sub := range subs {
+			// No Sleep between these: on the simulated clock the whole
+			// storm is sent in the same instant.
+			sub.Subscribe(shed.Addr(), 1, window)
+		}
+		for sys.Clock.Now().Sub(start) < window {
+			sys.Clock.Sleep(100 * time.Millisecond)
+			leased := 0
+			for _, sub := range subs {
+				if sub.Granted() > 0 {
+					leased++
+				}
+			}
+			if leased == n {
+				res.Converge = sys.Clock.Now().Sub(start)
+				break
+			}
+		}
+		for _, sub := range subs {
+			res.Leased += boolToInt(sub.Granted() > 0)
+			res.Redirected += sub.Stats().Redirects
+		}
+		res.ShedFinal = shed.NumSubscribers()
+
+		// Forged steering: a redirect is just a SubAck, so it must clear
+		// the same §5.1 verification — unsigned and wrong-key redirects
+		// die at the authenticator and the subscriber stays put.
+		victim := subs[0]
+		before := victim.Target()
+		forged, _ := (&proto.SubAck{Channel: 1, Seq: 1 << 30,
+			Status: proto.SubRedirect, Redirect: "10.9.66.1:5006"}).Marshal()
+		_, errRaw := victim.HandleAckData(before, forged)
+		wrongKey := security.NewHMAC([]byte("not the control-plane key"))
+		_, errForged := victim.HandleAckData(before, wrongKey.Sign(forged))
+		res.ForgedIgnored = errRaw == lease.ErrAuthFailed &&
+			errForged == lease.ErrAuthFailed && victim.Target() == before
+
+		atomic.StoreInt32(&stop, 1)
+		for i, sub := range subs {
+			sub.Close()
+			conns[i].Close()
+		}
+		watch.Stop()
+		sys.Shutdown()
+	})
+	sys.Sim.WaitIdle()
+	return res
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

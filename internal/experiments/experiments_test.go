@@ -341,6 +341,35 @@ func TestE15Shape(t *testing.T) {
 	}
 }
 
+func TestE16Shape(t *testing.T) {
+	// Full acceptance size on purpose (not the reduced-workload idiom of
+	// the other shapes): the claim under test is that ≥2,000 simultaneous
+	// Subscribes converge, and CI runs this under -race.
+	res := E16JoinStorm(io.Discard, 2000)
+	if res.Leased != res.Subscribers {
+		t.Fatalf("only %d/%d subscribers leased: %+v", res.Leased, res.Subscribers, res)
+	}
+	if res.Converge <= 0 || res.Converge >= res.Window {
+		t.Fatalf("storm did not converge inside the %v lease window: %+v", res.Window, res)
+	}
+	// The capped relay shed the overflow instead of absorbing it: it sits
+	// at or under its threshold, and the spill really was steered via
+	// redirects (not absorbed by retries against the same relay).
+	if res.ShedFinal > res.Threshold {
+		t.Fatalf("shedding relay at %d subscribers, cap %d: %+v", res.ShedFinal, res.Threshold, res)
+	}
+	if res.Redirected < int64(res.Subscribers-res.Threshold) {
+		t.Fatalf("only %d redirects for a %d-subscriber overflow: %+v",
+			res.Redirected, res.Subscribers-res.Threshold, res)
+	}
+	if res.RedirectLoops != 0 {
+		t.Fatalf("%d subscribers exhausted their redirect budget: %+v", res.RedirectLoops, res)
+	}
+	if !res.ForgedIgnored {
+		t.Fatalf("a forged redirect was accepted (or mishandled): %+v", res)
+	}
+}
+
 func TestE14Shape(t *testing.T) {
 	res := E14AuthRelay(io.Discard, 2)
 	// The signed chain still delivers: grants verified at both the

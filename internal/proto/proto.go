@@ -125,10 +125,34 @@ type ChannelInfo struct {
 
 // RelayInfo is one relay's catalog record: where to lease a unicast
 // copy of a stream when the multicast group itself is out of reach.
+//
+// The load vector (HasLoad and the fields after it) is the record's
+// optional self-reported load, re-stamped on every advertise so
+// discovery can rank candidates and shedding can pick the least-loaded
+// sibling. Records from pre-load announcers parse with HasLoad false.
 type RelayInfo struct {
 	Addr    string // unicast "addr:port" subscribers lease from
 	Group   string // multicast group relayed, or the upstream relay's address for a chained relay
 	Channel uint32 // channel restriction; 0 = whatever the source carries
+
+	HasLoad  bool   // the announce carried a load vector for this record
+	Subs     uint32 // current leased subscribers
+	Pressure uint8  // queue-pressure score, 0 (idle) to 255 (saturated)
+	Hops     uint8  // relay hops from the stream source (1 = joins the group); 0 = unknown
+}
+
+// LoadScore orders relay records least-loaded first: subscriber count
+// dominates, queue pressure breaks ties among equally-subscribed
+// relays, and hops-from-source breaks ties among equally-pressured
+// ones (a shorter chain adds less latency and fewer failure points).
+// A record without a load vector scores behind every record with one —
+// in a mixed deployment an announcer that reports its load is always
+// preferred over one that cannot.
+func (ri RelayInfo) LoadScore() uint64 {
+	if !ri.HasLoad {
+		return 1 << 63
+	}
+	return uint64(ri.Subs)<<16 | uint64(ri.Pressure)<<8 | uint64(ri.Hops)
 }
 
 // Announce is the out-of-band channel catalog (§4.3): it lets speakers
@@ -366,6 +390,35 @@ func (a *Announce) Marshal() ([]byte, error) {
 		binary.BigEndian.PutUint32(chb[:], ri.Channel)
 		buf = append(buf, chb[:]...)
 	}
+	hasLoad := false
+	for _, ri := range a.Relays {
+		if ri.HasLoad {
+			hasLoad = true
+			break
+		}
+	}
+	if !hasLoad {
+		// No record carries load: omit the section entirely, staying
+		// byte-compatible with pre-load parsers.
+		return buf, nil
+	}
+	// Load section: a count byte (must match the relay count) then one
+	// flags byte per record, followed by the 6-byte load vector when
+	// flags bit 0 is set. Per-record flags let a catalog mix live
+	// records (which stamp load) with static ones (which cannot).
+	buf = append(buf, byte(len(a.Relays)))
+	for _, ri := range a.Relays {
+		if !ri.HasLoad {
+			buf = append(buf, 0)
+			continue
+		}
+		var lb [7]byte
+		lb[0] = 1
+		binary.BigEndian.PutUint32(lb[1:5], ri.Subs)
+		lb[5] = ri.Pressure
+		lb[6] = ri.Hops
+		buf = append(buf, lb[:]...)
+	}
 	return buf, nil
 }
 
@@ -425,6 +478,36 @@ func UnmarshalAnnounce(data []byte) (*Announce, error) {
 			body = body[4:]
 			a.Relays = append(a.Relays, ri)
 		}
+		if len(body) > 0 {
+			// Load section (absent in pre-load announces).
+			if int(body[0]) != rcount {
+				return nil, fmt.Errorf("%w: load section counts %d relays, record section %d",
+					ErrBadPacket, body[0], rcount)
+			}
+			body = body[1:]
+			for i := 0; i < rcount; i++ {
+				if len(body) < 1 {
+					return nil, ErrShort
+				}
+				flags := body[0]
+				body = body[1:]
+				if flags&^byte(1) != 0 {
+					return nil, fmt.Errorf("%w: unknown load flags %#x", ErrBadPacket, flags)
+				}
+				if flags&1 == 0 {
+					continue
+				}
+				if len(body) < 6 {
+					return nil, ErrShort
+				}
+				ri := &a.Relays[i]
+				ri.HasLoad = true
+				ri.Subs = binary.BigEndian.Uint32(body[0:4])
+				ri.Pressure = body[4]
+				ri.Hops = body[5]
+				body = body[6:]
+			}
+		}
 	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
@@ -441,6 +524,11 @@ const (
 	SubNoChannel SubStatus = 1 // relay does not carry the channel
 	SubTableFull SubStatus = 2 // subscriber table at capacity
 	SubLoop      SubStatus = 3 // path would revisit this relay or exceed the hop limit
+	// SubRedirect is load shedding: no lease was granted, but the
+	// SubAck's Redirect field names a sibling relay carrying the same
+	// stream — retry there. It is the TURN ALTERNATE-SERVER move applied
+	// to §4.3 relay trees.
+	SubRedirect SubStatus = 4
 )
 
 // String implements fmt.Stringer.
@@ -454,6 +542,8 @@ func (s SubStatus) String() string {
 		return "table-full"
 	case SubLoop:
 		return "loop"
+	case SubRedirect:
+		return "redirect"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -484,6 +574,11 @@ type SubAck struct {
 	Seq     uint32    // request sequence (echo)
 	LeaseMs uint32    // granted lease in milliseconds; 0 on refusal/cancel
 	Status  SubStatus // verdict
+	// Redirect is the sibling relay's unicast address; present exactly
+	// when Status is SubRedirect (the marshaller refuses any other
+	// combination, and the parser rejects a redirect with no address —
+	// "go elsewhere" must always say where).
+	Redirect string
 }
 
 // Marshal encodes the subscribe packet. A subscriber with no path
@@ -537,14 +632,23 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	return s, nil
 }
 
-// Marshal encodes the suback packet.
+// Marshal encodes the suback packet. A SubRedirect carries the sibling
+// address after the fixed body; every other status keeps the exact
+// 10-byte body, so pre-redirect subscribers parse everything a relay
+// that never sheds would send them.
 func (s *SubAck) Marshal() ([]byte, error) {
-	buf := make([]byte, headerLen+10)
+	if (s.Status == SubRedirect) != (s.Redirect != "") {
+		return nil, fmt.Errorf("%w: status %s with redirect %q", ErrBadPacket, s.Status, s.Redirect)
+	}
+	buf := make([]byte, headerLen+10, headerLen+10+1+len(s.Redirect))
 	putHeader(buf, TypeSubAck, s.Channel)
 	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
 	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
 	buf[headerLen+8] = byte(s.Status)
 	// buf[headerLen+9] reserved
+	if s.Status == SubRedirect {
+		return appendString(buf, s.Redirect)
+	}
 	return buf, nil
 }
 
@@ -561,13 +665,23 @@ func UnmarshalSubAck(data []byte) (*SubAck, error) {
 	if len(body) < 10 {
 		return nil, ErrShort
 	}
-	if len(body) != 10 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body)-10)
-	}
-	return &SubAck{
+	a := &SubAck{
 		Channel: ch,
 		Seq:     binary.BigEndian.Uint32(body[0:4]),
 		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
 		Status:  SubStatus(body[8]),
-	}, nil
+	}
+	body = body[10:]
+	if a.Status == SubRedirect {
+		if a.Redirect, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		if a.Redirect == "" {
+			return nil, fmt.Errorf("%w: redirect with empty address", ErrBadPacket)
+		}
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
+	}
+	return a, nil
 }

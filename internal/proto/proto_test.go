@@ -199,6 +199,142 @@ func TestAnnounceRelayRecordsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAnnounceLoadVectorRoundTrip(t *testing.T) {
+	// Mixed records: a live relay stamping load next to a static record
+	// without it. Both must survive the wire, including a saturated
+	// pressure score and a hop count at the wire ceiling.
+	a := &Announce{
+		Seq: 11,
+		Relays: []RelayInfo{
+			{Addr: "10.0.0.5:5006", Group: "239.72.1.1:5004", Channel: 1,
+				HasLoad: true, Subs: 70000, Pressure: 255, Hops: 255},
+			{Addr: "10.0.0.6:5006", Group: "10.0.0.5:5006"},
+			{Addr: "10.0.0.7:5006", Group: "239.72.1.1:5004",
+				HasLoad: true, Subs: 0, Pressure: 0, Hops: 1},
+		},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+}
+
+func TestAnnounceWithoutLoadStaysLegacyBytes(t *testing.T) {
+	// A catalog whose records carry no load must emit exactly the
+	// pre-load wire format, and a legacy announce must parse with
+	// HasLoad false everywhere — mixed-version deployments depend on it.
+	a := &Announce{
+		Seq:    3,
+		Relays: []RelayInfo{{Addr: "10.0.0.5:5006", Group: "239.72.1.1:5004", Channel: 1}},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &Announce{
+		Seq: 3,
+		Relays: []RelayInfo{{Addr: "10.0.0.5:5006", Group: "239.72.1.1:5004", Channel: 1,
+			HasLoad: true, Subs: 9}},
+	}
+	ldata, err := loaded.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, ldata[:len(data)]) {
+		t.Fatal("load section not a pure suffix of the legacy encoding")
+	}
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Relays[0].HasLoad {
+		t.Fatal("legacy record parsed with a phantom load vector")
+	}
+}
+
+func TestAnnounceLoadSectionMalformed(t *testing.T) {
+	a := &Announce{
+		Seq: 5,
+		Relays: []RelayInfo{
+			{Addr: "10.0.0.5:5006", Group: "g", Channel: 1, HasLoad: true, Subs: 4, Pressure: 10, Hops: 1},
+			{Addr: "10.0.0.6:5006", Group: "g", Channel: 1, HasLoad: true, Subs: 8, Pressure: 20, Hops: 2},
+		},
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadOff := len(data) - 2*7 - 1 // two 1+6-byte load entries plus the count byte
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"count mismatch", func(b []byte) []byte { b[loadOff] = 3; return b }},
+		{"count zero", func(b []byte) []byte { b[loadOff] = 0; return b }},
+		{"unknown flags", func(b []byte) []byte { b[loadOff+1] = 0x82; return b }},
+		{"truncated vector", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0) }},
+	}
+	for _, tc := range cases {
+		mut := tc.mutate(append([]byte(nil), data...))
+		if _, err := UnmarshalAnnounce(mut); err == nil {
+			t.Errorf("%s: malformed load section accepted", tc.name)
+		}
+	}
+}
+
+func TestSubAckRedirectRoundTrip(t *testing.T) {
+	a := &SubAck{Channel: 7, Seq: 99, Status: SubRedirect, Redirect: "10.0.3.2:5006"}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSubAck(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+}
+
+func TestSubAckRedirectMalformed(t *testing.T) {
+	// Marshalling refuses the inconsistent combinations outright: a
+	// redirect with nowhere to go, and an address smuggled onto a
+	// non-redirect status.
+	if _, err := (&SubAck{Channel: 1, Seq: 1, Status: SubRedirect}).Marshal(); err == nil {
+		t.Fatal("redirect with empty address marshalled")
+	}
+	if _, err := (&SubAck{Channel: 1, Seq: 1, Status: SubOK, Redirect: "10.0.0.1:5006"}).Marshal(); err == nil {
+		t.Fatal("redirect address on an OK status marshalled")
+	}
+	// And the parser refuses them arriving off the wire.
+	good, err := (&SubAck{Channel: 1, Seq: 1, Status: SubRedirect, Redirect: "10.0.0.1:5006"}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := append([]byte(nil), good[:8+10]...)
+	zero = append(zero, 0) // length-prefixed empty string: a zero-address redirect
+	if _, err := UnmarshalSubAck(zero); err == nil {
+		t.Fatal("zero-address redirect accepted")
+	}
+	asOK := append([]byte(nil), good...)
+	asOK[8+8] = byte(SubOK) // flip the status, keep the address bytes
+	if _, err := UnmarshalSubAck(asOK); err == nil {
+		t.Fatal("redirect body accepted behind a non-redirect status")
+	}
+	if _, err := UnmarshalSubAck(good[:len(good)-4]); err == nil {
+		t.Fatal("truncated redirect address accepted")
+	}
+}
+
 func TestSubscribeUnsubscribe(t *testing.T) {
 	// LeaseMs zero is the cancel form and must survive the wire.
 	s := &Subscribe{Channel: 3, Seq: 1, LeaseMs: 0}
@@ -213,8 +349,11 @@ func TestSubscribeUnsubscribe(t *testing.T) {
 }
 
 func TestSubAckRoundTrip(t *testing.T) {
-	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop} {
+	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop, SubRedirect} {
 		a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: status}
+		if status == SubRedirect {
+			a.Redirect = "10.0.9.9:5006"
+		}
 		data, err := a.Marshal()
 		if err != nil {
 			t.Fatal(err)
@@ -341,10 +480,66 @@ func validPackets(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	al := loadAnnounce(3)
+	aldata, err := al.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := &SubAck{Channel: 1, Seq: 7, Status: SubRedirect, Redirect: "10.0.3.2:5006"}
+	rkdata, err := rk.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string][]byte{
 		"control": cdata, "data": ddata, "announce": adata,
 		"subscribe": sdata, "suback": kdata,
+		"announce-load": aldata, "suback-redirect": rkdata,
 	}
+}
+
+// loadAnnounce builds the load-bearing announce the truncation table
+// exercises, cut down to its first n sections: 1 = channels only,
+// 2 = + relay records, 3 = + load vectors. The shorter forms mark the
+// two prefixes of the full packet that are legitimately parseable —
+// each is exactly what an older announcer would have sent.
+func loadAnnounce(sections int) *Announce {
+	a := &Announce{
+		Seq:      8,
+		Channels: []ChannelInfo{{ID: 1, Name: "x", Group: "g", Codec: "raw", Params: audio.Voice}},
+	}
+	if sections >= 2 {
+		a.Relays = []RelayInfo{
+			{Addr: "10.0.0.5:5006", Group: "239.72.1.1:5004", Channel: 1},
+			{Addr: "10.0.0.6:5006", Group: "10.0.0.5:5006"},
+		}
+	}
+	if sections >= 3 {
+		a.Relays[0].HasLoad = true
+		a.Relays[0].Subs = 12
+		a.Relays[0].Pressure = 40
+		a.Relays[0].Hops = 1
+		a.Relays[1].HasLoad = true
+		a.Relays[1].Subs = 2
+		a.Relays[1].Hops = 2
+	}
+	return a
+}
+
+// legacyAnnouncePrefixes returns the lengths at which truncating the
+// load-bearing announce yields a valid older-format packet: the end of
+// the channel section (a pre-relay announce) and the end of the relay
+// records (a pre-load announce).
+func legacyAnnouncePrefixes(t *testing.T) map[int]bool {
+	t.Helper()
+	out := make(map[int]bool)
+	for _, sections := range []int{1, 2} {
+		data, err := loadAnnounce(sections).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[len(data)] = true
+	}
+	return out
 }
 
 // TestTruncationsNeverPanic is the fuzz-style truncation table: every
@@ -352,7 +547,15 @@ func validPackets(t *testing.T) map[string][]byte {
 // cleanly — an error for any strict prefix, success only for the
 // matching parser on the full packet.
 func TestTruncationsNeverPanic(t *testing.T) {
+	// Some kinds are wire extensions of a base packet; they parse with
+	// the base kind's parser.
+	parserFor := map[string]string{"announce-load": "announce", "suback-redirect": "suback"}
+	announceLegacy := legacyAnnouncePrefixes(t)
 	for kind, full := range validPackets(t) {
+		want := kind
+		if p, ok := parserFor[kind]; ok {
+			want = p
+		}
 		for i := 0; i <= len(full); i++ {
 			trunc := full[:i]
 			for _, p := range parsers {
@@ -364,14 +567,19 @@ func TestTruncationsNeverPanic(t *testing.T) {
 					}()
 					return p.parse(trunc)
 				}()
-				// One prefix is legitimately parseable: a subscribe cut
-				// after seq+leasems is exactly the legacy 8-byte body.
-				legacySub := kind == "subscribe" && p.name == "subscribe" && i == 16
-				if i < len(full) && err == nil && p.name != "peek" && !legacySub {
+				// A few prefixes are legitimately parseable — each is
+				// byte-identical to what an older peer would send: a
+				// subscribe cut after seq+leasems is the legacy 8-byte
+				// body, and the load-bearing announce cut at the end of
+				// its channel or relay-record section is a pre-relay or
+				// pre-load announce.
+				legacy := kind == "subscribe" && p.name == "subscribe" && i == 16 ||
+					kind == "announce-load" && p.name == "announce" && announceLegacy[i]
+				if i < len(full) && err == nil && p.name != "peek" && !legacy {
 					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)
 				}
-				if i == len(full) && p.name == kind && err != nil {
-					t.Errorf("%s parser rejected its own full packet: %v", p.name, err)
+				if i == len(full) && p.name == want && err != nil {
+					t.Errorf("%s parser rejected its own full %s packet: %v", p.name, kind, err)
 				}
 			}
 		}
@@ -466,7 +674,7 @@ func TestAuthSchemeStrings(t *testing.T) {
 			t.Fatal("empty type name")
 		}
 	}
-	for _, s := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop, SubStatus(9)} {
+	for _, s := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop, SubRedirect, SubStatus(9)} {
 		if s.String() == "" {
 			t.Fatal("empty status name")
 		}

@@ -91,6 +91,7 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"NoChannel": uint8(SubNoChannel),
 		"TableFull": uint8(SubTableFull),
 		"Loop":      uint8(SubLoop),
+		"Redirect":  uint8(SubRedirect),
 	})
 
 	// The framing constants are documented literally.

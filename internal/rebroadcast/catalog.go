@@ -25,7 +25,8 @@ type Catalog struct {
 
 	mu       sync.Mutex
 	channels map[uint32]proto.ChannelInfo
-	relays   map[string]proto.RelayInfo // by unicast address
+	relays   map[string]proto.RelayInfo        // by unicast address
+	live     map[string]func() proto.RelayInfo // by the provider's initial Addr
 	seq      uint64
 	stop     bool
 	sent     int64
@@ -69,11 +70,29 @@ func (c *Catalog) SetRelay(info proto.RelayInfo) {
 	c.relays[info.Addr] = info
 }
 
-// RemoveRelay deletes a relay record by its unicast address.
+// SetRelayFunc registers a live relay record provider, keyed by the
+// address the provider reports at registration time. Run calls it on
+// every announce cycle, so a record that changes between announces — a
+// relay's load vector, above all — goes out fresh instead of frozen at
+// whatever SetRelay last captured. The provider must be safe to call
+// from the catalog's goroutine.
+func (c *Catalog) SetRelayFunc(fn func() proto.RelayInfo) {
+	addr := fn().Addr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.live == nil {
+		c.live = make(map[string]func() proto.RelayInfo)
+	}
+	c.live[addr] = fn
+}
+
+// RemoveRelay deletes a relay record by its unicast address, whether it
+// was registered statically or as a live provider.
 func (c *Catalog) RemoveRelay(addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.relays, addr)
+	delete(c.live, addr)
 }
 
 // Announcements returns how many announce packets have been sent.
@@ -101,16 +120,31 @@ func (c *Catalog) Run() {
 		for _, id := range ids {
 			a.Channels = append(a.Channels, c.channels[id])
 		}
-		addrs := make([]string, 0, len(c.relays))
-		for addr := range c.relays {
+		relays := make(map[string]proto.RelayInfo, len(c.relays)+len(c.live))
+		for addr, ri := range c.relays {
+			relays[addr] = ri
+		}
+		fns := make([]func() proto.RelayInfo, 0, len(c.live))
+		for _, fn := range c.live {
+			fns = append(fns, fn)
+		}
+		c.sent++
+		c.mu.Unlock()
+		// Live providers run outside c.mu: they read the relay's own
+		// state under its locks, and a live record (fresh load vector)
+		// overrides any static one for the same address.
+		for _, fn := range fns {
+			ri := fn()
+			relays[ri.Addr] = ri
+		}
+		addrs := make([]string, 0, len(relays))
+		for addr := range relays {
 			addrs = append(addrs, addr)
 		}
 		sort.Strings(addrs)
 		for _, addr := range addrs {
-			a.Relays = append(a.Relays, c.relays[addr])
+			a.Relays = append(a.Relays, relays[addr])
 		}
-		c.sent++
-		c.mu.Unlock()
 		if pkt, err := a.Marshal(); err == nil {
 			c.conn.Send(c.group, pkt)
 		}

@@ -11,13 +11,22 @@ import (
 )
 
 // discoverSettle is how long Discover keeps collecting announces after
-// the first eligible record when an exclude predicate is installed:
-// two full catalog cycles (plus slack) so every relay on the segment —
-// real relayds advertise themselves in separate announce packets — has
-// been heard before a candidate is trusted. Without the wait, a relay
-// chained behind the caller at depth ≥ 2 could be selected before the
+// the first eligible record before judging the field: two full catalog
+// cycles (plus slack) so every relay on the segment — real relayds
+// advertise themselves in separate announce packets — has been heard
+// before a candidate is trusted. Load ranking needs the wait to compare
+// all siblings, and an exclude predicate needs it so a relay chained
+// behind the caller at depth ≥ 2 cannot be selected before the
 // intermediate hop's record arrives to prove the chain.
 const discoverSettle = 2*rebroadcast.DefaultCatalogInterval + time.Second
+
+// discoverStale is how old a record may grow before ranking demotes
+// it: two missed announce cycles means the relay stopped advertising —
+// dead, or partitioned — and its (frozen) load vector says nothing
+// about its present state. Staleness demotes rather than vetoes: a
+// stale record is chosen only when no fresh one survives, so discovery
+// still converges on a segment whose only relay just went quiet.
+const discoverStale = 2 * rebroadcast.DefaultCatalogInterval
 
 // Discover finds a relay through the §4.3 catalog instead of static
 // configuration: it joins the catalog group through a temporary
@@ -35,14 +44,20 @@ const discoverSettle = 2*rebroadcast.DefaultCatalogInterval + time.Second
 // any downstream, at any depth, builds a chain that SubLoop then
 // refuses but that churns on every refresh instead of ever converging.
 //
-// With an excluder installed, Discover does not take the first
-// acceptable record at face value: it collects records (all channels —
-// an off-channel hop still forms a cycle) for discoverSettle after the
-// first eligible one, then re-applies the predicate over everything
-// heard until no further record is vetoed, so a stateful predicate's
-// exclusions propagate transitively regardless of announce arrival
-// order, and only then picks the earliest-heard survivor. A nil
-// excluder keeps the fast path: the first matching record wins.
+// Discover does not take the first acceptable record at face value:
+// it collects records (all channels — an off-channel hop still forms a
+// cycle) for discoverSettle after the first eligible one, re-applies
+// any exclude predicate over everything heard until no further record
+// is vetoed (so a stateful predicate's exclusions propagate
+// transitively regardless of announce arrival order), then picks the
+// least-loaded survivor by the records' self-reported load vectors —
+// ties break on address, so two discoverers on one segment agree.
+// Records not re-announced for discoverStale are demoted: their frozen
+// load says nothing about the relay's present state. One fast path
+// survives from before load ranking: with no excluder installed and no
+// load-bearing record heard, the first eligible record wins
+// immediately — a legacy segment has nothing to rank, and waiting out
+// the settle window would only delay every tune-in.
 func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 	channel uint32, timeout time.Duration,
 	exclude func(proto.RelayInfo) bool) (proto.RelayInfo, error) {
@@ -58,7 +73,9 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 	var (
 		order    []string // record addresses in arrival order
 		records  = make(map[string]proto.RelayInfo)
-		settleAt time.Time // zero until the first eligible record
+		heard    = make(map[string]time.Time) // last re-announce per record
+		anyLoad  bool                         // a load-bearing record was seen
+		settleAt time.Time                    // zero until the first eligible record
 	)
 	fail := func() (proto.RelayInfo, error) {
 		return proto.RelayInfo{}, fmt.Errorf("relay: discover: no relay for channel %d announced within %v", channel, timeout)
@@ -66,7 +83,7 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 	for {
 		now := clock.Now()
 		if !settleAt.IsZero() && !now.Before(settleAt) {
-			if ri, ok := pickRelay(records, order, channel, exclude); ok {
+			if ri, ok := pickRelay(records, order, heard, now, channel, exclude); ok {
 				return ri, nil
 			}
 			settleAt = time.Time{} // all heard so far vetoed: keep listening
@@ -74,7 +91,7 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 		remain := deadline.Sub(now)
 		if remain <= 0 {
 			// Out of time: judge what was heard rather than discard it.
-			if ri, ok := pickRelay(records, order, channel, exclude); ok {
+			if ri, ok := pickRelay(records, order, heard, now, channel, exclude); ok {
 				return ri, nil
 			}
 			return fail()
@@ -96,20 +113,24 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 		if err != nil {
 			continue // not an announce (or malformed): keep listening
 		}
+		at := clock.Now()
+		for _, ri := range a.Relays { // whole packet first: a load vector
+			if ri.HasLoad { // anywhere in it disarms the fast path below
+				anyLoad = true
+			}
+		}
 		for _, ri := range a.Relays {
 			eligible := ri.Channel == 0 || channel == 0 || ri.Channel == channel
-			if exclude == nil {
-				if eligible {
-					return ri, nil
-				}
-				continue
+			if exclude == nil && !anyLoad && eligible {
+				return ri, nil // legacy fast path: nothing to rank
 			}
 			if _, seen := records[ri.Addr]; !seen {
 				order = append(order, ri.Addr)
 			}
 			records[ri.Addr] = ri
+			heard[ri.Addr] = at
 			if eligible && settleAt.IsZero() {
-				settleAt = now.Add(discoverSettle)
+				settleAt = at.Add(discoverSettle)
 			}
 		}
 	}
@@ -118,9 +139,11 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 // pickRelay re-applies the exclude predicate over every collected
 // record until a full pass vetoes nothing new — a stateful predicate
 // (ExcludeChainOf) learns the chain graph from the records themselves,
-// so each pass can prove more of the caller's subtree — then returns
-// the earliest-heard surviving record serving the wanted channel.
-func pickRelay(records map[string]proto.RelayInfo, order []string, channel uint32,
+// so each pass can prove more of the caller's subtree — then ranks the
+// surviving records serving the wanted channel: fresh before stale,
+// least LoadScore first, address as the deterministic final tie-break.
+func pickRelay(records map[string]proto.RelayInfo, order []string,
+	heard map[string]time.Time, now time.Time, channel uint32,
 	exclude func(proto.RelayInfo) bool) (proto.RelayInfo, bool) {
 	excluded := make(map[string]bool)
 	if exclude != nil {
@@ -134,6 +157,18 @@ func pickRelay(records map[string]proto.RelayInfo, order []string, channel uint3
 			}
 		}
 	}
+	var best proto.RelayInfo
+	found := false
+	better := func(a, b proto.RelayInfo, aFresh, bFresh bool) bool {
+		if aFresh != bFresh {
+			return aFresh
+		}
+		if as, bs := a.LoadScore(), b.LoadScore(); as != bs {
+			return as < bs
+		}
+		return a.Addr < b.Addr
+	}
+	bestFresh := false
 	for _, addr := range order {
 		ri := records[addr]
 		if excluded[addr] {
@@ -142,9 +177,12 @@ func pickRelay(records map[string]proto.RelayInfo, order []string, channel uint3
 		if ri.Channel != 0 && channel != 0 && ri.Channel != channel {
 			continue
 		}
-		return ri, true
+		fresh := now.Sub(heard[addr]) <= discoverStale
+		if !found || better(ri, best, fresh, bestFresh) {
+			best, bestFresh, found = ri, fresh, true
+		}
 	}
-	return proto.RelayInfo{}, false
+	return best, found
 }
 
 // ExcludeAddrs builds a Discover exclude predicate vetoing the given

@@ -106,3 +106,181 @@ func TestDiscoverExcludesTransitiveDownstream(t *testing.T) {
 		t.Fatalf("discovered %+v, want the independent relay %s", got, other.Addr)
 	}
 }
+
+// TestDiscoverRanksByLoad: with load vectors in the announce, the
+// least-loaded eligible relay must win regardless of arrival order —
+// the catalog announces records sorted by address, and the heaviest
+// relay here sorts first.
+func TestDiscoverRanksByLoad(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	heavy := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 900, Pressure: 10, Hops: 1}
+	light := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 3, Pressure: 200, Hops: 3}
+	mid := proto.RelayInfo{Addr: "10.0.0.3:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 90, Pressure: 0, Hops: 1}
+	cat := announceRelays(t, sim, seg, heavy, light, mid)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, nil)
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != light.Addr {
+		t.Fatalf("discovered %+v, want the least-loaded relay %s", got, light.Addr)
+	}
+}
+
+// TestDiscoverPressureAndHopsBreakTies: subscriber count dominates;
+// among equally-subscribed relays lower pressure wins, and among
+// equally-pressured ones the shorter chain wins.
+func TestDiscoverPressureAndHopsBreakTies(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	pressured := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 10, Pressure: 200, Hops: 1}
+	deep := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "10.0.0.9:5006",
+		HasLoad: true, Subs: 10, Pressure: 5, Hops: 4}
+	calm := proto.RelayInfo{Addr: "10.0.0.3:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 10, Pressure: 5, Hops: 1}
+	cat := announceRelays(t, sim, seg, pressured, deep, calm)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, nil)
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != calm.Addr {
+		t.Fatalf("discovered %+v, want the calm short-chain relay %s", got, calm.Addr)
+	}
+}
+
+// TestDiscoverStaleLoadAgesOut: a record that stops being re-announced
+// is demoted at pick time, even when its frozen load vector reads
+// better than everyone still advertising — a dead relay's old "3
+// subscribers" says nothing about leasing from it now.
+func TestDiscoverStaleLoadAgesOut(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	ghost := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 3}
+	alive := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 500, Pressure: 100}
+	cat := announceRelays(t, sim, seg, ghost, alive)
+	sim.Go("ghost-dies", func() {
+		sim.Sleep(150 * time.Millisecond) // one announce carries the ghost, then it goes quiet
+		cat.RemoveRelay(ghost.Addr)
+	})
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, nil)
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != alive.Addr {
+		t.Fatalf("discovered %+v, want the still-announcing relay %s", got, alive.Addr)
+	}
+}
+
+// TestDiscoverExcludeVetoesLeastLoaded: the exclude predicate is
+// authoritative — the caller's own subtree stays vetoed even when it
+// is by far the least-loaded candidate.
+func TestDiscoverExcludeVetoesLeastLoaded(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	self := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 0}
+	downstream := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "10.0.0.1:5006",
+		HasLoad: true, Subs: 0}
+	other := proto.RelayInfo{Addr: "10.0.0.9:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 700, Pressure: 250}
+	cat := announceRelays(t, sim, seg, self, downstream, other)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)))
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != other.Addr {
+		t.Fatalf("discovered %+v, want the loaded-but-independent relay %s", got, other.Addr)
+	}
+}
+
+// TestDiscoverTieBreakDeterministic: identical load vectors resolve on
+// address, so every discoverer on the segment picks the same relay and
+// a legacy no-load record never outranks a load-bearing one.
+func TestDiscoverTieBreakDeterministic(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	legacy := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004"}
+	twinB := proto.RelayInfo{Addr: "10.0.0.5:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 7, Pressure: 7, Hops: 2}
+	twinA := proto.RelayInfo{Addr: "10.0.0.3:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 7, Pressure: 7, Hops: 2}
+	cat := announceRelays(t, sim, seg, legacy, twinB, twinA)
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, nil)
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != twinA.Addr {
+		t.Fatalf("discovered %+v, want the lower-addressed twin %s", got, twinA.Addr)
+	}
+}
+
+// TestDiscoverLegacyFastPath: a segment with no load-bearing records
+// and no excluder keeps the original semantics — the first eligible
+// record wins immediately, without waiting out a settle window.
+func TestDiscoverLegacyFastPath(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	only := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004"}
+	cat := announceRelays(t, sim, seg, only)
+	start := sim.Now()
+	var took time.Duration
+	var got proto.RelayInfo
+	var err error
+	sim.Go("discover", func() {
+		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
+			30*time.Second, nil)
+		took = sim.Now().Sub(start)
+		cat.Stop()
+	})
+	sim.WaitIdle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != only.Addr {
+		t.Fatalf("discovered %+v, want %s", got, only.Addr)
+	}
+	if took >= discoverSettle {
+		t.Fatalf("legacy discovery took %v — it waited out the settle window", took)
+	}
+}

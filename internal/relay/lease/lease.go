@@ -30,6 +30,18 @@ const MinLease = time.Second
 // and was dropped before reaching the lease state.
 var ErrAuthFailed = errors.New("lease: suback failed authentication")
 
+// MaxRedirects caps how many SubRedirect hops one subscription follows
+// before giving up. A shedding relay points the subscriber at a
+// sibling; the sibling may itself be shedding, so a short chain is
+// legitimate — but an unbounded one would let a misconfigured (or
+// hostile) relay set bounce a subscriber around forever without it
+// ever hearing silence. Landing a granted lease resets the budget.
+const MaxRedirects = 4
+
+// ErrRedirectLimit reports a SubRedirect that was ignored because the
+// current subscription attempt already followed MaxRedirects of them.
+var ErrRedirectLimit = errors.New("lease: redirect chain exceeded limit")
+
 // Stats is the subscription-side accounting.
 type Stats struct {
 	Subscribes  int64 // subscribe/refresh/cancel packets sent
@@ -38,6 +50,7 @@ type Stats struct {
 	Loops       int64 // acks refusing with SubLoop (subset of Refusals)
 	Stale       int64 // acks ignored: detached, or a seq this target was never asked
 	AuthDropped int64 // acks dropped by control-plane verification
+	Redirects   int64 // SubRedirect acks followed to a sibling relay
 }
 
 // Subscriber maintains at most one live lease with a relay. The owner
@@ -64,9 +77,13 @@ type Subscriber struct {
 	// reply from a previous target (or a duplicated datagram from that
 	// exchange); anything above was never sent at all.
 	ackFloor uint32
-	stats    Stats
-	started  bool // refresh task spawned
-	closed   bool
+	// redirects counts SubRedirect hops followed since the owner's last
+	// Subscribe (or the last granted lease); at MaxRedirects further
+	// redirects are refused instead of followed.
+	redirects int
+	stats     Stats
+	started   bool // refresh task spawned
+	closed    bool
 
 	// Optional instruments (SetInstruments): rtt observes the wall-clock
 	// Subscribe→SubAck round trip, margin observes how much of the
@@ -135,6 +152,7 @@ func (s *Subscriber) Subscribe(target lan.Addr, channel uint32, lease time.Durat
 	s.channel = channel
 	s.want = lease
 	s.granted = 0
+	s.redirects = 0 // a fresh target gets a fresh redirect budget
 	// The next send uses seq+1; acks for anything earlier belong to a
 	// previous target and must not install a grant here.
 	s.ackFloor = s.seq + 1
@@ -227,7 +245,13 @@ func (s *Subscriber) HandleAckData(from lan.Addr, data []byte) (proto.SubStatus,
 	if err != nil {
 		return 0, err
 	}
-	return s.HandleAck(ack), nil
+	st, follow, channel, want, err := s.apply(ack)
+	if follow != "" {
+		// Followed a redirect: chase the new target immediately rather
+		// than waiting out a refresh interval with no lease anywhere.
+		s.send(follow, channel, want)
+	}
+	return st, err
 }
 
 // HandleAck ingests one parsed SubAck and returns its status. A granted
@@ -242,11 +266,25 @@ func (s *Subscriber) HandleAckData(from lan.Addr, data []byte) (proto.SubStatus,
 // duplicated datagram — installing its grant would adopt a lease the
 // current relay never made and mis-pace the refresh loop against it.
 func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
+	st, follow, channel, want, _ := s.apply(ack)
+	if follow != "" {
+		s.send(follow, channel, want)
+	}
+	return st
+}
+
+// apply ingests one in-window SubAck under the lock and reports what
+// must happen outside it: a non-empty follow means a redirect was
+// accepted and the caller must immediately subscribe to that target
+// (send takes the lock itself, so it cannot run here). err is
+// ErrRedirectLimit when a redirect was refused for exhausting the
+// chain budget.
+func (s *Subscriber) apply(ack *proto.SubAck) (st proto.SubStatus, follow lan.Addr, channel uint32, want time.Duration, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.target == "" || ack.Seq < s.ackFloor || ack.Seq > s.seq {
 		s.stats.Stale++
-		return ack.Status
+		return ack.Status, "", 0, 0, nil
 	}
 	s.stats.Acks++
 	if s.rtt != nil && ack.Seq == s.sentSeq {
@@ -256,6 +294,27 @@ func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 		s.rtt.Observe(time.Since(s.sentAt))
 	}
 	switch {
+	case ack.Status == proto.SubRedirect:
+		next := lan.Addr(ack.Redirect)
+		if next == s.target || next.Validate() != nil || next.IsMulticast() {
+			// "Go where you already are", or somewhere a lease cannot
+			// live: a refusal in redirect's clothing.
+			s.stats.Refusals++
+			return ack.Status, "", 0, 0, nil
+		}
+		if s.redirects >= MaxRedirects {
+			s.stats.Refusals++
+			return ack.Status, "", 0, 0, ErrRedirectLimit
+		}
+		s.redirects++
+		s.stats.Redirects++
+		s.target = next
+		s.granted = 0
+		// Acks from the shedding relay (or any earlier target) must not
+		// install a grant against the new one.
+		s.ackFloor = s.seq + 1
+		s.pace.Broadcast()
+		return ack.Status, next, s.channel, s.want, nil
 	case ack.Status != proto.SubOK:
 		s.stats.Refusals++
 		if ack.Status == proto.SubLoop {
@@ -266,12 +325,13 @@ func (s *Subscriber) HandleAck(ack *proto.SubAck) proto.SubStatus {
 		// Every OK grant extends the wall-clock expiry, even when the
 		// duration is unchanged — that is what a refresh does.
 		s.expiresWall = time.Now().Add(granted)
+		s.redirects = 0 // landed: a later shed starts a fresh chain
 		if granted != s.granted {
 			s.granted = granted
 			s.pace.Broadcast() // re-pace the refresh off the real lease
 		}
 	}
-	return ack.Status
+	return ack.Status, "", 0, 0, nil
 }
 
 // send emits one subscribe packet (lease 0 = cancel).

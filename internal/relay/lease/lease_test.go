@@ -273,3 +273,204 @@ func TestAckWhileDetachedIgnored(t *testing.T) {
 	})
 	sim.WaitIdle()
 }
+
+// redirectAck builds one SubRedirect ack for seq naming to.
+func redirectAck(t *testing.T, seq uint32, to string) []byte {
+	t.Helper()
+	data, err := (&proto.SubAck{Seq: seq, Status: proto.SubRedirect, Redirect: to}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// recvSubscribe reads the next subscribe at a fake relay endpoint.
+func recvSubscribe(t *testing.T, conn lan.Conn) *proto.Subscribe {
+	t.Helper()
+	pkt, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatalf("relay endpoint heard nothing: %v", err)
+	}
+	req, err := proto.UnmarshalSubscribe(pkt.Data)
+	if err != nil {
+		t.Fatalf("relay endpoint got a non-subscribe: %v", err)
+	}
+	return req
+}
+
+// TestRedirectRetargetsAndResubscribes: a SubRedirect moves the lease
+// to the named sibling and chases it immediately — the sibling hears a
+// fresh subscribe without waiting out a refresh interval — and a
+// granted lease at the new target resets the chain budget.
+func TestRedirectRetargetsAndResubscribes(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedder, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling, err := seg.Attach("10.0.0.3:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := New(sim, cc, "redirect-test")
+	sim.Go("test", func() {
+		defer func() { sub.Close(); shedder.Close(); sibling.Close() }()
+		sub.Subscribe("10.0.0.1:5006", 1, 10*time.Second)
+		req := recvSubscribe(t, shedder)
+		st, err := sub.HandleAckData("10.0.0.1:5006", redirectAck(t, req.Seq, "10.0.0.3:5006"))
+		if err != nil || st != proto.SubRedirect {
+			t.Fatalf("redirect not applied: status %v, err %v", st, err)
+		}
+		if sub.Target() != "10.0.0.3:5006" {
+			t.Fatalf("target = %q after redirect", sub.Target())
+		}
+		// The chase arrives at the sibling, same channel and lease ask.
+		req2 := recvSubscribe(t, sibling)
+		if req2.Channel != 1 || req2.LeaseMs != 10_000 {
+			t.Fatalf("chase subscribe = %+v", req2)
+		}
+		// A grant from the *old* target must not reach the lease now.
+		if sub.HandleAckData("10.0.0.1:5006", nil); sub.Stats().Stale != 1 {
+			t.Fatalf("stale = %d, old target not gated out", sub.Stats().Stale)
+		}
+		// The sibling grants: lease installs, redirect budget resets.
+		ackData, _ := (&proto.SubAck{Seq: req2.Seq, Status: proto.SubOK, LeaseMs: 5000}).Marshal()
+		if _, err := sub.HandleAckData("10.0.0.3:5006", ackData); err != nil {
+			t.Fatal(err)
+		}
+		if sub.Granted() != 5*time.Second {
+			t.Fatalf("granted = %v", sub.Granted())
+		}
+		st2 := sub.Stats()
+		if st2.Redirects != 1 || st2.Refusals != 0 {
+			t.Fatalf("stats = %+v, want one followed redirect and no refusals", st2)
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestRedirectChainCapped: two relays bouncing a subscriber between
+// them stop being followed after MaxRedirects hops — the subscriber
+// surfaces ErrRedirectLimit, keeps its current target, and counts the
+// refused redirect as a refusal rather than chasing forever.
+func TestRedirectChainCapped(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []lan.Addr{"10.0.0.1:5006", "10.0.0.3:5006"}
+	conns := make([]lan.Conn, 2)
+	for i, a := range addrs {
+		if conns[i], err = seg.Attach(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub := New(sim, cc, "redirect-cap-test")
+	sim.Go("test", func() {
+		defer func() { sub.Close(); conns[0].Close(); conns[1].Close() }()
+		sub.Subscribe(addrs[0], 0, 10*time.Second)
+		cur := 0
+		for i := 0; i < MaxRedirects; i++ {
+			req := recvSubscribe(t, conns[cur])
+			next := 1 - cur
+			st, err := sub.HandleAckData(addrs[cur], redirectAck(t, req.Seq, string(addrs[next])))
+			if err != nil || st != proto.SubRedirect {
+				t.Fatalf("hop %d: status %v, err %v", i, st, err)
+			}
+			cur = next
+			if sub.Target() != addrs[cur] {
+				t.Fatalf("hop %d: target = %q", i, sub.Target())
+			}
+		}
+		// Budget spent: the next bounce is refused, target keeps.
+		req := recvSubscribe(t, conns[cur])
+		st, err := sub.HandleAckData(addrs[cur], redirectAck(t, req.Seq, string(addrs[1-cur])))
+		if err != ErrRedirectLimit {
+			t.Fatalf("over-budget redirect: status %v, err %v, want ErrRedirectLimit", st, err)
+		}
+		if sub.Target() != addrs[cur] {
+			t.Fatalf("target moved to %q after refused redirect", sub.Target())
+		}
+		stats := sub.Stats()
+		if stats.Redirects != MaxRedirects || stats.Refusals != 1 {
+			t.Fatalf("stats = %+v, want %d followed and 1 refused", stats, MaxRedirects)
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestRedirectRejectsForgedAndNonsense: with control-plane auth on,
+// only a correctly signed redirect moves the lease — forged and
+// unsigned ones are dropped (ErrAuthFailed) with the target unmoved.
+// And even a well-signed redirect pointing nowhere usable (back at the
+// sender, or at a multicast group) is refused, not followed.
+func TestRedirectRejectsForgedAndNonsense(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := security.NewHMAC([]byte("chain key"))
+	sub := New(sim, cc, "redirect-auth-test")
+	sub.SetAuth(auth)
+	sim.Go("test", func() {
+		defer func() { sub.Close(); relay.Close() }()
+		sub.Subscribe("10.0.0.1:5006", 1, 10*time.Second)
+		pkt, err := relay.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, ok := auth.Verify(pkt.Data)
+		if !ok {
+			t.Fatal("subscribe not signed")
+		}
+		req, err := proto.UnmarshalSubscribe(inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := redirectAck(t, req.Seq, "10.0.0.9:5006")
+		// Unsigned: dropped before the lease state.
+		if _, err := sub.HandleAckData("10.0.0.1:5006", raw); err != ErrAuthFailed {
+			t.Fatalf("unsigned redirect: err %v, want ErrAuthFailed", err)
+		}
+		// Signed with the wrong key: same fate.
+		forged := security.NewHMAC([]byte("attacker key")).Sign(raw)
+		if _, err := sub.HandleAckData("10.0.0.1:5006", forged); err != ErrAuthFailed {
+			t.Fatalf("forged redirect: err %v, want ErrAuthFailed", err)
+		}
+		if sub.Target() != "10.0.0.1:5006" {
+			t.Fatalf("target moved to %q on a rejected redirect", sub.Target())
+		}
+		// Well-signed but pointing back at the sender: a refusal in
+		// redirect's clothing, counted but never followed.
+		self := auth.Sign(redirectAck(t, req.Seq, "10.0.0.1:5006"))
+		if st, err := sub.HandleAckData("10.0.0.1:5006", self); err != nil || st != proto.SubRedirect {
+			t.Fatalf("self-redirect: status %v, err %v", st, err)
+		}
+		// Well-signed but multicast: a lease cannot live there.
+		mc := auth.Sign(redirectAck(t, req.Seq, "239.72.5.9:5004"))
+		if _, err := sub.HandleAckData("10.0.0.1:5006", mc); err != nil {
+			t.Fatal(err)
+		}
+		stats := sub.Stats()
+		if sub.Target() != "10.0.0.1:5006" || stats.Redirects != 0 {
+			t.Fatalf("target %q, stats %+v: a nonsense redirect was followed", sub.Target(), stats)
+		}
+		if stats.AuthDropped != 2 || stats.Refusals != 2 {
+			t.Fatalf("stats = %+v, want 2 auth drops and 2 refusals", stats)
+		}
+	})
+	sim.WaitIdle()
+}

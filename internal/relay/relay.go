@@ -51,6 +51,25 @@ const (
 	// packets in the batch, so it stays well inside the speakers'
 	// synchronization epsilon.
 	DefaultFlushInterval = 2 * time.Millisecond
+	// DefaultAdmitBatch is how many queued Subscribes the admission
+	// worker gathers per pass: verification, lease-table insertion, ack
+	// signing, and the ack sends are all amortized across the gather.
+	DefaultAdmitBatch = 256
+	// admitQueueLen bounds the admission queue. At the default batch
+	// size that is 16 gather passes of backlog — a join storm beyond it
+	// is load-shed at the door (counted, traced) rather than allowed to
+	// grow an unbounded packet backlog.
+	admitQueueLen = 4096
+	// admitGatherWindow is how long the admission worker lets a
+	// partially-filled gather pass pile up before verifying what it has.
+	// The window only engages while passes are arriving back-to-back
+	// (within one window of each other) — interrupt moderation for the
+	// control plane: a lone Subscribe or a steady refresh trickle is
+	// admitted immediately, while a join storm's packets, which would
+	// otherwise trickle out of the socket one recv at a time and keep
+	// every gather pass at a single packet, pile into full batches. A
+	// full batch ends the window immediately.
+	admitGatherWindow = time.Millisecond
 	// recvTimeout bounds how long Run waits for any packet before
 	// re-checking liveness.
 	recvTimeout = 5 * time.Second
@@ -117,6 +136,27 @@ type Config struct {
 	TraceSample int
 	// TraceRing overrides obs.DefaultTraceRing, the event ring length.
 	TraceRing int
+	// ShedSubscribers, when positive, is the subscriber count at which
+	// the relay starts shedding: a *new* Subscribe arriving while the
+	// table already holds this many is answered with SubRedirect naming
+	// a sibling relay (when SetSiblings knows one) instead of a lease.
+	// Established subscribers are never shed — refreshes and cancels
+	// are served normally. 0 disables count-based shedding.
+	ShedSubscribers int
+	// ShedPressure, when positive, sheds new subscribers while the
+	// relay's queue-pressure score (0-255; see Info) is at or above
+	// this value. 0 disables pressure-based shedding.
+	ShedPressure int
+	// AdmitBatch overrides DefaultAdmitBatch. 1 disables admission
+	// batching: every Subscribe is verified, admitted, and acked on its
+	// own (the pre-batching baseline, kept for comparison benchmarks).
+	AdmitBatch int
+	// SourceHops overrides the relay-hops-from-source value stamped in
+	// the catalog record's load vector: 0 derives it (1 when joining
+	// the group directly, 2 when chained — the minimum a chain can be).
+	// cmd/relayd sets it from the discovered upstream's own record, so
+	// depth accumulates along real chains.
+	SourceHops int
 }
 
 func (c *Config) applyDefaults() {
@@ -152,6 +192,12 @@ func (c *Config) applyDefaults() {
 		// limit would never trip and silently disable the loop backstop.
 		c.MaxHops = 255
 	}
+	if c.AdmitBatch <= 0 {
+		c.AdmitBatch = DefaultAdmitBatch
+	}
+	if c.ShedPressure > 255 {
+		c.ShedPressure = 255 // the score saturates there
+	}
 }
 
 // Stats is the relay's cumulative accounting. The `mib` and `help`
@@ -170,6 +216,7 @@ type Stats struct {
 	Expired         int64 `mib:"es.relay.expired" help:"leases expired for silence"`
 	Rejected        int64 `mib:"es.relay.rejected" help:"refused subscribe requests"`
 	Loops           int64 `mib:"es.relay.loops" help:"subscribes refused with SubLoop (path revisits or too deep)"`
+	Redirects       int64 `mib:"es.relay.redirects" help:"new subscribes answered with SubRedirect (load shed to a sibling relay)"`
 	AuthDropped     int64 `mib:"es.relay.auth.dropped" help:"subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)"`
 	FanoutSent      int64 `mib:"es.relay.fanout.sent" help:"unicast packets delivered"`
 	FanoutDropped   int64 `mib:"es.relay.fanout.dropped" help:"packets dropped by queue backpressure"`
@@ -182,6 +229,13 @@ type Stats struct {
 	UpstreamRefused     int64 `mib:"es.relay.upstream.refused" help:"upstream lease refusals (loop, table full, channel)"`
 	UpstreamStaleAcks   int64 `mib:"es.relay.upstream.stale" help:"upstream acks ignored as stale or foreign"`
 	UpstreamAuthDropped int64 `mib:"es.relay.upstream.auth.dropped" help:"upstream acks dropped by verification"`
+	UpstreamRedirects   int64 `mib:"es.relay.upstream.redirects" help:"redirects the relay's own upstream lease followed to a sibling"`
+
+	// Admission telemetry: the batched Subscribe pipeline. AdmitBatches
+	// counts gather passes; Subscribes+Refreshes+... per batch over
+	// AdmitBatches is the achieved admission batch size.
+	AdmitBatches  int64 `mib:"es.relay.admit.batches" help:"admission gather passes over queued subscribes"`
+	AdmitOverflow int64 `mib:"es.relay.admit.overflow" help:"subscribes dropped at the door because the admission queue was full"`
 
 	// Batching telemetry: Batches counts WriteBatch flushes, split by
 	// what triggered them. FanoutSent / Batches is the achieved batch
@@ -298,6 +352,27 @@ type Relay struct {
 	stopped     bool
 	workersDone int         // workers that have flushed and exited
 	workersIdle vclock.Cond // signaled as each worker exits
+	// siblings is the shedding steer source (SetSiblings): catalog
+	// records of the other relays a redirect may name.
+	siblings func() []proto.RelayInfo
+	// redirRR round-robins redirects across eligible siblings within
+	// and across admission batches, so one sibling does not absorb a
+	// whole storm by itself.
+	redirRR uint64
+	// pressureDrops is the fanout-drop total at the last pressure
+	// sample; new drops since then pin the score to maximum.
+	pressureDrops int64
+
+	// Admission queue (its own lock: enqueue must never contend with
+	// the stats path, and the worker drains it while holding nothing
+	// else). Lock order: admitMu is leaf-only — never acquired while
+	// holding r.mu or a shard lock.
+	admitMu      sync.Mutex
+	admitCond    vclock.Cond
+	admitQ       []lan.Packet
+	admitRunning bool // Run spawned the admission worker
+	admitStop    bool
+	admitDone    bool // the admission worker has drained and exited
 }
 
 // New creates a relay that receives cfg.Group via conn — or, with
@@ -347,6 +422,7 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		r.up.SetInstruments(r.upRTT, r.leaseMargin)
 	}
 	r.workersIdle = clock.NewCond()
+	r.admitCond = clock.NewCond()
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{conn: conn, subs: make(map[lan.Addr]*subscriber)}
 		sh.work = clock.NewCond()
@@ -393,13 +469,84 @@ func (r *Relay) Source() lan.Addr {
 }
 
 // Info returns the relay's catalog record (§4.3 discovery): where to
-// lease from, what it relays, and any channel restriction.
+// lease from, what it relays, any channel restriction — and the load
+// vector discovery ranks on: current subscriber count, the 0-255
+// queue-pressure score, and the relay's depth from the stream source.
+// It is the catalog's live record provider (Catalog.SetRelayFunc), so
+// every announce carries the load as of that cycle.
 func (r *Relay) Info() proto.RelayInfo {
 	return proto.RelayInfo{
-		Addr:    string(r.Addr()),
-		Group:   string(r.Source()),
-		Channel: r.cfg.Channel,
+		Addr:     string(r.Addr()),
+		Group:    string(r.Source()),
+		Channel:  r.cfg.Channel,
+		HasLoad:  true,
+		Subs:     uint32(r.NumSubscribers()),
+		Pressure: r.Pressure(),
+		Hops:     r.sourceHops(),
 	}
+}
+
+// sourceHops is the load vector's depth-from-source field.
+func (r *Relay) sourceHops() uint8 {
+	if r.cfg.SourceHops > 0 {
+		if r.cfg.SourceHops > 255 {
+			return 255
+		}
+		return uint8(r.cfg.SourceHops)
+	}
+	if r.cfg.Upstream != "" {
+		return 2 // behind at least one other relay
+	}
+	return 1 // joins the group directly
+}
+
+// Pressure computes the relay's 0-255 queue-pressure score from the
+// existing per-shard gauges: the fraction of aggregate queue capacity
+// currently occupied, scaled to 255 — except that any fanout drop
+// since the previous sample pins the score to maximum, because a relay
+// actively shedding packets is overloaded no matter what its queues
+// happen to hold at the instant of the sample. Each call consumes the
+// drop delta, so the natural samplers (the catalog's announce cycle,
+// the shed check per admission batch) see a score that decays once the
+// dropping stops.
+func (r *Relay) Pressure() uint8 {
+	var queued, capacity int
+	var dropped int64
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		queued += sh.queued
+		capacity += len(sh.order) * r.cfg.QueueLen
+		dropped += sh.dropped
+		sh.mu.Unlock()
+	}
+	r.mu.Lock()
+	delta := dropped - r.pressureDrops
+	r.pressureDrops = dropped
+	r.mu.Unlock()
+	if delta > 0 {
+		return 255
+	}
+	if capacity == 0 {
+		return 0
+	}
+	p := queued * 255 / capacity
+	if p > 255 {
+		p = 255
+	}
+	return uint8(p)
+}
+
+// SetSiblings installs the steer source for load shedding: fn returns
+// the catalog records of the other relays currently announcing (a
+// Watcher snapshot, typically). A shedding relay redirects new
+// subscribers to the least-loaded eligible sibling; with no sibling
+// source — or no eligible sibling — it admits normally, because a
+// redirect with nowhere to point is just a refusal. fn is called
+// outside the relay's locks and must be safe for concurrent use.
+func (r *Relay) SetSiblings(fn func() []proto.RelayInfo) {
+	r.mu.Lock()
+	r.siblings = fn
+	r.mu.Unlock()
 }
 
 // newPathID mints a relay's 64-bit path identity. It must be unique
@@ -442,6 +589,7 @@ func (r *Relay) Stats() Stats {
 		st.UpstreamRefused = ls.Refusals
 		st.UpstreamStaleAcks = ls.Stale
 		st.UpstreamAuthDropped = ls.AuthDropped
+		st.UpstreamRedirects = ls.Redirects
 	}
 	return st
 }
@@ -568,6 +716,18 @@ func (r *Relay) Stop() {
 		sh.work.Broadcast()
 		sh.mu.Unlock()
 	}
+	r.admitMu.Lock()
+	r.admitStop = true
+	r.admitCond.Broadcast()
+	if r.admitRunning {
+		// Wait for the admission worker to drain its queue: subscribers
+		// whose request already arrived still get their answer, and the
+		// final acks go out before the socket closes below.
+		for !r.admitDone {
+			r.admitCond.Wait(&r.admitMu)
+		}
+	}
+	r.admitMu.Unlock()
 	if running {
 		r.mu.Lock()
 		for r.workersDone < len(r.shards) {
@@ -606,6 +766,10 @@ func (r *Relay) Run() {
 		sh := sh
 		r.clock.Go(fmt.Sprintf("relay-shard-%d", i), func() { r.shardWorker(sh) })
 	}
+	r.admitMu.Lock()
+	r.admitRunning = true
+	r.admitMu.Unlock()
+	r.clock.Go("relay-admit", r.admitWorker)
 	r.clock.Go("relay-sweep", r.sweep)
 	if r.up != nil {
 		r.up.Subscribe(r.cfg.Upstream, r.cfg.Channel, r.cfg.UpstreamLease)
@@ -630,8 +794,17 @@ func (r *Relay) Run() {
 // It exists for the experiments and tests that need a forged source
 // address (real UDP source spoofing — the attack the control-plane auth
 // closes), which the simulated segment cannot produce: its Send always
-// stamps the sender's true address.
-func (r *Relay) Inject(pkt lan.Packet) { r.handlePacket(pkt) }
+// stamps the sender's true address. Injection is synchronous even for
+// Subscribes — the packet is fully admitted (or dropped and counted)
+// before Inject returns, bypassing the admission queue, so callers can
+// assert on counter deltas immediately.
+func (r *Relay) Inject(pkt lan.Packet) {
+	if t, _, err := proto.PeekType(pkt.Data); err == nil && t == proto.TypeSubscribe {
+		r.admitBatch([]lan.Packet{pkt})
+		return
+	}
+	r.handlePacket(pkt)
+}
 
 // handlePacket classifies one received datagram.
 func (r *Relay) handlePacket(pkt lan.Packet) {
@@ -683,86 +856,385 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 	case proto.TypeSubAck:
 		// Chained: our upstream answering our own lease. The lease layer
 		// verifies the grant (when the chain is authenticated) and
-		// rejects stale or foreign acks before re-pacing on it.
-		if r.up != nil && pkt.From == r.cfg.Upstream {
+		// rejects stale or foreign acks before re-pacing on it. The gate
+		// is the lease's *current* target, not the configured upstream:
+		// a shedding upstream redirects us to a sibling, and from then
+		// on that sibling is the relay whose acks — and whose data, via
+		// upstreamHost — we accept.
+		if r.up != nil {
+			target := r.up.Target()
+			if target == "" || pkt.From != target {
+				return
+			}
 			r.up.HandleAckData(pkt.From, pkt.Data)
+			if nt := r.up.Target(); nt != "" && nt != target {
+				r.mu.Lock()
+				r.upstreamHost = nt.Host()
+				r.mu.Unlock()
+			}
 		}
 	default:
 		// Announce traffic is not ours to forward.
 	}
 }
 
-// handleSubscribe grants, refreshes, or cancels one lease and replies.
-// With Config.Auth set, the request must verify before it can touch the
-// lease table, and a failure draws no reply at all: a SubAck to an
-// unverified source would let a spoofed Subscribe reflect traffic at a
-// victim, which is exactly the amplifier shape the auth exists to
-// close.
+// handleSubscribe routes one Subscribe into the admission pipeline:
+// enqueued for the admission worker when Run drives the relay, or — no
+// worker (driven by tests without Run, or via Inject) — processed
+// synchronously as a batch of one, so every caller sees the same
+// verification and admission semantics.
 func (r *Relay) handleSubscribe(pkt lan.Packet) {
-	data := pkt.Data
-	if r.cfg.Auth != nil {
-		inner, ok := r.cfg.Auth.Verify(data)
-		if !ok {
-			r.count(func(s *Stats) { s.AuthDropped++ })
-			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(pkt.From), 0)
+	r.admitMu.Lock()
+	if !r.admitRunning || r.admitStop {
+		r.admitMu.Unlock()
+		r.admitBatch([]lan.Packet{pkt})
+		return
+	}
+	if len(r.admitQ) >= admitQueueLen {
+		r.admitMu.Unlock()
+		r.count(func(s *Stats) { s.AdmitOverflow++ })
+		r.tracer.Drop(obs.PathControl, obs.ReasonQueueFull, string(pkt.From), 0)
+		return
+	}
+	r.admitQ = append(r.admitQ, pkt)
+	if len(r.admitQ) == 1 || len(r.admitQ) >= r.cfg.AdmitBatch {
+		// Wake the worker when it may be idle (first packet) or its
+		// gather window can end early (a full batch is ready); the
+		// in-between enqueues pile up for the current window.
+		r.admitCond.Broadcast()
+	}
+	r.admitMu.Unlock()
+}
+
+// admitWorker drains the admission queue in gather passes of up to
+// cfg.AdmitBatch Subscribes each and hands every pass to admitBatch.
+// Batching is what survives a join storm: verification, lease-table
+// insertion, ack signing, and the ack sends are all amortized per
+// pass instead of paid per packet. It exits once Stop is called and
+// the queue has drained — subscribers whose request was already
+// queued still get their answer.
+func (r *Relay) admitWorker() {
+	defer func() {
+		r.admitMu.Lock()
+		r.admitDone = true
+		r.admitCond.Broadcast()
+		r.admitMu.Unlock()
+	}()
+	// lastPass is when the previous gather pass was taken; initialized
+	// far in the past so the first Subscribe ever is admitted instantly.
+	lastPass := r.clock.Now().Add(-time.Hour)
+	for {
+		r.admitMu.Lock()
+		for len(r.admitQ) == 0 && !r.admitStop {
+			r.admitCond.Wait(&r.admitMu)
+		}
+		if len(r.admitQ) == 0 {
+			r.admitMu.Unlock()
 			return
 		}
-		data = inner
-	}
-	req, err := proto.UnmarshalSubscribe(data)
-	if err != nil {
-		r.mu.Lock()
-		r.stats.Malformed++
-		r.mu.Unlock()
-		r.tracer.Drop(obs.PathControl, obs.ReasonMalformed, string(pkt.From), 0)
-		return
-	}
-	ack := proto.SubAck{Channel: req.Channel, Seq: req.Seq, Status: proto.SubOK}
-	switch {
-	case r.cfg.Channel != 0 && req.Channel != 0 && req.Channel != r.cfg.Channel:
-		ack.Status = proto.SubNoChannel
-		r.count(func(s *Stats) { s.Rejected++ })
-		r.tracer.Drop(obs.PathControl, obs.ReasonChannelFilter, string(pkt.From), req.Channel)
-	case req.PathID == r.relayID || int(req.Hops) >= r.cfg.MaxHops:
-		// The subscription path already crossed this relay (its own id
-		// came back) or is deeper than any sane chain: granting would
-		// close a forwarding cycle. Refuse, and drop any lease the
-		// subscriber already holds — a refresh is how an established
-		// loop announces itself, and expiry alone would keep the cycle
-		// spinning for a full lease.
-		ack.Status = proto.SubLoop
-		r.unsubscribe(pkt.From)
-		r.count(func(s *Stats) { s.Rejected++; s.Loops++ })
-		r.tracer.Drop(obs.PathControl, obs.ReasonLoop, string(pkt.From), req.Channel)
-	case req.LeaseMs == 0:
-		r.unsubscribe(pkt.From)
-	default:
-		lease := time.Duration(req.LeaseMs) * time.Millisecond
-		if lease < MinLease {
-			lease = MinLease
+		if r.cfg.AdmitBatch > 1 && len(r.admitQ) < r.cfg.AdmitBatch && !r.admitStop &&
+			r.clock.Now().Sub(lastPass) < admitGatherWindow {
+			// Back-to-back passes mean a storm is arriving one recv at a
+			// time: without this bounded beat the worker would wake per
+			// packet and batch verification would never see a batch. The
+			// enqueue path cuts the wait short once a full batch is
+			// ready; an isolated Subscribe never enters this branch and
+			// is admitted with no added latency.
+			r.admitCond.WaitTimeout(&r.admitMu, admitGatherWindow)
 		}
-		if lease > r.cfg.MaxLease {
-			lease = r.cfg.MaxLease
+		lastPass = r.clock.Now()
+		n := r.cfg.AdmitBatch
+		if n > len(r.admitQ) {
+			n = len(r.admitQ)
 		}
-		if r.subscribe(pkt.From, req, lease) {
-			ack.LeaseMs = uint32(lease / time.Millisecond)
+		batch := make([]lan.Packet, n)
+		copy(batch, r.admitQ)
+		rest := copy(r.admitQ, r.admitQ[n:])
+		r.admitQ = r.admitQ[:rest]
+		r.admitMu.Unlock()
+		r.admitBatch(batch)
+	}
+}
+
+// admission is one Subscribe that survived verification and parsing.
+type admission struct {
+	from lan.Addr
+	req  *proto.Subscribe
+	ack  proto.SubAck
+	send bool // an ack goes out (auth failures and cancels stay silent)
+}
+
+// admitBatch verifies, admits, and acks one gather pass of Subscribe
+// packets. With Config.Auth set, the whole pass is verified in one
+// BatchAuthenticator call when the scheme supports it; unverified
+// requests are dropped silently exactly as in the per-packet path (a
+// SubAck to an unverified source is the reflection primitive the auth
+// exists to close). New subscribers are inserted with one shard-lock
+// acquisition per shard and one relay-lock acquisition per pass, the
+// acks are signed as a batch, and sent as one WriteBatch.
+//
+// Shedding happens here: when the relay is past Config.ShedSubscribers
+// or Config.ShedPressure and a sibling is known (SetSiblings), a *new*
+// subscriber is answered with SubRedirect naming the least-loaded
+// eligible sibling — round-robined so a storm spreads — instead of a
+// lease. Refreshes, cancels, and loop refusals are never shed.
+func (r *Relay) admitBatch(pkts []lan.Packet) {
+	// Verify. The no-auth and single-packet paths share the loop below;
+	// only the signature check itself is batched.
+	datas := make([][]byte, len(pkts))
+	verified := make([]bool, len(pkts))
+	if r.cfg.Auth == nil {
+		for i := range pkts {
+			datas[i], verified[i] = pkts[i].Data, true
+		}
+	} else if ba, ok := r.cfg.Auth.(security.BatchAuthenticator); ok && len(pkts) > 1 {
+		raw := make([][]byte, len(pkts))
+		for i := range pkts {
+			raw[i] = pkts[i].Data
+		}
+		datas, verified = ba.VerifyBatch(raw)
+	} else {
+		for i := range pkts {
+			datas[i], verified[i] = r.cfg.Auth.Verify(pkts[i].Data)
+		}
+	}
+	var authDropped, malformed, rejected, loops, refreshes, redirects int64
+	admissions := make([]admission, 0, len(pkts))
+	for i := range pkts {
+		if !verified[i] {
+			authDropped++
+			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(pkts[i].From), 0)
+			continue
+		}
+		req, err := proto.UnmarshalSubscribe(datas[i])
+		if err != nil {
+			malformed++
+			r.tracer.Drop(obs.PathControl, obs.ReasonMalformed, string(pkts[i].From), 0)
+			continue
+		}
+		admissions = append(admissions, admission{from: pkts[i].From, req: req})
+	}
+
+	// Shed state, sampled once per pass: the load thresholds move on
+	// the order of announce cycles, not packets.
+	var sibs []proto.RelayInfo
+	r.mu.Lock()
+	nsubs := r.nsubs
+	sibfn := r.siblings
+	r.mu.Unlock()
+	shedding := r.cfg.ShedSubscribers > 0 && nsubs >= r.cfg.ShedSubscribers
+	if !shedding && r.cfg.ShedPressure > 0 {
+		shedding = int(r.Pressure()) >= r.cfg.ShedPressure
+	}
+	// The subscriber-count threshold can also be crossed *by this very
+	// batch* (a storm arrives faster than announce cycles), so whenever
+	// it is configured the sibling list is fetched up front and the
+	// count re-checked per insert below — otherwise one gather pass
+	// would overshoot the operator's cap by up to a full batch.
+	if sibfn != nil && (shedding || r.cfg.ShedSubscribers > 0) {
+		sibs = r.eligibleSiblings(sibfn())
+	}
+
+	// Classify, then admit per shard: every request for a shard is
+	// handled under one sh.mu acquisition, and all inserts in the pass
+	// share one r.mu acquisition for the capacity/shed accounting.
+	byShard := make(map[*shard][]int)
+	for i := range admissions {
+		a := &admissions[i]
+		req := a.req
+		a.ack = proto.SubAck{Channel: req.Channel, Seq: req.Seq, Status: proto.SubOK}
+		a.send = true
+		switch {
+		case r.cfg.Channel != 0 && req.Channel != 0 && req.Channel != r.cfg.Channel:
+			a.ack.Status = proto.SubNoChannel
+			rejected++
+			r.tracer.Drop(obs.PathControl, obs.ReasonChannelFilter, string(a.from), req.Channel)
+		case req.PathID == r.relayID || int(req.Hops) >= r.cfg.MaxHops:
+			// The subscription path already crossed this relay (its own
+			// id came back) or is deeper than any sane chain: granting
+			// would close a forwarding cycle. Refuse, and drop any lease
+			// the subscriber already holds — a refresh is how an
+			// established loop announces itself, and expiry alone would
+			// keep the cycle spinning for a full lease.
+			a.ack.Status = proto.SubLoop
+			r.unsubscribe(a.from)
+			rejected++
+			loops++
+			r.tracer.Drop(obs.PathControl, obs.ReasonLoop, string(a.from), req.Channel)
+		case req.LeaseMs == 0:
+			r.unsubscribe(a.from)
+			a.send = false
+		default:
+			sh := r.shardFor(a.from)
+			byShard[sh] = append(byShard[sh], i)
+		}
+	}
+	for sh, idxs := range byShard {
+		var inserts []int
+		now := r.clock.Now()
+		sh.mu.Lock()
+		for _, i := range idxs {
+			a := &admissions[i]
+			lease := time.Duration(a.req.LeaseMs) * time.Millisecond
+			if lease < MinLease {
+				lease = MinLease
+			}
+			if lease > r.cfg.MaxLease {
+				lease = r.cfg.MaxLease
+			}
+			a.ack.LeaseMs = uint32(lease / time.Millisecond)
+			if sub, ok := sh.subs[a.from]; ok {
+				// Refresh: an established subscriber is served even when
+				// the relay is shedding — steering moves newcomers.
+				sub.expires = now.Add(lease)
+				sub.channel = a.req.Channel
+				sub.hops = a.req.Hops
+				sub.pathID = a.req.PathID
+				refreshes++
+				continue
+			}
+			inserts = append(inserts, i)
+		}
+		if len(inserts) > 0 {
+			r.mu.Lock()
+			for _, i := range inserts {
+				a := &admissions[i]
+				// Live re-check of the count threshold: r.nsubs is exact
+				// under r.mu, so admissions never pass the cap even when a
+				// single batch crosses it. Pressure stays per-pass — its
+				// score moves on flush cadence, not per insert.
+				shed := shedding ||
+					(r.cfg.ShedSubscribers > 0 && r.nsubs >= r.cfg.ShedSubscribers)
+				if shed {
+					if to := r.pickSibling(sibs, a.req.Channel); to != "" {
+						a.ack.Status = proto.SubRedirect
+						a.ack.Redirect = to
+						a.ack.LeaseMs = 0
+						redirects++
+						continue
+					}
+					// No eligible sibling: admit anyway — a redirect
+					// with nowhere to point is just a refusal, and the
+					// stream is better served overloaded than not at all.
+				}
+				if r.nsubs >= r.cfg.MaxSubscribers {
+					a.ack.Status = proto.SubTableFull
+					a.ack.LeaseMs = 0
+					rejected++
+					r.tracer.Drop(obs.PathControl, obs.ReasonTableFull, string(a.from), a.req.Channel)
+					continue
+				}
+				r.nsubs++
+				r.stats.Subscribes++
+				sub := &subscriber{
+					addr: a.from, channel: a.req.Channel,
+					hops: a.req.Hops, pathID: a.req.PathID,
+					expires: now.Add(time.Duration(a.ack.LeaseMs) * time.Millisecond),
+				}
+				sh.subs[a.from] = sub
+				sh.order = append(sh.order, sub)
+			}
+			r.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+
+	// Ack: marshal, sign (batched when the scheme allows), one
+	// WriteBatch. Prefix semantics as in flush: a failing datagram is
+	// skipped and the rest retried.
+	outs := make([]lan.Datagram, 0, len(admissions))
+	for i := range admissions {
+		a := &admissions[i]
+		if !a.send {
+			continue
+		}
+		out, err := a.ack.Marshal()
+		if err != nil {
+			continue
+		}
+		outs = append(outs, lan.Datagram{To: a.from, Data: out})
+	}
+	if r.cfg.Auth != nil && len(outs) > 0 {
+		if ba, ok := r.cfg.Auth.(security.BatchAuthenticator); ok && len(outs) > 1 {
+			raw := make([][]byte, len(outs))
+			for i := range outs {
+				raw[i] = outs[i].Data
+			}
+			for i, signed := range ba.SignBatch(raw) {
+				outs[i].Data = signed
+			}
 		} else {
-			ack.Status = proto.SubTableFull
-			r.count(func(s *Stats) { s.Rejected++ })
-			r.tracer.Drop(obs.PathControl, obs.ReasonTableFull, string(pkt.From), req.Channel)
+			for i := range outs {
+				outs[i].Data = r.cfg.Auth.Sign(outs[i].Data)
+			}
 		}
 	}
-	out, err := ack.Marshal()
-	if err != nil {
-		return
+	var sendErrors int64
+	for len(outs) > 0 {
+		n, err := lan.WriteBatch(r.conn, outs)
+		if n > len(outs) {
+			n = len(outs)
+		}
+		outs = outs[n:]
+		if err == nil {
+			break
+		}
+		if len(outs) > 0 {
+			r.tracer.Drop(obs.PathControl, obs.ReasonSendError, string(outs[0].To), 0)
+			outs = outs[1:]
+		}
+		sendErrors++
 	}
-	if r.cfg.Auth != nil {
-		out = r.cfg.Auth.Sign(out)
+	r.count(func(s *Stats) {
+		s.AuthDropped += authDropped
+		s.Malformed += malformed
+		s.Rejected += rejected
+		s.Loops += loops
+		s.Refreshes += refreshes
+		s.Redirects += redirects
+		s.SendErrors += sendErrors
+		s.AdmitBatches++
+	})
+}
+
+// eligibleSiblings filters and ranks the steer candidates: not this
+// relay itself, not anything chained directly behind it (redirecting a
+// subscriber into our own subtree invites the loop the PathID check
+// would then have to break), unicast-addressed, least-loaded first
+// with address as the tie-break.
+func (r *Relay) eligibleSiblings(records []proto.RelayInfo) []proto.RelayInfo {
+	self := string(r.Addr())
+	out := records[:0:0]
+	for _, ri := range records {
+		if ri.Addr == self || ri.Group == self {
+			continue
+		}
+		if a := lan.Addr(ri.Addr); a.Validate() != nil || a.IsMulticast() {
+			continue
+		}
+		out = append(out, ri)
 	}
-	if err := r.conn.Send(pkt.From, out); err != nil {
-		r.count(func(s *Stats) { s.SendErrors++ })
-		r.tracer.Drop(obs.PathControl, obs.ReasonSendError, string(pkt.From), req.Channel)
+	sort.Slice(out, func(i, j int) bool {
+		if si, sj := out[i].LoadScore(), out[j].LoadScore(); si != sj {
+			return si < sj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// pickSibling round-robins across the channel-compatible siblings.
+// Caller holds r.mu (for the round-robin cursor).
+func (r *Relay) pickSibling(sibs []proto.RelayInfo, channel uint32) string {
+	n := len(sibs)
+	for k := 0; k < n; k++ {
+		ri := sibs[int(r.redirRR)%n]
+		r.redirRR++
+		if ri.Channel == 0 || channel == 0 || ri.Channel == channel {
+			return ri.Addr
+		}
 	}
+	return ""
 }
 
 // count applies a stats mutation under the relay lock.
@@ -772,8 +1244,11 @@ func (r *Relay) count(fn func(*Stats)) {
 	r.mu.Unlock()
 }
 
-// subscribe adds or refreshes a lease; it reports false when the table
-// is full.
+// subscribe adds or refreshes one lease directly, bypassing the
+// admission pipeline (no verification, no shedding, no lease
+// clamping); it reports false when the table is full. Tests use it to
+// install precise table states — sub-MinLease expiries included —
+// without going through a Subscribe packet.
 func (r *Relay) subscribe(addr lan.Addr, req *proto.Subscribe, lease time.Duration) bool {
 	expires := r.clock.Now().Add(lease)
 	sh := r.shardFor(addr)

@@ -795,11 +795,138 @@ func TestAuthChainedRelayLeasesUpstream(t *testing.T) {
 
 func TestTableRendersSubscribers(t *testing.T) {
 	_, _, r := newTestRelay(t, Config{})
-	r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 1}, time.Minute)
+	req := proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60_000}
+	data, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Inject(lan.Packet{From: "10.0.0.2:5004", To: r.Addr(), Data: data})
 	var sb strings.Builder
 	r.Table().Render(&sb)
 	out := sb.String()
 	if !strings.Contains(out, "10.0.0.2:5004") {
 		t.Fatalf("table missing subscriber:\n%s", out)
+	}
+}
+
+// TestShedRedirectsNewSubscribersOnly: past the subscriber threshold
+// the relay answers a *new* Subscribe with SubRedirect naming the
+// least-loaded sibling, while an established subscriber's refresh is
+// still served. With no sibling source the relay admits normally —
+// a redirect with nowhere to point is just a refusal.
+func TestShedRedirectsNewSubscribersOnly(t *testing.T) {
+	sim, seg, r := newTestRelay(t, Config{ShedSubscribers: 1})
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
+		t.Fatal("seed subscribe failed")
+	}
+	// No siblings installed yet: threshold tripped, but the newcomer
+	// must still be admitted.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 10000))
+	if n := r.NumSubscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2 (no sibling, no shed)", n)
+	}
+	r.SetSiblings(func() []proto.RelayInfo {
+		return []proto.RelayInfo{
+			{Addr: "10.0.0.8:5006", Group: string(testGroup), HasLoad: true, Subs: 40},
+			{Addr: "10.0.0.9:5006", Group: string(testGroup), HasLoad: true, Subs: 2},
+			{Addr: string(r.Addr()), Group: string(testGroup)}, // self: never a steer target
+		}
+	})
+	newcomer, err := seg.Attach("10.0.0.4:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack *proto.SubAck
+	sim.Go("newcomer", func() {
+		data, _ := (&proto.Subscribe{Channel: 0, Seq: 7, LeaseMs: 10000}).Marshal()
+		newcomer.Send(r.Addr(), data)
+		pkt, err := newcomer.Recv(time.Second)
+		if err != nil {
+			t.Errorf("no ack: %v", err)
+			return
+		}
+		ack, err = proto.UnmarshalSubAck(pkt.Data)
+		if err != nil {
+			t.Errorf("bad ack: %v", err)
+		}
+		newcomer.Close()
+	})
+	sim.Go("relay-once", func() {
+		pkt, err := r.conn.Recv(time.Second)
+		if err == nil {
+			r.handlePacket(pkt)
+		}
+	})
+	sim.WaitIdle()
+	if ack == nil || ack.Status != proto.SubRedirect || ack.Redirect != "10.0.0.9:5006" {
+		t.Fatalf("ack = %+v, want redirect to the least-loaded sibling", ack)
+	}
+	if n := r.NumSubscribers(); n != 2 {
+		t.Fatalf("subscribers = %d after shed, want 2", n)
+	}
+	// The established subscriber refreshes straight through the shed.
+	r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 2, 10000))
+	st := r.Stats()
+	if st.Redirects != 1 || st.Refreshes != 1 {
+		t.Fatalf("stats = %+v, want 1 redirect and 1 refresh", st)
+	}
+}
+
+// TestShedOnPressure: a pressure threshold sheds even below the
+// subscriber-count threshold. Queue drops pin the pressure score to
+// 255, so a relay that just shed packets steers newcomers away.
+func TestShedOnPressure(t *testing.T) {
+	_, _, r := newTestRelay(t, Config{ShedPressure: 200, QueueLen: 1, Shards: 1})
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
+		t.Fatal("seed subscribe failed")
+	}
+	r.SetSiblings(func() []proto.RelayInfo {
+		return []proto.RelayInfo{{Addr: "10.0.0.9:5006", Group: string(testGroup)}}
+	})
+	// Overflow the 1-deep queue: the second fanout drops a packet,
+	// which pins the next pressure sample to maximum.
+	r.fanout(0, []byte{1})
+	r.fanout(0, []byte{2})
+	r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 0, 1, 10000))
+	st := r.Stats()
+	if st.Redirects != 1 || r.NumSubscribers() != 1 {
+		t.Fatalf("stats = %+v subs = %d, want the newcomer shed on pressure", st, r.NumSubscribers())
+	}
+}
+
+// TestAdmitBatchMatchesPerPacketSemantics: one gather pass over a
+// mixed batch — valid new subscribes, a refresh, a cancel, a forged
+// request, junk bytes, and a loop — must land exactly the per-packet
+// verdicts, in one admission batch.
+func TestAdmitBatchMatchesPerPacketSemantics(t *testing.T) {
+	auth := security.NewHMAC([]byte("batch key"))
+	_, _, r := newTestRelay(t, Config{Auth: auth})
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Channel: 0}, time.Minute) {
+		t.Fatal("seed subscribe failed")
+	}
+	signedSub := func(from lan.Addr, seq, leaseMs uint32, hops uint8, pathID uint64) lan.Packet {
+		data, err := (&proto.Subscribe{Seq: seq, LeaseMs: leaseMs, Hops: hops, PathID: pathID}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lan.Packet{From: from, To: r.Addr(), Data: auth.Sign(data)}
+	}
+	forged, _ := (&proto.Subscribe{Seq: 9, LeaseMs: 1000}).Marshal()
+	batch := []lan.Packet{
+		signedSub("10.0.0.3:5004", 1, 10000, 0, 0),                             // new
+		signedSub("10.0.0.2:5004", 5, 10000, 0, 0),                             // refresh
+		signedSub("10.0.0.4:5004", 1, 10000, 0, 0),                             // new
+		{From: "10.0.0.5:5004", To: r.Addr(), Data: forged},                    // unsigned
+		{From: "10.0.0.6:5004", To: r.Addr(), Data: auth.Sign([]byte("junk"))}, // malformed
+		signedSub("10.0.0.7:5004", 1, 10000, 0, r.PathID()),                    // loop
+	}
+	r.admitBatch(batch)
+	st := r.Stats()
+	if st.Subscribes != 3 || st.Refreshes != 1 || st.AuthDropped != 1 ||
+		st.Malformed != 1 || st.Loops != 1 || st.AdmitBatches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := r.NumSubscribers(); n != 3 {
+		t.Fatalf("subscribers = %d, want 3", n)
 	}
 }

@@ -1,0 +1,112 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+// Watcher follows the catalog group continuously and keeps the current
+// relay records. Discover answers the one-shot question ("find me a
+// relay now"); a Watcher answers the standing one a shedding relay has
+// to keep answering: which siblings exist *right now*, and how loaded
+// are they? Its Snapshot feeds Relay.SetSiblings, so redirects always
+// name a relay that was announcing within the staleness window —
+// steering a subscriber at a dead sibling would just bounce it back
+// through its redirect budget.
+type Watcher struct {
+	clock vclock.Clock
+	conn  lan.Conn
+
+	mu      sync.Mutex
+	records map[string]proto.RelayInfo
+	heard   map[string]time.Time
+	stopped bool
+}
+
+// NewWatcher attaches a catalog listener at local and joins the
+// catalog group. Spawn Run via clock.Go, and Stop when done.
+func NewWatcher(clock vclock.Clock, network lan.Network, local, catalog lan.Addr) (*Watcher, error) {
+	conn, err := network.Attach(local)
+	if err != nil {
+		return nil, fmt.Errorf("relay: watcher: %w", err)
+	}
+	if err := conn.Join(catalog); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("relay: watcher: joining catalog %q: %w", catalog, err)
+	}
+	return &Watcher{
+		clock:   clock,
+		conn:    conn,
+		records: make(map[string]proto.RelayInfo),
+		heard:   make(map[string]time.Time),
+	}, nil
+}
+
+// Run ingests announces until Stop.
+func (w *Watcher) Run() {
+	for {
+		pkt, err := w.conn.Recv(recvTimeout)
+		if err == lan.ErrTimeout {
+			w.mu.Lock()
+			stopped := w.stopped
+			w.mu.Unlock()
+			if stopped {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		a, err := proto.UnmarshalAnnounce(pkt.Data)
+		if err != nil {
+			continue // not an announce (or malformed): keep listening
+		}
+		now := w.clock.Now()
+		w.mu.Lock()
+		for _, ri := range a.Relays {
+			w.records[ri.Addr] = ri
+			w.heard[ri.Addr] = now
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Stop makes Run return and closes the listener.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	w.conn.Close()
+}
+
+// Snapshot returns the records re-announced within the staleness
+// window (the same discoverStale bound Discover ranks with), sorted by
+// address. Records past the window are dropped from the watcher state
+// entirely — a relay that resumes announcing simply reappears.
+func (w *Watcher) Snapshot() []proto.RelayInfo {
+	now := w.clock.Now()
+	w.mu.Lock()
+	out := make([]proto.RelayInfo, 0, len(w.records))
+	for addr, ri := range w.records {
+		if now.Sub(w.heard[addr]) > discoverStale {
+			delete(w.records, addr)
+			delete(w.heard, addr)
+			continue
+		}
+		out = append(out, ri)
+	}
+	w.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

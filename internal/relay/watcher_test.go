@@ -1,0 +1,72 @@
+package relay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/vclock"
+)
+
+func TestWatcherTracksAndAgesRecords(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	a := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 4}
+	b := proto.RelayInfo{Addr: "10.0.0.2:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 9}
+	cat := announceRelays(t, sim, seg, a, b)
+	w, err := NewWatcher(sim, seg, "10.0.0.7:5003", testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go("watcher", w.Run)
+	sim.Go("test", func() {
+		sim.Sleep(300 * time.Millisecond)
+		got := w.Snapshot()
+		if len(got) != 2 || got[0].Addr != a.Addr || got[1].Addr != b.Addr {
+			t.Errorf("snapshot = %+v, want both records sorted", got)
+		}
+		if !got[0].HasLoad || got[0].Subs != 4 {
+			t.Errorf("load vector lost in transit: %+v", got[0])
+		}
+		// One relay goes quiet: after the staleness window only the
+		// still-announcing one survives the snapshot.
+		cat.RemoveRelay(a.Addr)
+		sim.Sleep(discoverStale + time.Second)
+		got = w.Snapshot()
+		if len(got) != 1 || got[0].Addr != b.Addr {
+			t.Errorf("post-ageout snapshot = %+v, want only %s", got, b.Addr)
+		}
+		cat.Stop()
+		w.Stop()
+	})
+	sim.WaitIdle()
+}
+
+func TestWatcherSnapshotReflectsLoadUpdates(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	ri := proto.RelayInfo{Addr: "10.0.0.1:5006", Group: "239.72.5.1:5004",
+		HasLoad: true, Subs: 1}
+	cat := announceRelays(t, sim, seg, ri)
+	w, err := NewWatcher(sim, seg, "10.0.0.7:5003", testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Go("watcher", w.Run)
+	sim.Go("test", func() {
+		sim.Sleep(250 * time.Millisecond)
+		ri.Subs = 77
+		cat.SetRelay(ri) // the relay's next announce carries the new load
+		sim.Sleep(250 * time.Millisecond)
+		got := w.Snapshot()
+		if len(got) != 1 || got[0].Subs != 77 {
+			t.Errorf("snapshot = %+v, want the re-announced load (Subs=77)", got)
+		}
+		cat.Stop()
+		w.Stop()
+	})
+	sim.WaitIdle()
+}

@@ -362,3 +362,38 @@ func BenchmarkHORSVerifyGarbage(b *testing.B) {
 		}
 	}
 }
+
+func TestHMACBatchMatchesPerPacket(t *testing.T) {
+	a := NewHMAC([]byte("group secret"))
+	forger := NewHMAC([]byte("wrong key"))
+	var _ BatchAuthenticator = a // the relay's batched admission path depends on it
+
+	pkts := [][]byte{
+		a.Sign([]byte("first packet")),
+		forger.Sign([]byte("forged packet")),
+		a.Sign([]byte("third packet")),
+		[]byte("ga"), // too short to even unwrap
+		a.Sign([]byte("")),
+	}
+	inners, oks := a.VerifyBatch(pkts)
+	if len(inners) != len(pkts) || len(oks) != len(pkts) {
+		t.Fatalf("batch sizes: %d inners, %d oks for %d packets", len(inners), len(oks), len(pkts))
+	}
+	for i, pkt := range pkts {
+		wantInner, wantOK := a.Verify(pkt)
+		if oks[i] != wantOK {
+			t.Errorf("packet %d: batch verdict %v, per-packet %v", i, oks[i], wantOK)
+		}
+		if wantOK && !bytes.Equal(inners[i], wantInner) {
+			t.Errorf("packet %d: batch inner %q, per-packet %q", i, inners[i], wantInner)
+		}
+	}
+
+	plain := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	signed := a.SignBatch(plain)
+	for i, pkt := range plain {
+		if !bytes.Equal(signed[i], a.Sign(pkt)) {
+			t.Errorf("packet %d: batch signature differs from per-packet Sign", i)
+		}
+	}
+}

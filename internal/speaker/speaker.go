@@ -104,6 +104,7 @@ type Stats struct {
 	RelayRefusals    int64 `mib:"es.stats.relayRefused" help:"acks refusing the lease (no channel / table full / loop)"`
 	RelayStaleAcks   int64 `mib:"es.stats.relayStale" help:"acks ignored as stale or foreign"`
 	RelayAuthDropped int64 `mib:"es.stats.relayAuthDropped" help:"acks dropped by control-plane verification"`
+	RelayRedirects   int64 `mib:"es.stats.relayRedirects" help:"lease redirects followed to a sibling relay (load shedding)"`
 }
 
 // Speaker is one Ethernet Speaker instance.
@@ -229,6 +230,7 @@ func (s *Speaker) Stats() Stats {
 	st.RelayRefusals = ls.Refusals
 	st.RelayStaleAcks = ls.Stale
 	st.RelayAuthDropped = ls.AuthDropped
+	st.RelayRedirects = ls.Redirects
 	return st
 }
 
@@ -413,10 +415,12 @@ func (s *Speaker) handlePacket(pkt lan.Packet) {
 // the refresh doubles as the retry — at one small packet per refresh
 // interval.
 func (s *Speaker) handleSubAck(from lan.Addr, data []byte) {
-	if _, err := s.sub.HandleAckData(from, data); err != nil && err != lease.ErrAuthFailed {
-		// Verification failures are already counted by the lease layer
-		// (surfaced as RelayAuthDropped); only parse failures are the
-		// speaker's malformed-traffic problem.
+	if _, err := s.sub.HandleAckData(from, data); err != nil &&
+		err != lease.ErrAuthFailed && err != lease.ErrRedirectLimit {
+		// Verification failures and exhausted redirect chains are
+		// already counted by the lease layer (surfaced as
+		// RelayAuthDropped and RelayRefusals); only parse failures are
+		// the speaker's malformed-traffic problem.
 		s.mu.Lock()
 		s.stats.DroppedMalformed++
 		s.mu.Unlock()

@@ -1,8 +1,9 @@
 #!/bin/sh
-# Run the relay fan-out benchmark and record the perf trajectory as
-# BENCH_6.json (one row per configuration: ns/pkt plus the relay's own
-# hot-path histogram percentiles, measured with the ops endpoint live
-# and being scraped — the numbers price the relay as deployed).
+# Run the relay perf benchmarks and record the trajectory as
+# BENCH_7.json: the fan-out table (ns/pkt plus the relay's own hot-path
+# histogram percentiles, measured with the ops endpoint live and being
+# scraped — the numbers price the relay as deployed) and the join-storm
+# admission table (subscribes/sec, batched vs per-packet verification).
 #
 # Usage:
 #   scripts/bench.sh                 # quick pass (-benchtime 1x), used by CI
@@ -11,8 +12,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 : "${BENCHTIME:=1x}"
-: "${BENCH_OUT:=BENCH_6.json}"
-BENCH_JSON="$BENCH_OUT" go test -run '^$' -bench '^BenchmarkRelayFanout$' \
+: "${BENCH_OUT:=BENCH_7.json}"
+BENCH_JSON="$BENCH_OUT" go test -run '^$' -bench '^(BenchmarkRelayFanout|BenchmarkJoinStorm)$' \
 	-benchtime "$BENCHTIME" .
 echo "wrote $BENCH_OUT:"
 cat "$BENCH_OUT"
