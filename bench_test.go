@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -267,16 +268,31 @@ func BenchmarkRelayFanout(b *testing.B) {
 	for _, subs := range []int{100, 1000, 5000} {
 		for _, batch := range []int{1, 64} {
 			b.Run(fmt.Sprintf("subs=%d/batch=%d", subs, batch), func(b *testing.B) {
-				benchRelayFanout(b, subs, batch, 1, nil)
+				benchRelayFanout(b, subs, batch, 1, nil, nil)
 			})
 		}
 	}
 	b.Run("subs=1000/batch=64/hops=2", func(b *testing.B) {
-		benchRelayFanout(b, 1000, 64, 2, nil)
+		benchRelayFanout(b, 1000, 64, 2, nil, nil)
 	})
 	b.Run("subs=1000/batch=64/auth=hmac", func(b *testing.B) {
-		benchRelayFanout(b, 1000, 64, 1, security.NewHMAC([]byte("bench control key")))
+		benchRelayFanout(b, 1000, 64, 1, security.NewHMAC([]byte("bench control key")), nil)
 	})
+	// The delivery-group claim priced: subscribers spread across all
+	// four codec profiles, and the encodes/pkt metric must track the
+	// number of active tiers (3 here), not the subscriber count — the
+	// relay encodes once per profile and every same-tier subscriber
+	// shares the bytes.
+	b.Run("subs=1000/batch=64/profiles=mixed", func(b *testing.B) {
+		benchRelayFanout(b, 1000, 64, 1, nil, []codec.Profile{
+			codec.ProfileSource, codec.ProfileULaw, codec.ProfileOVLHigh, codec.ProfileOVLLow,
+		})
+	})
+	// GSO vs sendmmsg on the real UDP stack (the simulated segment has
+	// no kernel to offload to): one delivery group of same-payload
+	// datagrams written per op, plain vs UDP_SEGMENT.
+	b.Run("udp/batch=64/gso=off", func(b *testing.B) { benchUDPBatch(b, false) })
+	b.Run("udp/batch=64/gso=on", func(b *testing.B) { benchUDPBatch(b, true) })
 }
 
 // benchRow is one BenchmarkRelayFanout table row as recorded in the
@@ -290,6 +306,8 @@ type benchRow struct {
 	Batch          int     `json:"batch"`
 	Hops           int     `json:"hops"`
 	Auth           string  `json:"auth"`
+	Profiles       string  `json:"profiles,omitempty"`
+	EncodesPerPkt  float64 `json:"encodes_per_pkt,omitempty"`
 	NsPerPkt       float64 `json:"ns_per_pkt"`
 	PktsFannedOut  float64 `json:"pkts_fanned_out"`
 	PktsDropped    float64 `json:"pkts_dropped"`
@@ -340,8 +358,9 @@ func recordBenchRow(b *testing.B, name string, row any) {
 	}
 }
 
-func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.Authenticator) {
+func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.Authenticator, profiles []codec.Profile) {
 	var sent, dropped, scrapes int64
+	var encodes, upData int64
 	var active time.Duration // wall time of the fan-out window only
 	// Merged across iterations: the relay's own hot-path histograms.
 	flushAgg := obs.NewHistogram("flush", "", nil)
@@ -424,20 +443,39 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 			}
 		}()
 		p := audio.Voice
+		if len(profiles) > 0 {
+			// The profile spread needs a 16-bit source: the µ-law tier
+			// transcodes linear samples only (8-bit Voice would leave it
+			// in passthrough and under-count the active tiers).
+			p = audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
+		}
 		// Subscribing happens inside a tracked task: simulated time is
 		// frozen while it runs, so every lease is granted at the same
 		// instant and none can expire mid-clip.
 		sys.Clock.Go("driver", func() {
-			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
-			if err != nil {
-				b.Error(err)
-				return
+			// One signed body per requested profile; subscribers round-robin
+			// across them (all-source when no profile spread is configured).
+			reqs := [][]byte{nil}
+			if len(profiles) > 0 {
+				reqs = make([][]byte, len(profiles))
 			}
-			if auth != nil {
-				sub = auth.Sign(sub)
+			for i := range reqs {
+				req := &proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}
+				if len(profiles) > 0 {
+					req.Profile = uint8(profiles[i])
+				}
+				sub, err := req.Marshal()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if auth != nil {
+					sub = auth.Sign(sub)
+				}
+				reqs[i] = sub
 			}
-			for _, conn := range conns {
-				if err := conn.Send(r.Addr(), sub); err != nil {
+			for i, conn := range conns {
+				if err := conn.Send(r.Addr(), reqs[i%len(reqs)]); err != nil {
 					b.Error(err)
 					return
 				}
@@ -467,6 +505,8 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 		}
 		sent += st.FanoutSent
 		dropped += st.FanoutDropped
+		encodes += st.TranscodeEncodes
+		upData += st.UpstreamData
 		inst := r.Instruments()
 		flushAgg.Merge(inst.FlushLatency)
 		resAgg.Merge(inst.QueueResidency)
@@ -480,9 +520,23 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 	b.ReportMetric(float64(dropped)/float64(b.N), "pkts-dropped")
 	b.ReportMetric(float64(flushAgg.Quantile(0.99).Microseconds()), "us-flush-p99")
 	b.ReportMetric(float64(resAgg.Quantile(0.99).Microseconds()), "us-residency-p99")
+	// The per-profile encode claim: encodes/pkt must track the active
+	// non-source tier count (3 on the mixed row), never the subscriber
+	// count — same-tier subscribers share every encoded payload.
+	var encPerPkt float64
+	if upData > 0 {
+		encPerPkt = float64(encodes) / float64(upData)
+	}
+	if len(profiles) > 0 {
+		b.ReportMetric(encPerPkt, "encodes/pkt")
+	}
 	authName := "none"
 	if auth != nil {
 		authName = auth.Scheme().String()
+	}
+	var profNames []string
+	for _, p := range profiles {
+		profNames = append(profNames, p.String())
 	}
 	recordBenchRow(b, b.Name(), benchRow{
 		Name:           b.Name(),
@@ -490,6 +544,8 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 		Batch:          batch,
 		Hops:           hops,
 		Auth:           authName,
+		Profiles:       strings.Join(profNames, ","),
+		EncodesPerPkt:  encPerPkt,
 		NsPerPkt:       nsPkt,
 		PktsFannedOut:  float64(sent) / float64(b.N),
 		PktsDropped:    float64(dropped) / float64(b.N),
@@ -498,6 +554,73 @@ func benchRelayFanout(b *testing.B, subscribers, batch, hops int, auth security.
 		ResidencyP50Us: float64(resAgg.Quantile(0.50).Nanoseconds()) / 1e3,
 		ResidencyP99Us: float64(resAgg.Quantile(0.99).Nanoseconds()) / 1e3,
 		OpsScrapes:     scrapes,
+	})
+}
+
+// gsoRow is one GSO-vs-sendmmsg micro-row in the perf-trajectory file.
+type gsoRow struct {
+	Name     string  `json:"name"`
+	Batch    int     `json:"batch"`
+	GSO      bool    `json:"gso"`
+	NsPerPkt float64 `json:"ns_per_pkt"`
+	MBps     float64 `json:"mb_per_sec"`
+}
+
+// benchUDPBatch prices one delivery group — 64 identical 1200-byte
+// datagrams to one destination — written through the real UDP stack,
+// plain sendmmsg vs UDP_SEGMENT. It runs on loopback sockets because
+// the simulated segment has no kernel to offload to; on platforms (or
+// kernels) without GSO support the gso=on row is skipped rather than
+// silently re-measuring the fallback.
+func benchUDPBatch(b *testing.B, gso bool) {
+	const batch, size = 64, 1200
+	net := &lan.UDPNetwork{}
+	rx, err := net.Attach("127.0.0.1:0")
+	if err != nil {
+		b.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer rx.Close()
+	tx, err := net.Attach("127.0.0.1:0")
+	if err != nil {
+		b.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer tx.Close()
+	if gso && !lan.EnableGSO(tx) {
+		b.Skip("UDP_SEGMENT not supported on this platform/kernel")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := rx.Recv(0); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, size)
+	dgs := make([]lan.Datagram, batch)
+	for i := range dgs {
+		dgs[i] = lan.Datagram{To: rx.LocalAddr(), Data: payload}
+	}
+	b.SetBytes(batch * size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lan.WriteBatch(tx, dgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	tx.Close()
+	rx.Close()
+	<-done
+	nsPkt := float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch)
+	b.ReportMetric(nsPkt, "ns/pkt")
+	recordBenchRow(b, b.Name(), gsoRow{
+		Name:     b.Name(),
+		Batch:    batch,
+		GSO:      gso,
+		NsPerPkt: nsPkt,
+		MBps:     float64(b.N*batch*size) / b.Elapsed().Seconds() / 1e6,
 	})
 }
 

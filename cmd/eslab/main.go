@@ -146,6 +146,13 @@ func main() {
 			}
 			experiments.E16JoinStorm(w, n)
 		}},
+		{"ladder", "E17: adaptive quality ladder — congestion-driven tier downgrade and recovery", func(q bool) {
+			rounds := 50
+			if q {
+				rounds = 20
+			}
+			experiments.E17Ladder(w, rounds)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

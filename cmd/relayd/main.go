@@ -11,8 +11,12 @@
 // partial batch is flushed after -flush at the latest. -shard-sockets
 // additionally gives every shard its own send socket (data then comes
 // from ephemeral ports — LAN/routed deployments only, it breaks NATed
-// subscribers). See docs/RELAY-OPS.md for the full operator guide,
-// including which MIB counters to watch.
+// subscribers). -gso upgrades the batch write to UDP_SEGMENT
+// segmentation offload where the kernel supports it, and -ladder turns
+// on the adaptive quality ladder: subscribers whose queues drop packets
+// are transcoded down the codec profile tiers (source, ulaw, ovl-high,
+// ovl-low) and climb back after a clean dwell. See docs/RELAY-OPS.md
+// for the full operator guide, including which MIB counters to watch.
 //
 // Example — relay the default channel group, serving subscribers on
 // port 5006:
@@ -81,6 +85,8 @@ func main() {
 		shedSubs = flag.Int("shed-subscribers", 0, "shed new subscribers (SubRedirect to a catalog sibling) at this subscriber count (0 = off; needs -advertise so siblings are watched)")
 		shedPres = flag.Int("shed-pressure", 0, "shed new subscribers at this queue-pressure score, 1-255 (0 = off; needs -advertise so siblings are watched)")
 		admitB   = flag.Int("admit-batch", relay.DefaultAdmitBatch, "subscribe admission batch size (1 = per-packet verification)")
+		ladder   = flag.Bool("ladder", false, "adaptive quality ladder: transcode congested subscribers down the profile tiers, recover after a clean dwell")
+		gso      = flag.Bool("gso", false, "UDP_SEGMENT segmentation offload on fan-out sockets (Linux; falls back to sendmmsg where unsupported)")
 		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
 		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
 		traceN   = flag.Int("trace-sample", 0, "packet tracer 1-in-N sampling for the event ring (0 = default; drop counters are always exact)")
@@ -146,6 +152,8 @@ func main() {
 		ShedPressure:    *shedPres,
 		AdmitBatch:      *admitB,
 		SourceHops:      sourceHops,
+		Ladder:          *ladder,
+		GSO:             *gso,
 	}
 	if *upstream != "" {
 		cfg.Group = "" // chained: the upstream relay is the source

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/relay"
+	"repro/internal/relay/lease"
+	"repro/internal/stats"
+)
+
+// E17Result is the outcome of the adaptive quality-ladder experiment.
+type E17Result struct {
+	Subscribers  int           // one source-tier plus two ulaw-tier listeners
+	CalmPackets  int           // data packets the producer sent in the calm phase
+	CalmEncodes  int64         // transcode encodes that phase cost the relay
+	ThriftyRatio float64       // ulaw-tier bytes / source-tier bytes in the calm phase
+	BurstRounds  int           // overload rounds until every subscriber had downgraded
+	Downgraded   bool          // every subscriber pushed below its requested tier
+	Recovered    bool          // and back at its requested tier after the quiet dwell
+	RecoverIn    time.Duration // overload end -> all subscribers recovered (sim time)
+	LadderDown   int64         // relay es.relay.ladder.down across the run
+	LadderUp     int64         // relay es.relay.ladder.up across the run
+	Reorders     int64         // per-subscriber, per-epoch sequence regressions (must be 0)
+}
+
+// E17Ladder drives the adaptive quality ladder end to end: a relay with
+// -ladder on serves one source-profile subscriber and two subscribers
+// that requested the ulaw tier. In the calm phase the relay encodes the
+// stream once per active tier — the two ulaw subscribers share every
+// encoded payload, so encodes track packets, not listeners. Then the
+// producer floods the relay until the per-subscriber queues drop and
+// the ladder pushes every subscriber below its requested tier; when the
+// overload stops, a clean dwell walks them back up to exactly what they
+// asked for. Throughout, no subscriber's stream may ever be reordered
+// within an epoch — tier changes switch epochs, they never shuffle
+// packets.
+func E17Ladder(w io.Writer, rounds int) E17Result {
+	if rounds <= 0 {
+		rounds = 50
+	}
+	section(w, "E17", "quality ladder: congestion-driven tier downgrade and recovery")
+	res := e17Run(rounds)
+	tab := stats.Table{Headers: []string{"subscribers", "calm packets", "calm encodes",
+		"thrifty ratio", "burst rounds", "downgraded", "recovered in", "down/up", "reorders"}}
+	rec := "never"
+	if res.Recovered {
+		rec = res.RecoverIn.Round(time.Millisecond).String()
+	}
+	tab.AddRow(res.Subscribers, res.CalmPackets, res.CalmEncodes,
+		fmt.Sprintf("%.2f", res.ThriftyRatio), res.BurstRounds, res.Downgraded,
+		rec, fmt.Sprintf("%d/%d", res.LadderDown, res.LadderUp), res.Reorders)
+	tab.Render(w)
+	fmt.Fprintf(w, "  calm encodes must equal calm packets (one encode per active tier, not per\n")
+	fmt.Fprintf(w, "  subscriber), every subscriber must downgrade under overload and recover to\n")
+	fmt.Fprintf(w, "  its requested tier, and no stream may be reordered within an epoch\n")
+	return res
+}
+
+// e17Sub is one unicast listener: a leased subscription plus a receive
+// loop that records, per epoch, byte counts and sequence regressions.
+type e17Sub struct {
+	conn lan.Conn
+	sub  *lease.Subscriber
+
+	mu       sync.Mutex
+	lastSeq  map[uint32]uint64 // per-epoch high-water sequence
+	bytes    int64             // data payload bytes received
+	reorders int64
+}
+
+func (s *e17Sub) recv(stop *int32) {
+	for {
+		pkt, err := s.conn.Recv(time.Second)
+		if err == lan.ErrTimeout {
+			if atomic.LoadInt32(stop) != 0 {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		t, _, err := proto.PeekType(pkt.Data)
+		if err != nil {
+			continue
+		}
+		switch t {
+		case proto.TypeSubAck:
+			s.sub.HandleAckData(pkt.From, pkt.Data)
+		case proto.TypeData:
+			d, err := proto.UnmarshalData(pkt.Data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			if last, seen := s.lastSeq[d.Epoch]; seen && d.Seq <= last {
+				s.reorders++
+			} else {
+				s.lastSeq[d.Epoch] = d.Seq
+			}
+			s.bytes += int64(len(d.Payload))
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *e17Sub) snapshot() (bytes, reorders int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes, s.reorders
+}
+
+func e17Run(maxRounds int) E17Result {
+	res := E17Result{Subscribers: 3}
+	// Deep NIC buffers: an overload round lands hundreds of datagrams on
+	// the relay's socket in one instant, and the congestion under test
+	// must form in the relay's per-subscriber queues, not at the
+	// simulated socket buffer in front of them.
+	sys := core.NewSim(lan.SegmentConfig{Latency: 200 * time.Microsecond, QueueLen: 4096})
+	r, err := sys.AddRelay(relay.Config{
+		Group:           groupA,
+		Channel:         1,
+		QueueLen:        8,
+		Ladder:          true,
+		SweepInterval:   100 * time.Millisecond,
+		LadderDwell:     time.Second,
+		LadderDownDrops: 4,
+	})
+	if err != nil {
+		return res
+	}
+
+	// One listener on the source tier, two on ulaw: the pair is what
+	// makes per-tier (vs per-subscriber) encoding observable.
+	profiles := []codec.Profile{codec.ProfileSource, codec.ProfileULaw, codec.ProfileULaw}
+	subs := make([]*e17Sub, len(profiles))
+	var stop int32
+	for i, p := range profiles {
+		conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.8.0.%d:7000", i+1)))
+		if err != nil {
+			return res
+		}
+		s := &e17Sub{conn: conn, lastSeq: make(map[uint32]uint64)}
+		s.sub = lease.New(sys.Clock, conn, fmt.Sprintf("ladder-%d", i))
+		s.sub.SetProfile(p)
+		subs[i] = s
+		sys.Clock.Go(fmt.Sprintf("ladder-%d-recv", i), func() { s.recv(&stop) })
+	}
+
+	prod, err := sys.Net.Attach("10.8.1.1:5000")
+	if err != nil {
+		return res
+	}
+	var seq uint64
+	const payload = 880 // 10 ms of 16-bit mono at 44.1 kHz
+	sendControl := func() {
+		data, _ := (&proto.Control{Channel: 1, Epoch: 1, Seq: seq,
+			Params: mono16, Codec: "raw"}).Marshal()
+		prod.Send(groupA, data)
+	}
+	sendData := func() {
+		seq++
+		data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: seq,
+			PlayAt: int64(seq) * 10_000_000, Payload: make([]byte, payload)}).Marshal()
+		prod.Send(groupA, data)
+	}
+	// burst hands the whole round to the segment in one batched write:
+	// same-delay deliveries share one timer event, so every datagram
+	// lands on the relay's socket queue in the same instant — the
+	// arrival pattern that actually backs up the per-subscriber queues.
+	burst := func(n int) {
+		dgs := make([]lan.Datagram, n)
+		for i := range dgs {
+			seq++
+			data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: seq,
+				PlayAt: int64(seq) * 10_000_000, Payload: make([]byte, payload)}).Marshal()
+			dgs[i] = lan.Datagram{To: groupA, Data: data}
+		}
+		lan.WriteBatch(prod, dgs)
+	}
+	atTier := func(want func(info relay.SubscriberInfo) bool) bool {
+		infos := r.Subscribers()
+		if len(infos) != len(subs) {
+			return false
+		}
+		for _, info := range infos {
+			if !want(info) {
+				return false
+			}
+		}
+		return true
+	}
+
+	sys.Clock.Go("ladder-driver", func() {
+		defer func() {
+			atomic.StoreInt32(&stop, 1)
+			for _, s := range subs {
+				s.sub.Close()
+				s.conn.Close()
+			}
+			prod.Close()
+			sys.Shutdown()
+		}()
+		for _, s := range subs {
+			s.sub.Subscribe(r.Addr(), 1, time.Minute)
+		}
+		for i := 0; i < 50 && r.NumSubscribers() < len(subs); i++ {
+			sys.Clock.Sleep(20 * time.Millisecond)
+		}
+		if r.NumSubscribers() < len(subs) {
+			return
+		}
+
+		// Calm phase: a gently paced stream. The relay holds one ulaw
+		// transcoder for the pair of thrifty subscribers.
+		sendControl()
+		sys.Clock.Sleep(50 * time.Millisecond)
+		base := r.Stats().TranscodeEncodes
+		for i := 0; i < 50; i++ {
+			sendData()
+			sys.Clock.Sleep(20 * time.Millisecond)
+		}
+		sys.Clock.Sleep(100 * time.Millisecond) // drain in-flight queues
+		res.CalmPackets = 50
+		res.CalmEncodes = r.Stats().TranscodeEncodes - base
+		srcBytes, _ := subs[0].snapshot()
+		ulBytes, _ := subs[1].snapshot()
+		if srcBytes > 0 {
+			res.ThriftyRatio = float64(ulBytes) / float64(srcBytes)
+		}
+
+		// Overload: zero-spaced bursts against 8-deep subscriber queues
+		// until the ladder has pushed every subscriber below request.
+		for res.BurstRounds = 0; res.BurstRounds < maxRounds; res.BurstRounds++ {
+			if atTier(func(i relay.SubscriberInfo) bool { return i.Profile > i.ReqProfile }) {
+				res.Downgraded = true
+				break
+			}
+			burst(600)
+			sys.Clock.Sleep(150 * time.Millisecond)
+		}
+		if !res.Downgraded {
+			return
+		}
+
+		// Recovery: back to the gentle cadence. Clean dwells walk each
+		// subscriber up to — and no further than — its requested tier.
+		recoverStart := sys.Clock.Now()
+		for i := 0; i < 200; i++ {
+			if i%25 == 0 {
+				sendControl()
+			}
+			sendData()
+			sys.Clock.Sleep(50 * time.Millisecond)
+			if atTier(func(i relay.SubscriberInfo) bool { return i.Profile == i.ReqProfile }) {
+				res.Recovered = true
+				res.RecoverIn = sys.Clock.Now().Sub(recoverStart)
+				break
+			}
+		}
+
+		st := r.Stats()
+		res.LadderDown, res.LadderUp = st.LadderDown, st.LadderUp
+		for _, s := range subs {
+			_, re := s.snapshot()
+			res.Reorders += re
+		}
+	})
+	sys.Sim.WaitIdle()
+	return res
+}

@@ -413,3 +413,34 @@ func TestE13Shape(t *testing.T) {
 		t.Fatalf("relay cycle not refused: %+v", res)
 	}
 }
+
+func TestE17Shape(t *testing.T) {
+	res := E17Ladder(io.Discard, 50)
+	// Per-tier encoding, not per-subscriber: two ulaw listeners cost the
+	// relay exactly one encode per calm-phase packet, and the tier really
+	// halved the bytes each of them received.
+	if res.CalmEncodes != int64(res.CalmPackets) {
+		t.Fatalf("calm phase cost %d encodes for %d packets (2 ulaw subscribers must share one): %+v",
+			res.CalmEncodes, res.CalmPackets, res)
+	}
+	if res.ThriftyRatio < 0.4 || res.ThriftyRatio > 0.6 {
+		t.Fatalf("ulaw/source byte ratio = %.2f, want ~0.5: %+v", res.ThriftyRatio, res)
+	}
+	// The ladder: overload pushes every subscriber below its requested
+	// tier, and the quiet dwell walks each back to exactly what it asked
+	// for — no further.
+	if !res.Downgraded {
+		t.Fatalf("no subscriber downgraded across %d overload rounds: %+v", res.BurstRounds, res)
+	}
+	if !res.Recovered {
+		t.Fatalf("subscribers never recovered their requested tiers: %+v", res)
+	}
+	if res.LadderDown < int64(res.Subscribers) || res.LadderUp < int64(res.Subscribers) {
+		t.Fatalf("ladder transitions down/up = %d/%d, want >= %d each: %+v",
+			res.LadderDown, res.LadderUp, res.Subscribers, res)
+	}
+	// Tier changes switch epochs; they must never reorder a stream.
+	if res.Reorders != 0 {
+		t.Fatalf("%d within-epoch sequence regressions: %+v", res.Reorders, res)
+	}
+}

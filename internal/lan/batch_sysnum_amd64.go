@@ -2,6 +2,9 @@
 
 package lan
 
-// sysSendmmsg is the sendmmsg(2) syscall number (not exported by the
-// trimmed std syscall tables).
-const sysSendmmsg uintptr = 307
+// sysSendmmsg / sysRecvmmsg are the sendmmsg(2) / recvmmsg(2) syscall
+// numbers (not exported by the trimmed std syscall tables).
+const (
+	sysSendmmsg uintptr = 307
+	sysRecvmmsg uintptr = 299
+)

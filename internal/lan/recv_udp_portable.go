@@ -1,0 +1,9 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package lan
+
+import "net"
+
+// readLoopBatched is the no-recvmmsg stub: the portable per-packet
+// read loop runs instead.
+func (c *udpConn) readLoopBatched(sock *net.UDPConn, to Addr) bool { return false }

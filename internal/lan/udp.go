@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,6 +44,14 @@ type udpConn struct {
 	local Addr
 	sock  *net.UDPConn
 
+	// gso, when set, lets the Linux WriteBatch backend coalesce
+	// same-destination runs into UDP_SEGMENT sends; it clears itself
+	// permanently when the kernel refuses the option (see SetGSO).
+	gso atomic.Bool
+	// Batched-receive accounting (recvmmsg passes; Linux only).
+	recvBatches atomic.Int64
+	recvPackets atomic.Int64
+
 	mu     sync.Mutex
 	joins  map[Addr]*net.UDPConn
 	closed bool
@@ -65,6 +74,9 @@ func (c *udpConn) startLocked() {
 }
 
 func (c *udpConn) readLoop(sock *net.UDPConn, to Addr) {
+	if c.readLoopBatched(sock, to) {
+		return // the recvmmsg loop ran to socket close
+	}
 	buf := make([]byte, 64*1024)
 	for {
 		n, from, err := sock.ReadFromUDP(buf)
@@ -77,17 +89,36 @@ func (c *udpConn) readLoop(sock *net.UDPConn, to Addr) {
 			Data: append([]byte(nil), buf[:n]...),
 			Recv: time.Now(),
 		}
-		c.mu.Lock()
-		closed := c.closed
-		inbox := c.inbox
-		c.mu.Unlock()
-		if closed {
+		if !c.deliver(pkt) {
 			return
 		}
-		select {
-		case inbox <- pkt:
-		default: // queue overflow: tail-drop, like a socket buffer
-		}
+	}
+}
+
+// deliver hands one received packet to the inbox, tail-dropping on
+// overflow like a socket buffer; it reports false once the conn is
+// closed and the read loop should exit.
+func (c *udpConn) deliver(pkt Packet) bool {
+	c.mu.Lock()
+	closed := c.closed
+	inbox := c.inbox
+	c.mu.Unlock()
+	if closed {
+		return false
+	}
+	select {
+	case inbox <- pkt:
+	default: // queue overflow: tail-drop, like a socket buffer
+	}
+	return true
+}
+
+// RecvBatchStats implements RecvBatcher: the conn's recvmmsg activity
+// (always zero on platforms without the batched receive path).
+func (c *udpConn) RecvBatchStats() RecvBatchStats {
+	return RecvBatchStats{
+		Batches: c.recvBatches.Load(),
+		Packets: c.recvPackets.Load(),
 	}
 }
 

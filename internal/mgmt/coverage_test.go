@@ -74,10 +74,11 @@ func TestStatsCoverage(t *testing.T) {
 	check(RelayMIB("bridge", r), reflect.TypeOf(relay.Stats{}), "es_relay")
 	check(SpeakerMIB("cov", sp), reflect.TypeOf(speaker.Stats{}), "es_speaker")
 
-	// The four hot-path histograms are on the metrics surface too.
+	// The hot-path histograms are on the metrics surface too.
 	for _, name := range []string{
 		"es_relay_flush_latency_seconds",
 		"es_relay_queue_residency_seconds",
+		"es_relay_transcode_latency_seconds",
 		"es_relay_upstream_rtt_seconds",
 		"es_relay_lease_margin_seconds",
 		"es_speaker_control_rtt_seconds",

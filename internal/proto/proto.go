@@ -560,12 +560,19 @@ func (s SubStatus) String() string {
 // the path identity of the deepest one, so a relay can refuse a
 // subscription whose path would revisit it (SubLoop). A plain speaker
 // sends zero for both.
+//
+// Profile is the requested delivery profile (codec.Profile wire
+// values): the quality-ladder rung the subscriber wants the relay to
+// serve it at. Zero — also what every legacy body reads as — requests
+// source passthrough. The relay answers with the profile it actually
+// granted (SubAck.Profile) and may serve a lower rung under pressure.
 type Subscribe struct {
 	Channel uint32 // channel identifier
 	Seq     uint32 // request sequence, echoed in the SubAck
 	LeaseMs uint32 // requested lease in milliseconds; 0 unsubscribes
 	Hops    uint8  // relay hops already on the path (speakers: 0)
 	PathID  uint64 // path origin identity (speakers: 0)
+	Profile uint8  // requested delivery profile (0 = source passthrough)
 }
 
 // SubAck is the relay's reply to a Subscribe.
@@ -574,6 +581,11 @@ type SubAck struct {
 	Seq     uint32    // request sequence (echo)
 	LeaseMs uint32    // granted lease in milliseconds; 0 on refusal/cancel
 	Status  SubStatus // verdict
+	// Profile is the delivery profile currently being served (codec
+	// profile wire values; 0 = source passthrough). On a refresh it
+	// reports the relay's live choice, which the quality ladder may
+	// have stepped below the requested rung.
+	Profile uint8
 	// Redirect is the sibling relay's unicast address; present exactly
 	// when Status is SubRedirect (the marshaller refuses any other
 	// combination, and the parser rejects a redirect with no address —
@@ -581,30 +593,39 @@ type SubAck struct {
 	Redirect string
 }
 
-// Marshal encodes the subscribe packet. A subscriber with no path
-// state (a plain speaker: zero hops, zero path id) emits the legacy
-// 8-byte body, so it can still lease from a pre-chaining relay whose
-// parser rejects longer bodies; only relays carrying real path fields
-// use the extended form.
+// Marshal encodes the subscribe packet. Every optional section is
+// omitted when it is all-zero, so each subscriber emits the shortest
+// body an older parser still accepts: a plain speaker requesting
+// source quality emits the legacy 8-byte body, a speaker requesting a
+// profile appends one byte (9), a chained relay emits the 17-byte
+// pathed body, and a pathed request with a profile appends the byte
+// to that (18).
 func (s *Subscribe) Marshal() ([]byte, error) {
 	n := 17
 	if s.Hops == 0 && s.PathID == 0 {
 		n = 8
 	}
+	if s.Profile != 0 {
+		n++
+	}
 	buf := make([]byte, headerLen+n)
 	putHeader(buf, TypeSubscribe, s.Channel)
 	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
 	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
-	if n == 17 {
+	if n >= 17 {
 		buf[headerLen+8] = s.Hops
 		binary.BigEndian.PutUint64(buf[headerLen+9:headerLen+17], s.PathID)
+	}
+	if s.Profile != 0 {
+		buf[headerLen+n-1] = s.Profile
 	}
 	return buf, nil
 }
 
-// UnmarshalSubscribe parses a subscribe packet. The pre-chaining 8-byte
-// body (no hops/path id) is still accepted and reads as Hops=0,
-// PathID=0 — exactly what a non-relay subscriber would send.
+// UnmarshalSubscribe parses a subscribe packet. All four body lengths
+// are accepted: 8 (legacy, no path or profile), 9 (profile only), 17
+// (path only), 18 (path + profile). Absent fields read as zero —
+// exactly what a sender predating them would mean.
 func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	t, ch, err := PeekType(data)
 	if err != nil {
@@ -617,7 +638,7 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	if len(body) < 8 {
 		return nil, ErrShort
 	}
-	if len(body) != 8 && len(body) != 17 {
+	if len(body) != 8 && len(body) != 9 && len(body) != 17 && len(body) != 18 {
 		return nil, fmt.Errorf("%w: subscribe body of %d bytes", ErrBadPacket, len(body))
 	}
 	s := &Subscribe{
@@ -625,9 +646,12 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 		Seq:     binary.BigEndian.Uint32(body[0:4]),
 		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
 	}
-	if len(body) == 17 {
+	if len(body) >= 17 {
 		s.Hops = body[8]
 		s.PathID = binary.BigEndian.Uint64(body[9:17])
+	}
+	if len(body) == 9 || len(body) == 18 {
+		s.Profile = body[len(body)-1]
 	}
 	return s, nil
 }
@@ -645,7 +669,9 @@ func (s *SubAck) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
 	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
 	buf[headerLen+8] = byte(s.Status)
-	// buf[headerLen+9] reserved
+	// Byte 9 was reserved-zero before delivery profiles; a pre-profile
+	// parser reads a profile grant as that reserved byte and ignores it.
+	buf[headerLen+9] = s.Profile
 	if s.Status == SubRedirect {
 		return appendString(buf, s.Redirect)
 	}
@@ -670,6 +696,7 @@ func UnmarshalSubAck(data []byte) (*SubAck, error) {
 		Seq:     binary.BigEndian.Uint32(body[0:4]),
 		LeaseMs: binary.BigEndian.Uint32(body[4:8]),
 		Status:  SubStatus(body[8]),
+		Profile: body[9],
 	}
 	body = body[10:]
 	if a.Status == SubRedirect {

@@ -116,6 +116,8 @@ func TestSubscribeRoundTrip(t *testing.T) {
 	for _, s := range []*Subscribe{
 		{Channel: 7, Seq: 99, LeaseMs: 30000},
 		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Profile: 2},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304, Profile: 3},
 	} {
 		data, err := s.Marshal()
 		if err != nil {
@@ -150,6 +152,24 @@ func TestSubscribeZeroPathMarshalsLegacyBody(t *testing.T) {
 	}
 	if got := len(pdata) - 8; got != 17 {
 		t.Fatalf("pathed subscribe body = %d bytes, want 17", got)
+	}
+	// The profile byte rides as a pure suffix of either form: 9 bytes
+	// for a speaker requesting a profile, 18 for a pathed request.
+	q := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000, Profile: 1}
+	qdata, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qdata) - 8; got != 9 {
+		t.Fatalf("profile subscribe body = %d bytes, want 9", got)
+	}
+	pq := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000, Hops: 2, PathID: 7, Profile: 3}
+	pqdata, err := pq.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pqdata) - 8; got != 18 {
+		t.Fatalf("pathed profile subscribe body = %d bytes, want 18", got)
 	}
 }
 
@@ -350,7 +370,8 @@ func TestSubscribeUnsubscribe(t *testing.T) {
 
 func TestSubAckRoundTrip(t *testing.T) {
 	for _, status := range []SubStatus{SubOK, SubNoChannel, SubTableFull, SubLoop, SubRedirect} {
-		a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: status}
+		// The granted-profile byte must survive every status.
+		a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: status, Profile: 2}
 		if status == SubRedirect {
 			a.Redirect = "10.0.9.9:5006"
 		}
@@ -369,10 +390,24 @@ func TestSubAckRoundTrip(t *testing.T) {
 }
 
 func TestSubscribeTrailingBytesRejected(t *testing.T) {
+	// One byte after the legacy 8-byte body is the profile extension, so
+	// it parses — as a profile request, not as garbage.
 	s := &Subscribe{Channel: 1, Seq: 1, LeaseMs: 1000}
 	data, _ := s.Marshal()
-	if _, err := UnmarshalSubscribe(append(data, 0)); err == nil {
+	got, err := UnmarshalSubscribe(append(data, 2))
+	if err != nil || got.Profile != 2 {
+		t.Fatalf("profile-extended subscribe parse = %+v, %v", got, err)
+	}
+	// Two bytes fit no body length and must be rejected.
+	if _, err := UnmarshalSubscribe(append(data, 0, 0)); err == nil {
 		t.Fatal("subscribe with trailing bytes accepted")
+	}
+	// Same on the pathed-plus-profile (18-byte) body: anything past the
+	// profile byte is garbage.
+	p := &Subscribe{Channel: 1, Seq: 1, LeaseMs: 1000, Hops: 1, PathID: 9, Profile: 1}
+	pdata, _ := p.Marshal()
+	if _, err := UnmarshalSubscribe(append(pdata, 0)); err == nil {
+		t.Fatal("subscribe with bytes after the profile accepted")
 	}
 	a := &SubAck{Channel: 1, Seq: 1, LeaseMs: 1000}
 	adata, _ := a.Marshal()
@@ -468,10 +503,17 @@ func validPackets(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Carry path fields so the truncation table covers the extended
-	// 17-byte body (the zero-path form marshals the legacy 8 bytes).
-	s := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Hops: 1, PathID: 99}
+	// Carry path fields and a profile so the truncation table covers the
+	// longest (18-byte) body; the shorter forms are its prefixes.
+	s := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Hops: 1, PathID: 99, Profile: 2}
 	sdata, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And the profile-only (9-byte) body a plain speaker requesting a
+	// quality rung emits.
+	sp := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Profile: 1}
+	spdata, err := sp.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +534,7 @@ func validPackets(t *testing.T) map[string][]byte {
 	}
 	return map[string][]byte{
 		"control": cdata, "data": ddata, "announce": adata,
-		"subscribe": sdata, "suback": kdata,
+		"subscribe": sdata, "subscribe-profile": spdata, "suback": kdata,
 		"announce-load": aldata, "suback-redirect": rkdata,
 	}
 }
@@ -549,7 +591,10 @@ func legacyAnnouncePrefixes(t *testing.T) map[int]bool {
 func TestTruncationsNeverPanic(t *testing.T) {
 	// Some kinds are wire extensions of a base packet; they parse with
 	// the base kind's parser.
-	parserFor := map[string]string{"announce-load": "announce", "suback-redirect": "suback"}
+	parserFor := map[string]string{
+		"announce-load": "announce", "suback-redirect": "suback",
+		"subscribe-profile": "subscribe",
+	}
 	announceLegacy := legacyAnnouncePrefixes(t)
 	for kind, full := range validPackets(t) {
 		want := kind
@@ -568,12 +613,16 @@ func TestTruncationsNeverPanic(t *testing.T) {
 					return p.parse(trunc)
 				}()
 				// A few prefixes are legitimately parseable — each is
-				// byte-identical to what an older peer would send: a
-				// subscribe cut after seq+leasems is the legacy 8-byte
-				// body, and the load-bearing announce cut at the end of
-				// its channel or relay-record section is a pre-relay or
-				// pre-load announce.
-				legacy := kind == "subscribe" && p.name == "subscribe" && i == 16 ||
+				// byte-identical to what an older or shorter-form peer
+				// would send: a subscribe cut after seq+leasems is the
+				// legacy 8-byte body, cut one byte later it is the 9-byte
+				// profile form, cut after the path fields it is the
+				// 17-byte pathed form; the load-bearing announce cut at
+				// the end of its channel or relay-record section is a
+				// pre-relay or pre-load announce.
+				legacy := kind == "subscribe" && p.name == "subscribe" &&
+					(i == 16 || i == 17 || i == 25) ||
+					kind == "subscribe-profile" && p.name == "subscribe" && i == 16 ||
 					kind == "announce-load" && p.name == "announce" && announceLegacy[i]
 				if i < len(full) && err == nil && p.name != "peek" && !legacy {
 					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/codec"
 )
 
 // docPath locates docs/PROTOCOL.md relative to this package directory.
@@ -92,6 +94,12 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"TableFull": uint8(SubTableFull),
 		"Loop":      uint8(SubLoop),
 		"Redirect":  uint8(SubRedirect),
+	})
+	check("### Delivery profile codes", map[string]uint8{
+		"Source":  uint8(codec.ProfileSource),
+		"ULaw":    uint8(codec.ProfileULaw),
+		"OVLHigh": uint8(codec.ProfileOVLHigh),
+		"OVLLow":  uint8(codec.ProfileOVLLow),
 	})
 
 	// The framing constants are documented literally.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/lan"
 	"repro/internal/obs"
 	"repro/internal/proto"
@@ -70,6 +71,11 @@ type Subscriber struct {
 	granted time.Duration // lease duration the relay last granted
 	path    func() (hops uint8, pathID uint64)
 	auth    security.Authenticator // signs subscribes, verifies acks; nil = plaintext
+	// profile is the delivery tier requested in every subscribe;
+	// current is the tier the relay's last grant said it actually
+	// serves (the relay's quality ladder may sit below the request).
+	profile codec.Profile
+	current codec.Profile
 	seq     uint32
 	// ackFloor is the seq of the first subscribe sent to the current
 	// target: only acks echoing a seq in [ackFloor, seq] answer a
@@ -126,6 +132,26 @@ func (s *Subscriber) SetAuth(a security.Authenticator) {
 	s.mu.Lock()
 	s.auth = a
 	s.mu.Unlock()
+}
+
+// SetProfile sets the delivery tier requested by every subsequent
+// subscribe packet (codec.ProfileSource — the zero value — asks for
+// the untouched upstream payload, indistinguishable on the wire from
+// a pre-profile subscriber).
+func (s *Subscriber) SetProfile(p codec.Profile) {
+	s.mu.Lock()
+	s.profile = p
+	s.mu.Unlock()
+}
+
+// CurrentProfile returns the tier the relay's most recent grant says
+// it is serving — under ladder pressure that may be a lower rung than
+// the requested profile. It resets on re-targeting and means nothing
+// until the first grant.
+func (s *Subscriber) CurrentProfile() codec.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
 }
 
 // SetInstruments installs the control-plane histograms: rtt observes
@@ -310,6 +336,7 @@ func (s *Subscriber) apply(ack *proto.SubAck) (st proto.SubStatus, follow lan.Ad
 		s.stats.Redirects++
 		s.target = next
 		s.granted = 0
+		s.current = 0 // the sibling's ladder starts fresh
 		// Acks from the shedding relay (or any earlier target) must not
 		// install a grant against the new one.
 		s.ackFloor = s.seq + 1
@@ -323,7 +350,10 @@ func (s *Subscriber) apply(ack *proto.SubAck) (st proto.SubStatus, follow lan.Ad
 	case ack.LeaseMs > 0:
 		granted := time.Duration(ack.LeaseMs) * time.Millisecond
 		// Every OK grant extends the wall-clock expiry, even when the
-		// duration is unchanged — that is what a refresh does.
+		// duration is unchanged — that is what a refresh does. The
+		// grant also reports the delivery tier actually served, which
+		// the relay's ladder may have stepped below the request.
+		s.current = codec.Profile(ack.Profile)
 		s.expiresWall = time.Now().Add(granted)
 		s.redirects = 0 // landed: a later shed starts a fresh chain
 		if granted != s.granted {
@@ -362,6 +392,7 @@ func (s *Subscriber) send(target lan.Addr, channel uint32, lease time.Duration) 
 		LeaseMs: uint32(lease / time.Millisecond),
 		Hops:    hops,
 		PathID:  pathID,
+		Profile: uint8(s.profile),
 	}
 	auth := s.auth
 	s.stats.Subscribes++

@@ -49,6 +49,7 @@ func (r *Relay) RegisterObs(reg *obs.Registry) {
 
 	reg.Histogram(r.flushLatency)
 	reg.Histogram(r.queueResidency)
+	reg.Histogram(r.transcodeLatency)
 	reg.Histogram(r.upRTT)
 	reg.Histogram(r.leaseMargin)
 	reg.Tracer("es_relay", r.tracer)

@@ -1,0 +1,233 @@
+package relay
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/proto"
+)
+
+// Per-profile delivery groups: the relay serves one upstream stream at
+// several quality tiers (codec.Profile). Subscribers request a tier at
+// subscribe time; the adaptive ladder (sweep) may step a congested
+// subscriber further down and back up. The fan-out path encodes the
+// upstream payload once per *active* profile — never per subscriber —
+// and the shard workers group datagrams by profile so each flush is
+// one same-payload delivery group, the shape UDP GSO coalesces.
+
+// Ladder defaults.
+const (
+	// DefaultLadderDwell is how long a subscriber must stay drop-free
+	// at its current tier before the ladder steps it back up.
+	DefaultLadderDwell = 10 * time.Second
+	// DefaultLadderDownDrops is the queue-drop delta per sweep that
+	// triggers a one-tier downgrade. Distinct from the upgrade
+	// condition (a fully clean dwell) so the ladder cannot flap.
+	DefaultLadderDownDrops = 4
+)
+
+// stream is the relay's learned view of one channel's upstream
+// encoding, built from the Control packets flowing through fanout. It
+// owns the per-profile transcoders (rebuilt on reconfiguration); a nil
+// transcoder means the tier cannot serve this stream (e.g. µ-law needs
+// a 16-bit source) and its subscribers fall back to passthrough.
+// Guarded by r.txMu: transcoders are not safe for concurrent use.
+type stream struct {
+	ctl proto.Control
+	tx  [codec.NumProfiles]*codec.Transcoder
+}
+
+// profilePayloads is one upstream packet's wire variants, indexed by
+// profile. Index ProfileSource is always the original packet; a nil
+// entry means that tier falls back to the source payload.
+type profilePayloads [codec.NumProfiles][]byte
+
+// profileEpoch derives the epoch a tier's rewritten stream carries.
+// Transcoded packets must not share the source epoch: a speaker only
+// reconfigures its decoder on an epoch change, so a subscriber moving
+// between tiers mid-stream has to see the tier transition as a
+// reconfiguration — new epoch in the rewritten Control, matching epoch
+// in every transcoded Data packet. The speaker's radio model does the
+// rest: data from the new tier is dropped as a foreign epoch until the
+// next rewritten Control arrives, then decoding resumes at the new
+// quality with no speaker-side changes at all.
+func profileEpoch(epoch uint32, p codec.Profile) uint32 {
+	if p == codec.ProfileSource {
+		return epoch
+	}
+	return epoch<<2 | uint32(p)
+}
+
+// learnStream ingests one upstream Control packet: it records the
+// channel's encoding and (re)builds the per-profile transcoders when
+// the configuration changed. Caller holds r.txMu.
+func (r *Relay) learnStream(ch uint32, ctl *proto.Control) *stream {
+	st := r.streams[ch]
+	if st != nil && st.ctl.Epoch == ctl.Epoch && st.ctl.Codec == ctl.Codec &&
+		st.ctl.Params == ctl.Params && st.ctl.Quality == ctl.Quality {
+		st.ctl = *ctl // refresh the clock/interval fields only
+		return st
+	}
+	if st == nil {
+		st = &stream{}
+		r.streams[ch] = st
+	}
+	st.ctl = *ctl
+	for p := codec.ProfileULaw; p.Valid(); p++ {
+		tx, err := codec.NewTranscoder(ctl.Codec, ctl.Params, p)
+		if err != nil {
+			// This stream cannot carry the tier; its subscribers get
+			// the source payload until a reconfiguration changes that.
+			st.tx[p] = nil
+			continue
+		}
+		st.tx[p] = tx
+	}
+	return st
+}
+
+// buildProfilePayloads produces the per-profile variants of one
+// upstream packet, encoding once per active profile regardless of how
+// many subscribers hold each tier. It runs outside every shard lock —
+// transcoding must never stall the enqueue path of subscribers on
+// other tiers. Control packets are always learned (so transcoders are
+// ready before the first tiered subscriber needs them) and rewritten
+// per tier with the tier's codec, quality, and derived epoch; Data
+// packets are transcoded and re-marshaled with seq and play deadline
+// preserved, so relative timing survives the quality change 1:1.
+func (r *Relay) buildProfilePayloads(ch uint32, data []byte) profilePayloads {
+	var out profilePayloads
+	out[codec.ProfileSource] = data
+	// Active-tier snapshot from the lock-free refcounts: with every
+	// subscriber on the source tier this is the whole fast path.
+	var want [codec.NumProfiles]bool
+	active := false
+	for p := codec.ProfileULaw; p.Valid(); p++ {
+		if r.profCount[p].Load() > 0 {
+			want[p], active = true, true
+		}
+	}
+	t, _, err := proto.PeekType(data)
+	if err != nil {
+		return out
+	}
+	switch t {
+	case proto.TypeControl:
+		ctl, err := proto.UnmarshalControl(data)
+		if err != nil {
+			return out
+		}
+		r.txMu.Lock()
+		r.learnStream(ch, ctl)
+		r.txMu.Unlock()
+		if !active {
+			return out
+		}
+		for p := codec.ProfileULaw; p.Valid(); p++ {
+			if !want[p] {
+				continue
+			}
+			r.txMu.Lock()
+			servable := r.streams[ch].tx[p] != nil
+			r.txMu.Unlock()
+			if !servable {
+				continue // tier falls back to source; Control stays the source's
+			}
+			name, quality := p.CodecSpec()
+			nc := *ctl
+			nc.Epoch = profileEpoch(ctl.Epoch, p)
+			nc.Codec = name
+			nc.Quality = uint8(quality)
+			if b, err := nc.Marshal(); err == nil {
+				out[p] = b
+			}
+		}
+	case proto.TypeData:
+		if !active {
+			return out
+		}
+		r.txMu.Lock()
+		defer r.txMu.Unlock()
+		st := r.streams[ch]
+		if st == nil {
+			return out // no Control seen yet: passthrough for everyone
+		}
+		d, err := proto.UnmarshalData(data)
+		if err != nil {
+			return out
+		}
+		var encodes, errs int64
+		for p := codec.ProfileULaw; p.Valid(); p++ {
+			if !want[p] || st.tx[p] == nil {
+				continue
+			}
+			t0 := time.Now()
+			payload, err := st.tx[p].Transcode(d.Payload)
+			if err != nil {
+				errs++
+				continue
+			}
+			nd := *d
+			nd.Epoch = profileEpoch(d.Epoch, p)
+			nd.Payload = payload
+			b, err := nd.Marshal()
+			if err != nil {
+				errs++
+				continue
+			}
+			r.transcodeLatency.Observe(time.Since(t0))
+			out[p] = b
+			encodes++
+		}
+		if encodes+errs > 0 {
+			r.count(func(s *Stats) {
+				s.TranscodeEncodes += encodes
+				s.TranscodeErrors += errs
+			})
+		}
+	}
+	return out
+}
+
+// ladderStep evaluates the adaptive ladder for one shard's subscribers
+// (called from sweep, under sh.mu): a subscriber whose queue dropped at
+// least cfg.LadderDownDrops packets since the last sweep steps one tier
+// down; one that stayed completely drop-free for cfg.LadderDwell steps
+// one tier back up, never past its requested profile. The asymmetric
+// thresholds plus the dwell are the hysteresis: pressure reacts within
+// a sweep, recovery is earned slowly, and a flap costs at least one
+// full dwell. Any drop at all restarts the dwell clock.
+func (r *Relay) ladderStep(sh *shard, now time.Time) (down, up int64) {
+	for _, sub := range sh.order {
+		delta := sub.dropped - sub.ladderDrops
+		sub.ladderDrops = sub.dropped
+		switch {
+		case delta >= int64(r.cfg.LadderDownDrops) && sub.profile < codec.ProfileOVLLow:
+			r.profCount[sub.profile].Add(-1)
+			sub.profile = sub.profile.Down()
+			r.profCount[sub.profile].Add(1)
+			sub.ladderAt = now
+			down++
+		case delta == 0 && sub.profile > sub.reqProfile &&
+			now.Sub(sub.ladderAt) >= r.cfg.LadderDwell:
+			r.profCount[sub.profile].Add(-1)
+			sub.profile--
+			r.profCount[sub.profile].Add(1)
+			sub.ladderAt = now
+			up++
+		case delta > 0:
+			sub.ladderAt = now // drops, even below threshold, reset the dwell
+		}
+	}
+	return down, up
+}
+
+// requestedProfile extracts a Subscribe's delivery tier, mapping an
+// invalid byte (a future ladder this relay does not know) to source
+// passthrough rather than refusing the lease.
+func requestedProfile(req *proto.Subscribe) codec.Profile {
+	if p := codec.Profile(req.Profile); p.Valid() {
+		return p
+	}
+	return codec.ProfileSource
+}

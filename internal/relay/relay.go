@@ -7,8 +7,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/lan"
 	"repro/internal/obs"
 	"repro/internal/proto"
@@ -157,6 +159,24 @@ type Config struct {
 	// cmd/relayd sets it from the discovered upstream's own record, so
 	// depth accumulates along real chains.
 	SourceHops int
+	// Ladder enables the adaptive delivery-quality ladder: a subscriber
+	// whose queue keeps dropping packets is stepped one tier down
+	// (toward cheaper encodings) per sweep, and stepped back up toward
+	// its requested profile after a drop-free dwell. Requested profiles
+	// are honored either way; the ladder only controls whether the
+	// relay may move subscribers on its own.
+	Ladder bool
+	// LadderDwell overrides DefaultLadderDwell: how long a subscriber
+	// must stay drop-free before an upgrade.
+	LadderDwell time.Duration
+	// LadderDownDrops overrides DefaultLadderDownDrops: the per-sweep
+	// queue-drop delta that triggers a downgrade.
+	LadderDownDrops int
+	// GSO enables UDP_SEGMENT coalescing on the shard send sockets
+	// (where the backend supports it): the profile-grouped flush sorts
+	// each delivery group by destination, so a subscriber owed several
+	// same-size packets costs one kernel send instead of several.
+	GSO bool
 }
 
 func (c *Config) applyDefaults() {
@@ -194,6 +214,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.AdmitBatch <= 0 {
 		c.AdmitBatch = DefaultAdmitBatch
+	}
+	if c.LadderDwell <= 0 {
+		c.LadderDwell = DefaultLadderDwell
+	}
+	if c.LadderDownDrops <= 0 {
+		c.LadderDownDrops = DefaultLadderDownDrops
 	}
 	if c.ShedPressure > 255 {
 		c.ShedPressure = 255 // the score saturates there
@@ -240,21 +266,37 @@ type Stats struct {
 	// Batching telemetry: Batches counts WriteBatch flushes, split by
 	// what triggered them. FanoutSent / Batches is the achieved batch
 	// size — the syscall amortization factor on a real network.
-	Batches       int64 `mib:"es.relay.fanout.batches" help:"WriteBatch flushes issued"`
+	Batches       int64 `mib:"es.relay.fanout.batches" help:"WriteBatch flushes issued (one per delivery group)"`
 	FlushSize     int64 `mib:"es.relay.fanout.flush.size" help:"flushes triggered by a full batch"`
 	FlushDeadline int64 `mib:"es.relay.fanout.flush.deadline" help:"partial batches flushed on the flush interval"`
 	FlushQuiesce  int64 `mib:"es.relay.fanout.flush.quiesce" help:"partial batches flushed at shutdown"`
+
+	// Delivery-profile telemetry: the quality ladder and the per-profile
+	// encode path. TranscodeEncodes advances once per active non-source
+	// profile per upstream packet — never per subscriber — so dividing
+	// it by UpstreamData is the live profile count the fan-out pays for.
+	TranscodeEncodes int64 `mib:"es.relay.transcode.encodes" help:"per-profile payload encodes (one per active profile per upstream packet)"`
+	TranscodeErrors  int64 `mib:"es.relay.transcode.errors" help:"transcode failures (affected tiers fell back to the source payload)"`
+	LadderDown       int64 `mib:"es.relay.ladder.down" help:"quality-ladder downgrades (one tier, queue pressure)"`
+	LadderUp         int64 `mib:"es.relay.ladder.up" help:"quality-ladder upgrades (one tier, after a drop-free dwell)"`
+
+	// Batched-receive telemetry (recvmmsg; Linux only, zero elsewhere):
+	// RecvBatchPackets / RecvBatches is the achieved ingest batch size.
+	RecvBatches      int64 `mib:"es.relay.recv.batches" help:"batched receive passes (recvmmsg) on the relay socket"`
+	RecvBatchPackets int64 `mib:"es.relay.recv.packets" help:"packets delivered by batched receive passes"`
 }
 
 // SubscriberInfo is one subscriber's public accounting snapshot.
 type SubscriberInfo struct {
-	Addr    lan.Addr
-	Channel uint32
-	Hops    uint8 // relay hops behind this subscriber (0 = a speaker)
-	Sent    int64 // unicast packets sent
-	Dropped int64 // packets dropped by this subscriber's queue
-	Queued  int   // packets currently queued
-	Expires time.Time
+	Addr       lan.Addr
+	Channel    uint32
+	Hops       uint8         // relay hops behind this subscriber (0 = a speaker)
+	Profile    codec.Profile // delivery tier currently served
+	ReqProfile codec.Profile // tier requested at subscribe (ladder ceiling)
+	Sent       int64         // unicast packets sent
+	Dropped    int64         // packets dropped by this subscriber's queue
+	Queued     int           // packets currently queued
+	Expires    time.Time
 }
 
 // queued is one packet waiting in a subscriber queue, stamped with its
@@ -264,6 +306,7 @@ type SubscriberInfo struct {
 // the process, and the simulated clock would report it as zero.
 type queued struct {
 	data []byte
+	prof codec.Profile // delivery group the payload was encoded for
 	at   time.Time
 }
 
@@ -277,6 +320,15 @@ type subscriber struct {
 	queue   []queued // bounded FIFO; head is oldest
 	sent    int64
 	dropped int64
+
+	// Quality-ladder state: profile is the tier currently served,
+	// reqProfile the subscribe-time request the ladder may not exceed.
+	// ladderDrops/ladderAt anchor the per-sweep drop delta and the
+	// drop-free dwell (sim clock, like every protocol timer here).
+	profile     codec.Profile
+	reqProfile  codec.Profile
+	ladderDrops int64
+	ladderAt    time.Time
 }
 
 // shard is one slice of the subscriber table with its own fan-out
@@ -339,11 +391,21 @@ type Relay struct {
 	// Hot-path instruments (see internal/obs): wall-clock histograms
 	// and the sampled packet tracer. Always present — recording is a
 	// few atomic adds, cheap enough to leave compiled in.
-	flushLatency   *obs.Histogram // WriteBatch flush duration
-	queueResidency *obs.Histogram // enqueue→gather time per packet
-	upRTT          *obs.Histogram // upstream Subscribe→SubAck RTT (chained)
-	leaseMargin    *obs.Histogram // upstream refresh margin (chained)
-	tracer         *obs.Tracer
+	flushLatency     *obs.Histogram // WriteBatch flush duration
+	queueResidency   *obs.Histogram // enqueue→gather time per packet
+	transcodeLatency *obs.Histogram // per-profile payload encode time
+	upRTT            *obs.Histogram // upstream Subscribe→SubAck RTT (chained)
+	leaseMargin      *obs.Histogram // upstream refresh margin (chained)
+	tracer           *obs.Tracer
+
+	// Per-profile delivery state. profCount holds the live subscriber
+	// count per tier (lock-free so fanout can snapshot the active set
+	// without touching any shard); txMu guards the learned stream
+	// configurations and their transcoders, which the single fan-out
+	// path and concurrent Inject callers share.
+	profCount [codec.NumProfiles]atomic.Int64
+	txMu      sync.Mutex
+	streams   map[uint32]*stream
 
 	mu          sync.Mutex
 	stats       Stats
@@ -400,12 +462,14 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 			return nil, fmt.Errorf("relay: joining %q: %w", cfg.Group, err)
 		}
 	}
-	r := &Relay{clock: clock, conn: conn, cfg: cfg}
+	r := &Relay{clock: clock, conn: conn, cfg: cfg, streams: make(map[uint32]*stream)}
 	r.relayID = newPathID(conn.LocalAddr())
 	r.flushLatency = obs.NewHistogram("es_relay_flush_latency_seconds",
 		"WriteBatch flush duration, gather to syscall return", nil)
 	r.queueResidency = obs.NewHistogram("es_relay_queue_residency_seconds",
 		"time a packet waits in a subscriber queue before its worker gathers it", nil)
+	r.transcodeLatency = obs.NewHistogram("es_relay_transcode_latency_seconds",
+		"per-profile payload transcode time in the fan-out path", nil)
 	r.upRTT = obs.NewHistogram("es_relay_upstream_rtt_seconds",
 		"upstream Subscribe→SubAck round trip (chained relays only)", nil)
 	r.leaseMargin = obs.NewHistogram("es_relay_lease_margin_seconds",
@@ -438,6 +502,11 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 				return nil, fmt.Errorf("relay: attaching shard %d socket: %w", i, err)
 			}
 			sh.conn, sh.ownConn = sc, true
+		}
+		if cfg.GSO {
+			// Best effort: the portable and simulated backends simply
+			// don't implement the seam and the flush stays plain batches.
+			lan.EnableGSO(sh.conn)
 		}
 		r.shards = append(r.shards, sh)
 	}
@@ -510,13 +579,19 @@ func (r *Relay) sourceHops() uint8 {
 // the shed check per admission batch) see a score that decays once the
 // dropping stops.
 func (r *Relay) Pressure() uint8 {
-	var queued, capacity int
+	var queued, capacity, degraded, total int
 	var dropped int64
 	for _, sh := range r.shards {
 		sh.mu.Lock()
 		queued += sh.queued
 		capacity += len(sh.order) * r.cfg.QueueLen
 		dropped += sh.dropped
+		for _, sub := range sh.order {
+			total++
+			if sub.profile > sub.reqProfile {
+				degraded++
+			}
+		}
 		sh.mu.Unlock()
 	}
 	r.mu.Lock()
@@ -530,6 +605,16 @@ func (r *Relay) Pressure() uint8 {
 		return 0
 	}
 	p := queued * 255 / capacity
+	// A ladder-degraded subscriber is pressure made durable: its queue
+	// stopped overflowing *because* the relay cut its bitrate, so the
+	// instantaneous queue occupancy under-reports how loaded the relay
+	// is. Fold the degraded fraction in so discovery keeps steering new
+	// subscribers elsewhere until tiers recover.
+	if total > 0 && degraded > 0 {
+		if dp := degraded * 255 / total; dp > p {
+			p = dp
+		}
+	}
 	if p > 255 {
 		p = 255
 	}
@@ -591,6 +676,11 @@ func (r *Relay) Stats() Stats {
 		st.UpstreamAuthDropped = ls.AuthDropped
 		st.UpstreamRedirects = ls.Redirects
 	}
+	if rb, ok := r.conn.(lan.RecvBatcher); ok {
+		rs := rb.RecvBatchStats()
+		st.RecvBatches = rs.Batches
+		st.RecvBatchPackets = rs.Packets
+	}
 	return st
 }
 
@@ -623,21 +713,23 @@ func (r *Relay) ShardStats() []ShardStats {
 // registration (RegisterObs) and for benchmarks that fold latency
 // percentiles into their reported results.
 type Instruments struct {
-	FlushLatency   *obs.Histogram
-	QueueResidency *obs.Histogram
-	UpstreamRTT    *obs.Histogram
-	LeaseMargin    *obs.Histogram
-	Tracer         *obs.Tracer
+	FlushLatency     *obs.Histogram
+	QueueResidency   *obs.Histogram
+	TranscodeLatency *obs.Histogram
+	UpstreamRTT      *obs.Histogram
+	LeaseMargin      *obs.Histogram
+	Tracer           *obs.Tracer
 }
 
 // Instruments returns the live instruments (never nil).
 func (r *Relay) Instruments() Instruments {
 	return Instruments{
-		FlushLatency:   r.flushLatency,
-		QueueResidency: r.queueResidency,
-		UpstreamRTT:    r.upRTT,
-		LeaseMargin:    r.leaseMargin,
-		Tracer:         r.tracer,
+		FlushLatency:     r.flushLatency,
+		QueueResidency:   r.queueResidency,
+		TranscodeLatency: r.transcodeLatency,
+		UpstreamRTT:      r.upRTT,
+		LeaseMargin:      r.leaseMargin,
+		Tracer:           r.tracer,
 	}
 }
 
@@ -658,13 +750,15 @@ func (r *Relay) Subscribers() []SubscriberInfo {
 		sh.mu.Lock()
 		for _, sub := range sh.order {
 			out = append(out, SubscriberInfo{
-				Addr:    sub.addr,
-				Channel: sub.channel,
-				Hops:    sub.hops,
-				Sent:    sub.sent,
-				Dropped: sub.dropped,
-				Queued:  len(sub.queue),
-				Expires: sub.expires,
+				Addr:       sub.addr,
+				Channel:    sub.channel,
+				Hops:       sub.hops,
+				Profile:    sub.profile,
+				ReqProfile: sub.reqProfile,
+				Sent:       sub.sent,
+				Dropped:    sub.dropped,
+				Queued:     len(sub.queue),
+				Expires:    sub.expires,
 			})
 		}
 		sh.mu.Unlock()
@@ -681,11 +775,16 @@ func (r *Relay) Table() *stats.Table {
 		Title: fmt.Sprintf("relay %s -> %d subscriber(s); upstream %d ctl + %d data, fanout %d sent / %d dropped in %d batches",
 			r.Source(), r.NumSubscribers(), st.UpstreamControl, st.UpstreamData,
 			st.FanoutSent, st.FanoutDropped, st.Batches),
-		Headers: []string{"subscriber", "channel", "hops", "sent", "dropped", "queued", "lease-left"},
+		Headers: []string{"subscriber", "channel", "hops", "profile", "sent", "dropped", "queued", "lease-left"},
 	}
 	now := r.clock.Now()
 	for _, s := range r.Subscribers() {
-		t.AddRow(string(s.Addr), fmt.Sprint(s.Channel), int(s.Hops), s.Sent,
+		prof := s.Profile.String()
+		if s.Profile != s.ReqProfile {
+			// Ladder-degraded: show where the subscriber wants to be.
+			prof = fmt.Sprintf("%s (req %s)", s.Profile, s.ReqProfile)
+		}
+		t.AddRow(string(s.Addr), fmt.Sprint(s.Channel), int(s.Hops), prof, s.Sent,
 			s.Dropped, s.Queued, s.Expires.Sub(now).Round(time.Millisecond))
 	}
 	return t
@@ -1079,6 +1178,14 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 			if lease < MinLease {
 				lease = MinLease
 			}
+			if h := a.req.Hops; h > 0 {
+				// Chain-aware sizing: a subscriber with relays behind it
+				// is a whole subtree's feed, and losing its lease silences
+				// every speaker downstream. Scale the grant with the chain
+				// depth so deep links refresh (and can be lost) less often,
+				// while plain speakers keep the requested cadence.
+				lease *= time.Duration(h) + 1
+			}
 			if lease > r.cfg.MaxLease {
 				lease = r.cfg.MaxLease
 			}
@@ -1090,6 +1197,18 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 				sub.channel = a.req.Channel
 				sub.hops = a.req.Hops
 				sub.pathID = a.req.PathID
+				if prof := requestedProfile(a.req); prof != sub.reqProfile {
+					// A re-requested tier resets the ladder: the new ask is
+					// served immediately and dwell starts over from here.
+					r.profCount[sub.profile].Add(-1)
+					sub.reqProfile, sub.profile = prof, prof
+					r.profCount[prof].Add(1)
+					sub.ladderAt = now
+					sub.ladderDrops = sub.dropped
+				}
+				// The ack reports the tier actually served — under ladder
+				// pressure that may sit below the requested profile.
+				a.ack.Profile = uint8(sub.profile)
 				refreshes++
 				continue
 			}
@@ -1126,11 +1245,15 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 				}
 				r.nsubs++
 				r.stats.Subscribes++
+				prof := requestedProfile(a.req)
 				sub := &subscriber{
 					addr: a.from, channel: a.req.Channel,
 					hops: a.req.Hops, pathID: a.req.PathID,
+					profile: prof, reqProfile: prof, ladderAt: now,
 					expires: now.Add(time.Duration(a.ack.LeaseMs) * time.Millisecond),
 				}
+				r.profCount[prof].Add(1)
+				a.ack.Profile = uint8(prof)
 				sh.subs[a.from] = sub
 				sh.order = append(sh.order, sub)
 			}
@@ -1250,7 +1373,8 @@ func (r *Relay) count(fn func(*Stats)) {
 // install precise table states — sub-MinLease expiries included —
 // without going through a Subscribe packet.
 func (r *Relay) subscribe(addr lan.Addr, req *proto.Subscribe, lease time.Duration) bool {
-	expires := r.clock.Now().Add(lease)
+	now := r.clock.Now()
+	expires := now.Add(lease)
 	sh := r.shardFor(addr)
 	sh.mu.Lock()
 	if sub, ok := sh.subs[addr]; ok {
@@ -1258,6 +1382,13 @@ func (r *Relay) subscribe(addr lan.Addr, req *proto.Subscribe, lease time.Durati
 		sub.channel = req.Channel
 		sub.hops = req.Hops
 		sub.pathID = req.PathID
+		if prof := requestedProfile(req); prof != sub.reqProfile {
+			r.profCount[sub.profile].Add(-1)
+			sub.reqProfile, sub.profile = prof, prof
+			r.profCount[prof].Add(1)
+			sub.ladderAt = now
+			sub.ladderDrops = sub.dropped
+		}
 		sh.mu.Unlock()
 		r.count(func(s *Stats) { s.Refreshes++ })
 		return true
@@ -1271,11 +1402,14 @@ func (r *Relay) subscribe(addr lan.Addr, req *proto.Subscribe, lease time.Durati
 	r.nsubs++
 	r.stats.Subscribes++
 	r.mu.Unlock()
+	prof := requestedProfile(req)
 	sub := &subscriber{
 		addr: addr, channel: req.Channel,
 		hops: req.Hops, pathID: req.PathID,
+		profile: prof, reqProfile: prof, ladderAt: now,
 		expires: expires,
 	}
+	r.profCount[prof].Add(1)
 	sh.subs[addr] = sub
 	sh.order = append(sh.order, sub)
 	sh.mu.Unlock()
@@ -1313,6 +1447,7 @@ func (r *Relay) unsubscribe(addr lan.Addr) {
 	sh.mu.Lock()
 	sub, ok := sh.subs[addr]
 	if ok {
+		r.profCount[sub.profile].Add(-1)
 		sh.remove(sub)
 	}
 	sh.mu.Unlock()
@@ -1328,8 +1463,12 @@ func (r *Relay) unsubscribe(addr lan.Addr) {
 // its channel, applying drop-oldest backpressure per subscriber queue.
 // ch is the packet's channel id (already parsed by handlePacket): a
 // subscriber leased to channel X on a relay carrying a multi-channel
-// group must never receive channel Y.
+// group must never receive channel Y. The per-profile payload variants
+// are built first, outside every shard lock, once per active profile —
+// each subscriber then just picks its tier's bytes (falling back to
+// the source payload when its tier cannot serve this stream).
 func (r *Relay) fanout(ch uint32, data []byte) {
+	payloads := r.buildProfilePayloads(ch, data)
 	now := time.Now() // one residency stamp per fan-out, not per subscriber
 	var dropped int64
 	for _, sh := range r.shards {
@@ -1349,7 +1488,11 @@ func (r *Relay) fanout(ch uint32, data []byte) {
 				dropped++
 				r.tracer.Drop(obs.PathFanout, obs.ReasonQueueFull, string(sub.addr), ch)
 			}
-			sub.queue = append(sub.queue, queued{data: data, at: now})
+			pd, pf := payloads[sub.profile], sub.profile
+			if pd == nil {
+				pd, pf = data, codec.ProfileSource
+			}
+			sub.queue = append(sub.queue, queued{data: pd, prof: pf, at: now})
 			sh.queued++
 		}
 		if sh.queued > sh.maxQueued {
@@ -1376,10 +1519,12 @@ const (
 
 // shardWorker drains its shard's subscriber queues into lan.Datagram
 // batches: round-robin across subscribers for fairness, per-subscriber
-// FIFO so a subscriber's stream is never reordered, one WriteBatch per
-// flush. A batch flushes when full (size), when a partial batch has
-// waited FlushInterval for company (deadline), or when the relay stops
-// (quiesce). The actual sends happen outside the shard lock.
+// FIFO so a subscriber's stream is never reordered, and — the delivery
+// groups — profile-major within each gather pass, so subscribers on one
+// tier land contiguously and flush sends one WriteBatch per group of
+// identical payloads. A batch flushes when full (size), when a partial
+// batch has waited FlushInterval for company (deadline), or when the
+// relay stops (quiesce). The actual sends happen outside the shard lock.
 func (r *Relay) shardWorker(sh *shard) {
 	defer func() {
 		if sh.ownConn {
@@ -1393,24 +1538,33 @@ func (r *Relay) shardWorker(sh *shard) {
 	maxBatch := r.cfg.Batch
 	dgs := lan.GetBatch() // reuse pool: zero steady-state allocation
 	defer func() { lan.PutBatch(dgs) }()
-	var owners []*subscriber // owners[i] is the subscriber behind dgs[i]
+	var owners []*subscriber  // owners[i] is the subscriber behind dgs[i]
+	var profs []codec.Profile // profs[i] is dgs[i]'s delivery group
 	for {
 		dgs = dgs[:0]
 		owners = owners[:0]
+		profs = profs[:0]
 		var deadline time.Time
 		trigger := flushQuiesce
 		sh.mu.Lock()
 		for {
-			// Gather: one queued packet per subscriber per pass, oldest
-			// first, until the batch fills or the queues drain. One
-			// wall-clock read serves the whole pass's residency math.
+			// Gather: at most one queued packet per subscriber per profile
+			// per pass, oldest first, until the batch fills or the queues
+			// drain. The profile-major order is what makes each group one
+			// contiguous run of identical payloads; per-subscriber FIFO
+			// holds because only queue heads are taken and the profile
+			// loop ascends while a queue's head can match at most once.
+			// One wall-clock read serves the whole pass's residency math.
 			progress := false
 			var now time.Time
-			for _, sub := range sh.order {
-				if len(dgs) >= maxBatch {
-					break
-				}
-				if len(sub.queue) > 0 {
+			for p := codec.Profile(0); p.Valid() && len(dgs) < maxBatch; p++ {
+				for _, sub := range sh.order {
+					if len(dgs) >= maxBatch {
+						break
+					}
+					if len(sub.queue) == 0 || sub.queue[0].prof != p {
+						continue
+					}
 					q := sub.queue[0]
 					copy(sub.queue, sub.queue[1:])
 					sub.queue = sub.queue[:len(sub.queue)-1]
@@ -1421,6 +1575,7 @@ func (r *Relay) shardWorker(sh *shard) {
 					r.queueResidency.Observe(now.Sub(q.at))
 					dgs = append(dgs, lan.Datagram{To: sub.addr, Data: q.data})
 					owners = append(owners, sub)
+					profs = append(profs, p)
 					progress = true
 				}
 			}
@@ -1453,7 +1608,7 @@ func (r *Relay) shardWorker(sh *shard) {
 		stopped := sh.stopped
 		sh.mu.Unlock()
 		if len(dgs) > 0 {
-			r.flush(sh, dgs, owners, trigger)
+			r.flush(sh, dgs, owners, profs, trigger)
 		}
 		if stopped && len(dgs) == 0 {
 			return
@@ -1461,16 +1616,69 @@ func (r *Relay) shardWorker(sh *shard) {
 	}
 }
 
-// flush sends one gathered batch through the shard's socket and settles
-// the accounting. WriteBatch has prefix semantics — datagrams before
-// the first error were handed to the substrate, the rest were not — so
-// on a partial send the failing datagram is skipped and the remainder
-// retried: one subscriber with a poisoned path (ICMP-refused port,
-// firewall EPERM) must not starve the subscribers batched after it.
-func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigger flushTrigger) {
+// groupByDest stable-sorts one delivery group and its owners by
+// destination: a subscriber owed several packets of one tier ends up
+// with them adjacent (and, stable, still in FIFO order), which is the
+// run shape the GSO backend coalesces into a single kernel send.
+type groupByDest struct {
+	dgs    []lan.Datagram
+	owners []*subscriber
+}
+
+func (g groupByDest) Len() int           { return len(g.dgs) }
+func (g groupByDest) Less(i, j int) bool { return g.dgs[i].To < g.dgs[j].To }
+func (g groupByDest) Swap(i, j int) {
+	g.dgs[i], g.dgs[j] = g.dgs[j], g.dgs[i]
+	g.owners[i], g.owners[j] = g.owners[j], g.owners[i]
+}
+
+// flush sends one gathered batch through the shard's socket as one
+// WriteBatch per delivery group — each contiguous same-profile run the
+// gather produced — and settles the accounting. With GSO configured
+// each group is additionally sorted by destination first, so same-size
+// packets owed to one subscriber coalesce into UDP_SEGMENT sends.
+func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, profs []codec.Profile, trigger flushTrigger) {
 	t0 := time.Now()
 	first, size := dgs[0].To, len(dgs)
-	var sent, errs int64
+	var sent, errs, groups int64
+	for len(dgs) > 0 {
+		n := 1
+		for n < len(dgs) && profs[n] == profs[0] {
+			n++
+		}
+		if r.cfg.GSO && n > 1 {
+			sort.Stable(groupByDest{dgs: dgs[:n], owners: owners[:n]})
+		}
+		gs, ge := r.sendGroup(sh, dgs[:n], owners[:n])
+		sent += gs
+		errs += ge
+		groups++
+		dgs, owners, profs = dgs[n:], owners[n:], profs[n:]
+	}
+	r.flushLatency.Observe(time.Since(t0))
+	r.tracer.Send(obs.PathFanout, string(first), 0, size)
+	r.count(func(s *Stats) {
+		s.FanoutSent += sent
+		s.SendErrors += errs
+		s.Batches += groups
+		switch trigger {
+		case flushSize:
+			s.FlushSize++
+		case flushDeadline:
+			s.FlushDeadline++
+		case flushQuiesce:
+			s.FlushQuiesce++
+		}
+	})
+}
+
+// sendGroup delivers one delivery group. WriteBatch has prefix
+// semantics — datagrams before the first error were handed to the
+// substrate, the rest were not — so on a partial send the failing
+// datagram is skipped and the remainder retried: one subscriber with a
+// poisoned path (ICMP-refused port, firewall EPERM) must not starve
+// the subscribers batched after it.
+func (r *Relay) sendGroup(sh *shard, dgs []lan.Datagram, owners []*subscriber) (sent, errs int64) {
 	for len(dgs) > 0 {
 		n, err := lan.WriteBatch(sh.conn, dgs)
 		if n > len(dgs) {
@@ -1493,24 +1701,13 @@ func (r *Relay) flush(sh *shard, dgs []lan.Datagram, owners []*subscriber, trigg
 		}
 		errs++
 	}
-	r.flushLatency.Observe(time.Since(t0))
-	r.tracer.Send(obs.PathFanout, string(first), 0, size)
-	r.count(func(s *Stats) {
-		s.FanoutSent += sent
-		s.SendErrors += errs
-		s.Batches++
-		switch trigger {
-		case flushSize:
-			s.FlushSize++
-		case flushDeadline:
-			s.FlushDeadline++
-		case flushQuiesce:
-			s.FlushQuiesce++
-		}
-	})
+	return sent, errs
 }
 
-// sweep expires silent subscribers and frees their queues.
+// sweep expires silent subscribers and frees their queues; with the
+// ladder enabled it is also the quality controller's clock, stepping
+// each shard's subscribers down under sustained drops and back up
+// after a drop-free dwell (see ladderStep).
 func (r *Relay) sweep() {
 	for {
 		r.clock.Sleep(r.cfg.SweepInterval)
@@ -1518,21 +1715,29 @@ func (r *Relay) sweep() {
 			return
 		}
 		now := r.clock.Now()
-		var expired int64
+		var expired, down, up int64
 		for _, sh := range r.shards {
 			sh.mu.Lock()
 			for _, sub := range append([]*subscriber(nil), sh.order...) {
 				if !sub.expires.After(now) {
+					r.profCount[sub.profile].Add(-1)
 					sh.remove(sub)
 					expired++
 				}
 			}
+			if r.cfg.Ladder {
+				d, u := r.ladderStep(sh, now)
+				down += d
+				up += u
+			}
 			sh.mu.Unlock()
 		}
-		if expired > 0 {
+		if expired+down+up > 0 {
 			r.mu.Lock()
 			r.nsubs -= int(expired)
 			r.stats.Expired += expired
+			r.stats.LadderDown += down
+			r.stats.LadderUp += up
 			r.mu.Unlock()
 		}
 	}

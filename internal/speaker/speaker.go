@@ -47,6 +47,12 @@ type Config struct {
 
 	// RelayLease overrides DefaultRelayLease.
 	RelayLease time.Duration
+	// RelayProfile is the delivery tier requested when subscribing to a
+	// relay (codec.ProfileSource, the zero value, asks for the untouched
+	// upstream stream). A tiered stream arrives as its own epoch with
+	// the tier's codec in the rewritten Control packet, so playback
+	// reconfigures through the normal radio-model path.
+	RelayProfile codec.Profile
 
 	// Epsilon overrides DefaultEpsilon (§3.2).
 	Epsilon time.Duration
@@ -175,6 +181,9 @@ func New(clock vclock.Clock, network lan.Network, cfg Config) (*Speaker, error) 
 		"relay lease time remaining at each refresh", nil)
 	s.sub = lease.New(clock, conn, "speaker-"+cfg.Name+"-lease")
 	s.sub.SetInstruments(s.ctlRTT, s.leaseMargin)
+	if cfg.RelayProfile != 0 {
+		s.sub.SetProfile(cfg.RelayProfile)
+	}
 	if cfg.RelayAuth != nil {
 		s.sub.SetAuth(cfg.RelayAuth)
 	}

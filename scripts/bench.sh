@@ -1,6 +1,6 @@
 #!/bin/sh
 # Run the relay perf benchmarks and record the trajectory as
-# BENCH_7.json: the fan-out table (ns/pkt plus the relay's own hot-path
+# BENCH_8.json: the fan-out table (ns/pkt plus the relay's own hot-path
 # histogram percentiles, measured with the ops endpoint live and being
 # scraped — the numbers price the relay as deployed) and the join-storm
 # admission table (subscribes/sec, batched vs per-packet verification).
@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 : "${BENCHTIME:=1x}"
-: "${BENCH_OUT:=BENCH_7.json}"
+: "${BENCH_OUT:=BENCH_8.json}"
 BENCH_JSON="$BENCH_OUT" go test -run '^$' -bench '^(BenchmarkRelayFanout|BenchmarkJoinStorm)$' \
 	-benchtime "$BENCHTIME" .
 echo "wrote $BENCH_OUT:"
