@@ -725,6 +725,123 @@ func benchJoinStorm(b *testing.B, subscribers, admitBatch int) {
 	})
 }
 
+// BenchmarkDVRCatchup measures time-shifted delivery's replay path: a
+// DVR-enabled relay records a backlog, a subscriber joins asking for
+// all of it (Subscribe.ShiftMs), and the benchmark times the wall
+// clock from the shifted join until the catch-up cursor converges on
+// the live head. The headline metric is ns/backlog-pkt — the cost of
+// ring reads, token pacing, and batch hand-off per replayed packet —
+// reported at the default burst rate and effectively unpaced, so the
+// pacing overhead itself is priced too.
+func BenchmarkDVRCatchup(b *testing.B) {
+	for _, burst := range []int{relay.DefaultDVRBurst, 50_000} {
+		b.Run(fmt.Sprintf("backlog=1000/burst=%d", burst), func(b *testing.B) {
+			benchDVRCatchup(b, 1000, burst)
+		})
+	}
+	b.Run("backlog=3000/burst=50000", func(b *testing.B) {
+		benchDVRCatchup(b, 3000, 50_000)
+	})
+}
+
+// dvrRow is one BenchmarkDVRCatchup row in the perf-trajectory file.
+type dvrRow struct {
+	Name         string  `json:"name"`
+	BacklogPkts  int     `json:"backlog_pkts"`
+	BurstPPS     int     `json:"burst_pps"`
+	NsPerPkt     float64 `json:"ns_per_backlog_pkt"`
+	PktsPerSec   float64 `json:"backlog_pkts_per_sec"`
+	CatchupP50Ms float64 `json:"catchup_lag_p50_ms"`
+	CatchupP99Ms float64 `json:"catchup_lag_p99_ms"`
+}
+
+func benchDVRCatchup(b *testing.B, backlog, burst int) {
+	var served int64
+	var active time.Duration
+	lagAgg := obs.NewHistogram("catchup-lag", "", nil)
+	for i := 0; i < b.N; i++ {
+		sys := NewSimSystem(lan.SegmentConfig{QueueLen: 4096})
+		r, err := sys.AddRelay(relay.Config{
+			Group: "239.72.1.1:5004", Channel: 1,
+			DVR:      true,
+			DVRDepth: time.Hour, // the whole backlog stays replayable
+			DVRBurst: burst,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := sys.Net.Attach("10.9.0.1:5004")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Clock.Go("drain", func() {
+			for {
+				if _, err := conn.Recv(0); err != nil {
+					return
+				}
+			}
+		})
+		prod, err := sys.Net.Attach("10.9.1.1:5000")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Clock.Go("driver", func() {
+			// Preload: a position-coded stream at the 10 ms cadence fills
+			// the ring in simulated time (free on the wall clock).
+			for s := 0; s < backlog; s++ {
+				if s%100 == 0 {
+					data, _ := (&proto.Control{Channel: 1, Epoch: 1, Seq: uint64(s),
+						Params: audio.Voice, Codec: "raw"}).Marshal()
+					prod.Send("239.72.1.1:5004", data)
+				}
+				data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: uint64(s + 1),
+					PlayAt: int64(s+1) * 10_000_000, Payload: make([]byte, 880)}).Marshal()
+				prod.Send("239.72.1.1:5004", data)
+				sys.Clock.Sleep(10 * time.Millisecond)
+			}
+			// The timed window: shifted join through convergence.
+			sub, _ := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60_000,
+				ShiftMs: uint32(backlog) * 10}).Marshal()
+			start := time.Now()
+			if err := conn.Send(r.Addr(), sub); err != nil {
+				b.Error(err)
+				return
+			}
+			for {
+				st := r.Stats()
+				if st.DVRBacklog >= int64(backlog) && st.DVRCatchupActive == 0 {
+					break
+				}
+				sys.Clock.Sleep(5 * time.Millisecond)
+			}
+			active += time.Since(start)
+			sys.Shutdown()
+			conn.Close()
+			prod.Close()
+		})
+		sys.Sim.WaitIdle()
+		st := r.Stats()
+		if st.DVRClamped != 0 || st.DVREvictions != 0 {
+			b.Fatalf("clamped=%d evictions=%d; the bench must replay the whole backlog",
+				st.DVRClamped, st.DVREvictions)
+		}
+		served += st.DVRBacklog
+		lagAgg.Merge(r.Instruments().CatchupLag)
+	}
+	nsPkt := float64(active.Nanoseconds()) / float64(served)
+	b.ReportMetric(nsPkt, "ns/backlog-pkt")
+	b.ReportMetric(float64(served)/active.Seconds(), "backlogpkts/sec")
+	recordBenchRow(b, b.Name(), dvrRow{
+		Name:         b.Name(),
+		BacklogPkts:  backlog,
+		BurstPPS:     burst,
+		NsPerPkt:     nsPkt,
+		PktsPerSec:   float64(served) / active.Seconds(),
+		CatchupP50Ms: float64(lagAgg.Quantile(0.50).Nanoseconds()) / 1e6,
+		CatchupP99Ms: float64(lagAgg.Quantile(0.99).Nanoseconds()) / 1e6,
+	})
+}
+
 // BenchmarkEndToEndPipeline measures a full simulated second of system
 // time: VAD -> rebroadcast -> LAN -> speaker -> DAC, per op.
 func BenchmarkEndToEndPipeline(b *testing.B) {

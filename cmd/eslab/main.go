@@ -153,6 +153,13 @@ func main() {
 			}
 			experiments.E17Ladder(w, rounds)
 		}},
+		{"dvr", "E18: time-shifted delivery — DVR catch-up join converging on the live stream", func(q bool) {
+			behind := 10
+			if q {
+				behind = 5
+			}
+			experiments.E18DVR(w, behind)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

@@ -11,6 +11,13 @@
 //
 //	mpg123 -s song.mp3 | rebroadcastd -group 239.72.1.1:5004 \
 //	    -rate 44100 -channels 2
+//
+// Example — the same, with time-shifted delivery: an embedded DVR
+// relay records the channel and serves shifted joins and pause/resume
+// on a unicast lease address, beside the untouched multicast stream:
+//
+//	rebroadcastd -group 239.72.1.1:5004 -wav \
+//	    -dvr -dvr-listen 192.0.2.5:5007 -dvr-depth 60s < music.wav
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/obs"
 	"repro/internal/rebroadcast"
+	"repro/internal/relay"
 	"repro/internal/vad"
 	"repro/internal/vclock"
 )
@@ -41,6 +49,10 @@ func main() {
 		channels = flag.Int("channels", 2, "channels of stdin PCM")
 		wav      = flag.Bool("wav", false, "parse stdin as a WAV file instead of raw PCM")
 		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /healthz, /debug/pprof (empty = off)")
+		dvrOn    = flag.Bool("dvr", false, "embed a time-shift (DVR) relay: it records this channel and serves shifted and pause/resume subscribers at -dvr-listen")
+		dvrAddr  = flag.String("dvr-listen", "0.0.0.0:5007", "unicast address the embedded DVR relay leases subscribers from (with -dvr)")
+		dvrDepth = flag.Duration("dvr-depth", 0, "recorded history in the embedded relay's ring (0 = the built-in 30s default; with -dvr)")
+		dvrBurst = flag.Int("dvr-burst", 0, "catch-up delivery rate in packets/s per subscriber (0 = the built-in default; with -dvr)")
 	)
 	flag.Parse()
 	log.SetPrefix("rebroadcastd: ")
@@ -65,11 +77,41 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// -dvr embeds a recording relay beside the transmitter: listeners
+	// on the LAN keep playing the multicast stream untouched, while
+	// anyone who wants to join "from 30 seconds ago" (or pause and
+	// resume) leases the backlog from -dvr-listen — time-shifted
+	// delivery at the source, with no separate relayd to deploy.
+	var dvrRelay *relay.Relay
+	if *dvrOn {
+		rconn, err := net.Attach(lan.Addr(*dvrAddr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rconn.Close()
+		dvrRelay, err = relay.New(clock, rconn, relay.Config{
+			Group:    lan.Addr(*group),
+			Channel:  uint32(*id),
+			DVR:      true,
+			DVRDepth: *dvrDepth,
+			DVRBurst: *dvrBurst,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clock.Go("dvr-relay", dvrRelay.Run)
+		defer dvrRelay.Stop()
+		log.Printf("time-shift relay at %s", dvrRelay.Addr())
+	}
+
 	if *opsAddr != "" {
 		reg := obs.NewRegistry()
 		// The rebroadcaster's stats carry no mib tags (it has no MIB);
 		// StructCounters falls back to es_reb_<snake_case> names.
 		reg.StructCounters("es_reb", func() any { return reb.Stats() })
+		if dvrRelay != nil {
+			dvrRelay.RegisterObs(reg)
+		}
 		reg.Info("es_reb_info", "rebroadcaster identity", func() []obs.KV {
 			return []obs.KV{
 				{Key: "name", Value: *name},

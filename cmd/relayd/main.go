@@ -15,8 +15,14 @@
 // segmentation offload where the kernel supports it, and -ladder turns
 // on the adaptive quality ladder: subscribers whose queues drop packets
 // are transcoded down the codec profile tiers (source, ulaw, ovl-high,
-// ovl-low) and climb back after a clean dwell. See docs/RELAY-OPS.md
-// for the full operator guide, including which MIB counters to watch.
+// ovl-low) and climb back after a clean dwell (-ladder-down-drops and
+// -ladder-dwell tune the thresholds). -dvr turns on time-shifted
+// delivery: relayed packets are recorded into bounded per-channel
+// rings (-dvr-depth of history), subscribers may join "from N seconds
+// ago" or pause and resume, and their backlog is replayed at up to
+// -dvr-burst packets/s until they converge on the live stream. See
+// docs/RELAY-OPS.md for the full operator guide, including which MIB
+// counters to watch.
 //
 // Example — relay the default channel group, serving subscribers on
 // port 5006:
@@ -50,7 +56,6 @@
 package main
 
 import (
-	"flag"
 	"log"
 	stdnet "net"
 	"os"
@@ -65,37 +70,14 @@ import (
 )
 
 func main() {
-	var (
-		group    = flag.String("group", "239.72.1.1:5004", "multicast group to relay (ignored with -upstream)")
-		upstream = flag.String("upstream", "", "chain behind another relay: its unicast address, or 'discover' to pick one from the catalog (replaces -group)")
-		catalog  = flag.String("catalog", "239.72.0.1:5003", "catalog group queried by -upstream discover")
-		adverts  = flag.String("advertise", "", "catalog group to advertise this relay on (empty = off; the system default is 239.72.0.1:5003)")
-		maxHops  = flag.Int("max-hops", relay.DefaultMaxHops, "refuse subscription paths deeper than this many relays")
-		listen   = flag.String("listen", "0.0.0.0:5006", "unicast address subscribers lease from")
-		channel  = flag.Uint("channel", 0, "restrict to one channel id (0 = any)")
-		shards   = flag.Int("shards", relay.DefaultShards, "subscriber table shards")
-		queue    = flag.Int("queue", relay.DefaultQueueLen, "per-subscriber queue length (packets)")
-		maxSubs  = flag.Int("max-subscribers", relay.DefaultMaxSubscribers, "subscriber table capacity")
-		maxLs    = flag.Duration("max-lease", relay.DefaultMaxLease, "longest grantable lease")
-		batch    = flag.Int("batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
-		flush    = flag.Duration("flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
-		shardSk  = flag.Bool("shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
-		authFlag = flag.String("auth", "none", "control-plane auth scheme: none, or hmac with -key-file (§5.1; forged subscribes are dropped silently)")
-		keyFile  = flag.String("key-file", "", "file holding the shared control-plane key (with -auth hmac)")
-		shedSubs = flag.Int("shed-subscribers", 0, "shed new subscribers (SubRedirect to a catalog sibling) at this subscriber count (0 = off; needs -advertise so siblings are watched)")
-		shedPres = flag.Int("shed-pressure", 0, "shed new subscribers at this queue-pressure score, 1-255 (0 = off; needs -advertise so siblings are watched)")
-		admitB   = flag.Int("admit-batch", relay.DefaultAdmitBatch, "subscribe admission batch size (1 = per-packet verification)")
-		ladder   = flag.Bool("ladder", false, "adaptive quality ladder: transcode congested subscribers down the profile tiers, recover after a clean dwell")
-		gso      = flag.Bool("gso", false, "UDP_SEGMENT segmentation offload on fan-out sockets (Linux; falls back to sendmmsg where unsupported)")
-		report   = flag.Duration("report", 10*time.Second, "stats table interval (0 = silent)")
-		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
-		traceN   = flag.Int("trace-sample", 0, "packet tracer 1-in-N sampling for the event ring (0 = default; drop counters are always exact)")
-	)
-	flag.Parse()
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // flag package already printed the problem
+	}
 	log.SetPrefix("relayd: ")
 	log.SetFlags(0)
 
-	auth, err := security.LoadControlAuth(*authFlag, *keyFile)
+	auth, err := security.LoadControlAuth(o.auth, o.keyFile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +86,7 @@ func main() {
 	net := &lan.UDPNetwork{}
 
 	sourceHops := 0
-	if *upstream == "discover" {
+	if o.upstream == "discover" {
 		// Pick the bridge from the catalog, refusing our own advertised
 		// address — the catalog echoes this relay's announce back at it
 		// — and everything chained behind us at any depth: a chained
@@ -114,13 +96,13 @@ func main() {
 		// cycle SubLoop would then refuse on every refresh forever
 		// instead of ever converging.
 		ri, err := relay.Discover(clock, net,
-			lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")),
-			lan.Addr(*catalog), uint32(*channel), 15*time.Second,
-			relay.ExcludeChainOf(lan.Addr(*listen)))
+			lan.Addr(stdnet.JoinHostPort(lan.Addr(o.listen).Host(), "0")),
+			lan.Addr(o.catalog), uint32(o.channel), 15*time.Second,
+			relay.ExcludeChainOf(lan.Addr(o.listen)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		*upstream = ri.Addr
+		o.upstream = ri.Addr
 		if ri.HasLoad && ri.Hops < 255 {
 			// Depth accumulates along discovered chains: our catalog
 			// record reports one hop more than the upstream's.
@@ -129,36 +111,14 @@ func main() {
 		log.Printf("discovered upstream %s (relaying %s)", ri.Addr, ri.Group)
 	}
 
-	conn, err := net.Attach(lan.Addr(*listen))
+	conn, err := net.Attach(lan.Addr(o.listen))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
 
-	cfg := relay.Config{
-		Group:           lan.Addr(*group),
-		Upstream:        lan.Addr(*upstream),
-		MaxHops:         *maxHops,
-		Channel:         uint32(*channel),
-		Shards:          *shards,
-		QueueLen:        *queue,
-		MaxSubscribers:  *maxSubs,
-		MaxLease:        *maxLs,
-		Batch:           *batch,
-		FlushInterval:   *flush,
-		Auth:            auth,
-		TraceSample:     *traceN,
-		ShedSubscribers: *shedSubs,
-		ShedPressure:    *shedPres,
-		AdmitBatch:      *admitB,
-		SourceHops:      sourceHops,
-		Ladder:          *ladder,
-		GSO:             *gso,
-	}
-	if *upstream != "" {
-		cfg.Group = "" // chained: the upstream relay is the source
-	}
-	if *shardSk {
+	cfg := o.relayConfig(auth, sourceHops)
+	if o.shardSk {
 		// Per-shard send sockets: each shard batches through its own
 		// ephemeral-port socket. Data then comes from those ports, not
 		// from -listen, so a NAT/stateful-firewall pinhole opened by the
@@ -176,10 +136,10 @@ func main() {
 		log.Printf("control plane authenticated (%s); unsigned subscribes are dropped silently", auth.Scheme())
 	}
 
-	if *opsAddr != "" {
+	if o.opsAddr != "" {
 		reg := obs.NewRegistry()
 		r.RegisterObs(reg)
-		srv, err := obs.Serve(*opsAddr, reg)
+		srv, err := obs.Serve(o.opsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -187,56 +147,56 @@ func main() {
 		log.Printf("ops endpoint at http://%s/metrics", srv.Addr())
 	}
 
-	if *adverts != "" {
+	if o.adverts != "" {
 		// Publish this relay in the channel catalog (§4.3) so off-LAN
 		// speakers and downstream relays discover it without static
 		// configuration. The advertised address is -listen verbatim, so
 		// a wildcard bind would publish an address no subscriber can
 		// reach ("0.0.0.0:5006" sends the Subscribe back to the
 		// subscriber's own host) — refuse it up front.
-		if ip := stdnet.ParseIP(lan.Addr(*listen).Host()); ip == nil || ip.IsUnspecified() {
-			log.Fatalf("-advertise needs a routable -listen address, not %q: bind the interface subscribers reach", *listen)
+		if ip := stdnet.ParseIP(lan.Addr(o.listen).Host()); ip == nil || ip.IsUnspecified() {
+			log.Fatalf("-advertise needs a routable -listen address, not %q: bind the interface subscribers reach", o.listen)
 		}
 		// The announcer gets its own ephemeral socket so catalog
 		// traffic never contends with the data path.
-		cconn, err := net.Attach(lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")))
+		cconn, err := net.Attach(lan.Addr(stdnet.JoinHostPort(lan.Addr(o.listen).Host(), "0")))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer cconn.Close()
-		cat := rebroadcast.NewCatalog(clock, cconn, lan.Addr(*adverts), 0)
+		cat := rebroadcast.NewCatalog(clock, cconn, lan.Addr(o.adverts), 0)
 		// Live record provider: every announce carries the load vector
 		// (subscribers, queue pressure, hops from source) as of that
 		// cycle, which is what discovery ranks candidates by.
 		cat.SetRelayFunc(r.Info)
 		clock.Go("advertise", cat.Run)
 		defer cat.Stop()
-		log.Printf("advertising on %s", *adverts)
+		log.Printf("advertising on %s", o.adverts)
 
-		if *shedSubs > 0 || *shedPres > 0 {
+		if o.shedSubs > 0 || o.shedPres > 0 {
 			// Shedding needs somewhere to steer: watch the same catalog
 			// group for sibling relays and feed live snapshots to the
 			// redirect picker.
 			w, err := relay.NewWatcher(clock, net,
-				lan.Addr(stdnet.JoinHostPort(lan.Addr(*listen).Host(), "0")),
-				lan.Addr(*adverts))
+				lan.Addr(stdnet.JoinHostPort(lan.Addr(o.listen).Host(), "0")),
+				lan.Addr(o.adverts))
 			if err != nil {
 				log.Fatal(err)
 			}
 			r.SetSiblings(w.Snapshot)
 			clock.Go("sibling-watch", w.Run)
 			defer w.Stop()
-			log.Printf("shedding enabled (subscribers>=%d, pressure>=%d); steering to catalog siblings", *shedSubs, *shedPres)
+			log.Printf("shedding enabled (subscribers>=%d, pressure>=%d); steering to catalog siblings", o.shedSubs, o.shedPres)
 		}
 	}
-	if (*shedSubs > 0 || *shedPres > 0) && *adverts == "" {
+	if (o.shedSubs > 0 || o.shedPres > 0) && o.adverts == "" {
 		log.Printf("warning: -shed-subscribers/-shed-pressure set without -advertise: no sibling watch, so the relay admits normally instead of shedding")
 	}
 
-	if *report > 0 {
+	if o.report > 0 {
 		clock.Go("report", func() {
 			for {
-				clock.Sleep(*report)
+				clock.Sleep(o.report)
 				r.Table().Render(os.Stdout)
 			}
 		})

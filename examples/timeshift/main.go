@@ -1,99 +1,145 @@
 // Timeshift: the §3.3 payoff of keeping the VAD general — "applications
 // may be developed to process the audio stream (e.g., time-shifting
-// Internet radio transmissions)". A recorder reads the master side of a
-// VAD while a player streams into the slave, stores the programme, and
-// replays it later onto a live channel; the VAD imposes no rate limit,
-// so recording runs at wire speed (§3.1).
+// Internet radio transmissions)". The DVR subsystem does this in place:
+// a DVR-enabled relay records the live channel into a bounded ring, and
+// a listener who tunes in late asks the relay for history
+// (Subscribe.ShiftMs). The relay replays the backlog faster than real
+// time — honouring pause and resume along the way — until the listener
+// converges onto the live stream and ordinary fan-out takes over.
 package main
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro"
-	"repro/internal/audio"
-	"repro/internal/vad"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/relay/lease"
 )
 
 func main() {
-	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{})
+	sys := espeaker.NewSimSystem(espeaker.SegmentConfig{QueueLen: 4096})
 
-	// Stage 1: record. The "internet radio" application plays a
-	// 30-second programme into a standalone VAD; the recorder drains the
-	// master at wire speed.
-	recVAD := vad.New(sys.Clock, vad.Config{})
-	var recorded []byte
-	var recParams audio.Params
-	recordStart := sys.Clock.Now()
-	var recordElapsed time.Duration
-	sys.Clock.Go("recorder", func() {
-		for {
-			blk, ok := recVAD.Master().ReadBlock()
-			if !ok {
-				recordElapsed = sys.Clock.Since(recordStart)
-				return
-			}
-			if blk.Config {
-				recParams = blk.Params
-				continue
-			}
-			recorded = append(recorded, blk.Data...)
-		}
+	// The radio station: a live channel multicasting a 30-second
+	// programme, with a DVR relay recording it as it airs.
+	const group = "239.72.1.1:5004"
+	r, err := sys.AddRelay(espeaker.RelayConfig{
+		Group:    group,
+		Channel:  1,
+		DVR:      true,
+		DVRDepth: 60 * time.Second, // ring comfortably covers the programme
 	})
-	p := espeaker.Voice
-	sys.Clock.Go("radio", func() {
-		slave := recVAD.Slave()
-		if err := slave.Open(p); err != nil {
-			panic(err)
-		}
-		total := p.BytesFor(30 * time.Second)
-		src := espeaker.Tone(p.SampleRate, 1, 440, 0.6)
-		buf := make([]int16, 4096)
-		written := 0
-		for written < total {
-			n, _ := src.ReadSamples(buf)
-			raw := audio.Encode(p, buf[:n])
-			if written+len(raw) > total {
-				raw = raw[:total-written]
-			}
-			slave.Write(raw)
-			written += len(raw)
-		}
-		slave.Drain()
-		recVAD.Close()
-	})
-	sys.Sim.WaitIdle()
-
-	fmt.Printf("recorded %.1fs of %s in %v of simulated time (no rate limit on the VAD)\n",
-		float64(len(recorded))/float64(recParams.BytesPerSecond()),
-		recParams, recordElapsed.Round(time.Millisecond))
-
-	// Stage 2: replay the stored programme onto a live channel — this
-	// time the rebroadcaster's limiter paces it to real time.
+	if err != nil {
+		panic(err)
+	}
 	ch, err := sys.AddChannel(espeaker.ChannelConfig{
-		ID: 1, Name: "timeshifted", Group: "239.72.1.1:5004",
+		ID: 1, Name: "radio", Group: group,
 	}, espeaker.VADConfig{})
 	if err != nil {
 		panic(err)
 	}
-	sp, err := sys.AddSpeaker(espeaker.SpeakerConfig{Name: "living-room", Group: "239.72.1.1:5004"})
+	sp, err := sys.AddSpeaker(espeaker.SpeakerConfig{Name: "living-room", Group: group})
 	if err != nil {
 		panic(err)
 	}
-	replayStart := sys.Clock.Now()
-	var replayElapsed time.Duration
-	sys.Clock.Go("replay", func() {
-		ch.Play(recParams, &audio.SliceSource{Samples: audio.Decode(recParams, recorded)},
-			30*time.Second)
-		replayElapsed = sys.Clock.Since(replayStart)
-		sys.Clock.Sleep(32 * time.Second)
-		sys.Shutdown()
+
+	p := espeaker.Voice
+	sys.Clock.Go("radio", func() {
+		ch.Play(p, espeaker.Tone(p.SampleRate, p.Channels, 440, 0.6), 30*time.Second)
+	})
+
+	// The late listener: a unicast lease against the relay, counting the
+	// data packets it is served.
+	conn, err := sys.Net.Attach(lan.Addr("10.99.0.1:7000"))
+	if err != nil {
+		panic(err)
+	}
+	late := lease.New(sys.Clock, conn, "late-listener")
+	var stop int32
+	var got int64
+	sys.Clock.Go("late-recv", func() {
+		for {
+			pkt, err := conn.Recv(time.Second)
+			if err == lan.ErrTimeout {
+				if atomic.LoadInt32(&stop) != 0 {
+					return
+				}
+				continue
+			}
+			if err != nil {
+				return
+			}
+			switch t, _, _ := proto.PeekType(pkt.Data); t {
+			case proto.TypeSubAck:
+				late.HandleAckData(pkt.From, pkt.Data)
+			case proto.TypeData:
+				atomic.AddInt64(&got, 1)
+			}
+		}
+	})
+	catchingUp := func() bool {
+		for _, info := range r.Subscribers() {
+			if info.Addr == conn.LocalAddr() {
+				return info.CatchingUp
+			}
+		}
+		return false
+	}
+
+	sys.Clock.Go("driver", func() {
+		defer func() {
+			atomic.StoreInt32(&stop, 1)
+			late.Close()
+			conn.Close()
+			sys.Shutdown()
+		}()
+
+		// The listener misses the first 20 seconds of the programme,
+		// then asks the relay for all of it.
+		sys.Clock.Sleep(20 * time.Second)
+		late.SetShift(20 * time.Second)
+		late.Subscribe(r.Addr(), 1, time.Minute)
+		sys.Clock.Sleep(time.Second)
+		fmt.Printf("missed 20s of the programme; relay granted a %v shift\n",
+			late.GrantedShift().Round(time.Millisecond))
+
+		// Mid catch-up, pause: delivery parks exactly where it is and the
+		// ring keeps recording the live transmission underneath.
+		beforePause := atomic.LoadInt64(&got)
+		late.Pause()
+		sys.Clock.Sleep(3 * time.Second)
+		duringPause := atomic.LoadInt64(&got) - beforePause
+		fmt.Printf("paused after %d packets; %d arrived during the 3s pause\n",
+			beforePause, duringPause)
+
+		// Resume: the backlog replays faster than real time until the
+		// cursor converges on the live head.
+		late.Resume()
+		resumed := sys.Clock.Now()
+		converged := time.Duration(0)
+		for i := 0; i < 300; i++ {
+			if late.GrantedShift() > 0 && !catchingUp() {
+				converged = sys.Clock.Now().Sub(resumed)
+				break
+			}
+			sys.Clock.Sleep(100 * time.Millisecond)
+		}
+		fmt.Printf("converged on the live stream %v after resuming\n",
+			converged.Round(100*time.Millisecond))
+
+		// Ride the live tail to the end of the programme.
+		sys.Clock.Sleep(12 * time.Second)
+
+		st := r.Stats()
+		fmt.Printf("late listener received %d packets, %d of them replayed from the ring\n",
+			atomic.LoadInt64(&got), st.DVRBacklog)
+		fmt.Printf("relay: %d ring(s), clamped %d, evictions %d\n",
+			st.DVRRings, st.DVRClamped, st.DVREvictions)
+		ls := sp.Stats()
+		fmt.Printf("live speaker played %.1fs throughout, late drops %d\n",
+			float64(ls.BytesPlayed)/float64(p.BytesPerSecond()), ls.DroppedLate)
 	})
 	sys.Sim.WaitIdle()
-
-	st := sp.Stats()
-	fmt.Printf("replayed in %v of simulated time (rate-limited to real time)\n",
-		replayElapsed.Round(time.Second))
-	fmt.Printf("speaker played %.1fs, late drops %d\n",
-		float64(st.BytesPlayed)/float64(recParams.BytesPerSecond()), st.DroppedLate)
 }

@@ -1,0 +1,15 @@
+// Package dvr is the relay's time-shift store: a bounded per-channel
+// ring of recent stream generations that turns the per-subscriber
+// lease state the relay already keeps into a DVR (the §3.3
+// time-shifting application). A relay feeds its channel's ring from
+// the upstream receive loop; a subscriber joining with a time shift
+// ("from T seconds ago", proto.Subscribe.ShiftMs) is started from a
+// cursor into the ring and fed the backlog at faster than realtime
+// until it converges on live. Pause/resume rides the same cursor.
+//
+// The ring is bounded twice: by a packet capacity (absolute memory
+// bound) and by a depth in seconds (entries older than the depth are
+// trimmed even when the ring is not full). Slot buffers are reused
+// across generations, so steady-state recording does not allocate per
+// packet.
+package dvr

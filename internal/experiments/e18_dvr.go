@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/relay"
+	"repro/internal/relay/lease"
+	"repro/internal/stats"
+)
+
+// E18Result is the outcome of the time-shifted delivery experiment.
+type E18Result struct {
+	Behind        time.Duration // how far back the late joiner asked to start
+	GrantedShift  time.Duration // shift the relay actually granted
+	ShiftFirstSeq uint64        // first data seq the late joiner received
+	BacklogServed int64         // es.relay.dvr.backlog.packets across the run
+	Converged     bool          // the late joiner reached the live head
+	ConvergeIn    time.Duration // join -> convergence (sim time)
+	MidCatchingUp bool          // still replaying at the mid-run snapshot
+	MidLiveSeq    uint64        // live listener's position at that snapshot
+	MidShiftSeq   uint64        // late joiner's position at the same instant
+	SyncOK        bool          // both positions on the channel clock, joiner behind
+	TailAgree     bool          // after convergence both ended on the final packet
+	LiveReorders  int64         // within-epoch sequence regressions (must be 0)
+	ShiftReorders int64
+	FanoutDropped int64 // relay queue drops (must be 0)
+	Clamped       int64 // es.relay.dvr.clamped (must be 0: depth covers the ask)
+	Evictions     int64 // es.relay.dvr.evictions (must be 0: joiner keeps up)
+}
+
+// E18DVR drives time-shifted delivery end to end: a DVR-enabled relay
+// records a position-coded stream while one listener plays it live;
+// `behind` seconds in, a second listener joins asking for the whole
+// recorded history (Subscribe.ShiftMs). The relay starts it from the
+// ring — its first packet is the first packet of the stream — and
+// replays the backlog faster than realtime until the cursor converges
+// on the live head, where normal fan-out takes over seamlessly. Mid
+// catch-up the two listeners are at provably different stream
+// positions on the same channel clock (every Data packet carries its
+// vclock deadline); after convergence they ride the same packets to
+// the same final position. Nothing may be reordered, dropped, clamped,
+// or evicted along the way.
+func E18DVR(w io.Writer, behindSecs int) E18Result {
+	if behindSecs <= 0 {
+		behindSecs = 10
+	}
+	section(w, "E18", "time-shifted delivery: DVR catch-up join, convergence on live")
+	res := e18Run(behindSecs)
+	tab := stats.Table{Headers: []string{"behind", "granted", "first seq", "backlog",
+		"converged in", "mid live/shift", "sync", "tail", "reorders", "drop/clamp/evict"}}
+	conv := "never"
+	if res.Converged {
+		conv = res.ConvergeIn.Round(time.Millisecond).String()
+	}
+	tab.AddRow(res.Behind, res.GrantedShift.Round(time.Millisecond), res.ShiftFirstSeq,
+		res.BacklogServed, conv,
+		fmt.Sprintf("%d/%d", res.MidLiveSeq, res.MidShiftSeq), res.SyncOK, res.TailAgree,
+		fmt.Sprintf("%d/%d", res.LiveReorders, res.ShiftReorders),
+		fmt.Sprintf("%d/%d/%d", res.FanoutDropped, res.Clamped, res.Evictions))
+	tab.Render(w)
+	fmt.Fprintf(w, "  the late joiner must start at the head of the recorded stream, replay it\n")
+	fmt.Fprintf(w, "  faster than realtime while the live listener is further along the channel\n")
+	fmt.Fprintf(w, "  clock, and converge onto the identical live tail — no reorders, no drops\n")
+	return res
+}
+
+// e18Sub is one unicast listener: a leased subscription plus a receive
+// loop tracking its position on the position-coded stream.
+type e18Sub struct {
+	conn lan.Conn
+	sub  *lease.Subscriber
+
+	mu        sync.Mutex
+	lastSeq   map[uint32]uint64 // per-epoch high-water sequence
+	firstSeq  uint64            // first data seq seen (0 = none yet)
+	newest    uint64            // highest data seq seen
+	reorders  int64             // within-epoch sequence regressions
+	misplaced int64             // PlayAt disagreeing with the position code
+}
+
+func (s *e18Sub) recv(stop *int32) {
+	for {
+		pkt, err := s.conn.Recv(time.Second)
+		if err == lan.ErrTimeout {
+			if atomic.LoadInt32(stop) != 0 {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		t, _, err := proto.PeekType(pkt.Data)
+		if err != nil {
+			continue
+		}
+		switch t {
+		case proto.TypeSubAck:
+			s.sub.HandleAckData(pkt.From, pkt.Data)
+		case proto.TypeData:
+			d, err := proto.UnmarshalData(pkt.Data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			if last, seen := s.lastSeq[d.Epoch]; seen && d.Seq <= last {
+				s.reorders++
+			} else {
+				s.lastSeq[d.Epoch] = d.Seq
+			}
+			if s.firstSeq == 0 {
+				s.firstSeq = d.Seq
+			}
+			if d.Seq > s.newest {
+				s.newest = d.Seq
+			}
+			// The stream is position-coded: every packet's vclock deadline
+			// is its sequence number times the 10 ms cadence. Backlog and
+			// live must agree on that mapping — that is what lets two
+			// listeners at different positions share one channel clock.
+			if d.PlayAt != int64(d.Seq)*10_000_000 {
+				s.misplaced++
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *e18Sub) position() (first, newest, reorders, misplaced int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.firstSeq), int64(s.newest), s.reorders, s.misplaced
+}
+
+func e18Run(behindSecs int) E18Result {
+	res := E18Result{Behind: time.Duration(behindSecs) * time.Second}
+	sys := core.NewSim(lan.SegmentConfig{Latency: 200 * time.Microsecond, QueueLen: 4096})
+	r, err := sys.AddRelay(relay.Config{
+		Group:    groupA,
+		Channel:  1,
+		DVR:      true,
+		DVRDepth: 2 * res.Behind, // depth comfortably covers the ask: no clamp
+	})
+	if err != nil {
+		return res
+	}
+
+	mkSub := func(i int) *e18Sub {
+		conn, err := sys.Net.Attach(lan.Addr(fmt.Sprintf("10.9.0.%d:7000", i+1)))
+		if err != nil {
+			return nil
+		}
+		s := &e18Sub{conn: conn, lastSeq: make(map[uint32]uint64)}
+		s.sub = lease.New(sys.Clock, conn, fmt.Sprintf("dvr-%d", i))
+		return s
+	}
+	live, shifted := mkSub(0), mkSub(1)
+	if live == nil || shifted == nil {
+		return res
+	}
+	var stop int32
+	sys.Clock.Go("dvr-live-recv", func() { live.recv(&stop) })
+	sys.Clock.Go("dvr-shift-recv", func() { shifted.recv(&stop) })
+
+	prod, err := sys.Net.Attach("10.9.1.1:5000")
+	if err != nil {
+		return res
+	}
+	var seq uint64
+	tick := func() { // one 10 ms production beat; a Control every second
+		if seq%100 == 0 {
+			data, _ := (&proto.Control{Channel: 1, Epoch: 1, Seq: seq,
+				Params: mono16, Codec: "raw"}).Marshal()
+			prod.Send(groupA, data)
+		}
+		seq++
+		data, _ := (&proto.Data{Channel: 1, Epoch: 1, Seq: seq,
+			PlayAt: int64(seq) * 10_000_000, Payload: make([]byte, 880)}).Marshal()
+		prod.Send(groupA, data)
+		sys.Clock.Sleep(10 * time.Millisecond)
+	}
+	shiftInfo := func() (relay.SubscriberInfo, bool) {
+		for _, info := range r.Subscribers() {
+			if info.Addr == shifted.conn.LocalAddr() {
+				return info, true
+			}
+		}
+		return relay.SubscriberInfo{}, false
+	}
+
+	sys.Clock.Go("dvr-driver", func() {
+		defer func() {
+			atomic.StoreInt32(&stop, 1)
+			live.sub.Close()
+			shifted.sub.Close()
+			live.conn.Close()
+			shifted.conn.Close()
+			prod.Close()
+			sys.Shutdown()
+		}()
+		// The live listener rides the stream from the first packet.
+		live.sub.Subscribe(r.Addr(), 1, time.Minute)
+		for i := 0; i < 50 && r.NumSubscribers() < 1; i++ {
+			sys.Clock.Sleep(20 * time.Millisecond)
+		}
+		for i := 0; i < behindSecs*100; i++ {
+			tick()
+		}
+
+		// behindSecs in, the second listener asks for the whole history.
+		shifted.sub.SetShift(res.Behind)
+		shifted.sub.Subscribe(r.Addr(), 1, time.Minute)
+		joined := sys.Clock.Now()
+		// Production continues while the backlog replays; the granted
+		// shift arrives with the first ack.
+		for i := 0; i < 100*behindSecs*2 && !res.Converged; i++ {
+			tick()
+			if res.GrantedShift == 0 {
+				res.GrantedShift = shifted.sub.GrantedShift()
+			}
+			if i == 100 { // one second in: positions mid-catch-up
+				info, ok := shiftInfo()
+				res.MidCatchingUp = ok && info.CatchingUp
+				_, ln, _, _ := live.position()
+				_, sn, _, _ := shifted.position()
+				res.MidLiveSeq, res.MidShiftSeq = uint64(ln), uint64(sn)
+			}
+			if i%10 == 9 {
+				if info, ok := shiftInfo(); ok && !info.CatchingUp && res.GrantedShift > 0 {
+					res.Converged = true
+					res.ConvergeIn = sys.Clock.Now().Sub(joined)
+				}
+			}
+		}
+		// A shared tail: both listeners must ride the same live packets
+		// to the same final position.
+		for i := 0; i < 50; i++ {
+			tick()
+		}
+		sys.Clock.Sleep(200 * time.Millisecond) // drain in-flight queues
+
+		sf, sn, sre, smp := shifted.position()
+		_, ln, lre, lmp := live.position()
+		res.ShiftFirstSeq = uint64(sf)
+		res.ShiftReorders, res.LiveReorders = sre, lre
+		res.SyncOK = res.MidCatchingUp && res.MidShiftSeq < res.MidLiveSeq &&
+			smp == 0 && lmp == 0
+		res.TailAgree = uint64(sn) == seq && uint64(ln) == seq
+		st := r.Stats()
+		res.BacklogServed = st.DVRBacklog
+		res.FanoutDropped = st.FanoutDropped
+		res.Clamped = st.DVRClamped
+		res.Evictions = st.DVREvictions
+	})
+	sys.Sim.WaitIdle()
+	return res
+}

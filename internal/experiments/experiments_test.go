@@ -444,3 +444,44 @@ func TestE17Shape(t *testing.T) {
 		t.Fatalf("%d within-epoch sequence regressions: %+v", res.Reorders, res)
 	}
 }
+
+func TestE18Shape(t *testing.T) {
+	res := E18DVR(io.Discard, 5)
+	// The relay had the full ask recorded: granted in full, not clamped,
+	// and the joiner's replay starts at the head of the stream.
+	if res.GrantedShift < res.Behind {
+		t.Fatalf("granted shift = %v for a %v ask: %+v", res.GrantedShift, res.Behind, res)
+	}
+	if res.Clamped != 0 {
+		t.Fatalf("clamped %d shift grants: %+v", res.Clamped, res)
+	}
+	if res.ShiftFirstSeq != 1 {
+		t.Fatalf("late joiner started at seq %d, want 1 (head of the recording): %+v",
+			res.ShiftFirstSeq, res)
+	}
+	if res.BacklogServed < int64(res.Behind/time.Second)*100 {
+		t.Fatalf("backlog served = %d packets for %v of history: %+v",
+			res.BacklogServed, res.Behind, res)
+	}
+	// Faster than realtime: convergence lands well before a second
+	// whole backlog's worth of time passes.
+	if !res.Converged || res.ConvergeIn >= res.Behind {
+		t.Fatalf("converged=%v in %v (backlog %v): %+v",
+			res.Converged, res.ConvergeIn, res.Behind, res)
+	}
+	// Mid catch-up the two listeners share the channel clock at
+	// different positions; after convergence they share the tail.
+	if !res.SyncOK {
+		t.Fatalf("mid-catch-up positions live=%d shift=%d catching=%v: %+v",
+			res.MidLiveSeq, res.MidShiftSeq, res.MidCatchingUp, res)
+	}
+	if !res.TailAgree {
+		t.Fatalf("listeners did not end on the same final packet: %+v", res)
+	}
+	if res.LiveReorders != 0 || res.ShiftReorders != 0 {
+		t.Fatalf("reorders live/shift = %d/%d: %+v", res.LiveReorders, res.ShiftReorders, res)
+	}
+	if res.FanoutDropped != 0 || res.Evictions != 0 {
+		t.Fatalf("drops/evictions = %d/%d: %+v", res.FanoutDropped, res.Evictions, res)
+	}
+}

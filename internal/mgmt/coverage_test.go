@@ -81,6 +81,7 @@ func TestStatsCoverage(t *testing.T) {
 		"es_relay_transcode_latency_seconds",
 		"es_relay_upstream_rtt_seconds",
 		"es_relay_lease_margin_seconds",
+		"es_relay_dvr_catchup_lag_seconds",
 		"es_speaker_control_rtt_seconds",
 		"es_speaker_lease_margin_seconds",
 	} {

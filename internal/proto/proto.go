@@ -36,6 +36,11 @@ const (
 	TypeSubscribe PacketType = 4
 	// TypeSubAck is the relay's reply: the granted lease, or a refusal.
 	TypeSubAck PacketType = 5
+	// TypePause freezes or resumes a subscriber's delivery cursor on a
+	// DVR-enabled relay. While paused the relay's per-channel generation
+	// ring keeps recording; resume replays the gap at faster than
+	// realtime until the cursor converges on live.
+	TypePause PacketType = 6
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +56,8 @@ func (t PacketType) String() string {
 		return "subscribe"
 	case TypeSubAck:
 		return "suback"
+	case TypePause:
+		return "pause"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -187,7 +194,7 @@ func PeekType(data []byte) (PacketType, uint32, error) {
 	}
 	t := PacketType(data[3])
 	switch t {
-	case TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck:
+	case TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck, TypePause:
 	default:
 		return 0, 0, fmt.Errorf("%w: unknown type %d", ErrBadPacket, data[3])
 	}
@@ -566,6 +573,12 @@ func (s SubStatus) String() string {
 // serve it at. Zero — also what every legacy body reads as — requests
 // source passthrough. The relay answers with the profile it actually
 // granted (SubAck.Profile) and may serve a lower rung under pressure.
+//
+// ShiftMs is the requested time shift: "start my stream from this many
+// milliseconds ago", served from the relay's DVR generation ring. Zero
+// — the only value a legacy body can read as — means live. The relay
+// clamps the request to what its ring still holds and answers with the
+// shift actually granted (SubAck.ShiftMs).
 type Subscribe struct {
 	Channel uint32 // channel identifier
 	Seq     uint32 // request sequence, echoed in the SubAck
@@ -573,6 +586,7 @@ type Subscribe struct {
 	Hops    uint8  // relay hops already on the path (speakers: 0)
 	PathID  uint64 // path origin identity (speakers: 0)
 	Profile uint8  // requested delivery profile (0 = source passthrough)
+	ShiftMs uint32 // requested time shift in milliseconds (0 = live)
 }
 
 // SubAck is the relay's reply to a Subscribe.
@@ -591,6 +605,13 @@ type SubAck struct {
 	// combination, and the parser rejects a redirect with no address —
 	// "go elsewhere" must always say where).
 	Redirect string
+	// ShiftMs is the time shift actually granted, clamped to the DVR
+	// ring's reach; 0 = live. It is emitted only when nonzero — a
+	// trailing section a legacy parser would reject — which is safe
+	// because only a subscriber that requested a shift (proving it
+	// speaks the extension) can be granted one. A redirect grants
+	// nothing, so it never carries a shift.
+	ShiftMs uint32
 }
 
 // Marshal encodes the subscribe packet. Every optional section is
@@ -599,33 +620,46 @@ type SubAck struct {
 // source quality emits the legacy 8-byte body, a speaker requesting a
 // profile appends one byte (9), a chained relay emits the 17-byte
 // pathed body, and a pathed request with a profile appends the byte
-// to that (18).
+// to that (18). A time-shift request appends 4 more bytes after the
+// profile byte — which it forces present, even at Source, so the
+// shift's offset is unambiguous — giving bodies of 13 (shift, no
+// path) or 22 (path + shift).
 func (s *Subscribe) Marshal() ([]byte, error) {
 	n := 17
 	if s.Hops == 0 && s.PathID == 0 {
 		n = 8
 	}
-	if s.Profile != 0 {
+	if s.Profile != 0 || s.ShiftMs != 0 {
 		n++
+	}
+	if s.ShiftMs != 0 {
+		n += 4
 	}
 	buf := make([]byte, headerLen+n)
 	putHeader(buf, TypeSubscribe, s.Channel)
 	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], s.Seq)
 	binary.BigEndian.PutUint32(buf[headerLen+4:headerLen+8], s.LeaseMs)
-	if n >= 17 {
-		buf[headerLen+8] = s.Hops
-		binary.BigEndian.PutUint64(buf[headerLen+9:headerLen+17], s.PathID)
+	p := headerLen + 8
+	if s.Hops != 0 || s.PathID != 0 {
+		buf[p] = s.Hops
+		binary.BigEndian.PutUint64(buf[p+1:p+9], s.PathID)
+		p += 9
 	}
-	if s.Profile != 0 {
-		buf[headerLen+n-1] = s.Profile
+	if s.Profile != 0 || s.ShiftMs != 0 {
+		buf[p] = s.Profile
+		p++
+	}
+	if s.ShiftMs != 0 {
+		binary.BigEndian.PutUint32(buf[p:p+4], s.ShiftMs)
 	}
 	return buf, nil
 }
 
-// UnmarshalSubscribe parses a subscribe packet. All four body lengths
-// are accepted: 8 (legacy, no path or profile), 9 (profile only), 17
-// (path only), 18 (path + profile). Absent fields read as zero —
-// exactly what a sender predating them would mean.
+// UnmarshalSubscribe parses a subscribe packet. Six body lengths are
+// accepted: 8 (legacy, no path or profile), 9 (profile only), 17
+// (path only), 18 (path + profile), 13 (profile + shift), and 22
+// (path + profile + shift). Absent fields read as zero — exactly what
+// a sender predating them would mean.
 func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	t, ch, err := PeekType(data)
 	if err != nil {
@@ -638,7 +672,9 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 	if len(body) < 8 {
 		return nil, ErrShort
 	}
-	if len(body) != 8 && len(body) != 9 && len(body) != 17 && len(body) != 18 {
+	switch len(body) {
+	case 8, 9, 13, 17, 18, 22:
+	default:
 		return nil, fmt.Errorf("%w: subscribe body of %d bytes", ErrBadPacket, len(body))
 	}
 	s := &Subscribe{
@@ -650,19 +686,29 @@ func UnmarshalSubscribe(data []byte) (*Subscribe, error) {
 		s.Hops = body[8]
 		s.PathID = binary.BigEndian.Uint64(body[9:17])
 	}
-	if len(body) == 9 || len(body) == 18 {
+	switch len(body) {
+	case 9, 18:
 		s.Profile = body[len(body)-1]
+	case 13, 22:
+		s.Profile = body[len(body)-5]
+		s.ShiftMs = binary.BigEndian.Uint32(body[len(body)-4:])
 	}
 	return s, nil
 }
 
 // Marshal encodes the suback packet. A SubRedirect carries the sibling
 // address after the fixed body; every other status keeps the exact
-// 10-byte body, so pre-redirect subscribers parse everything a relay
-// that never sheds would send them.
+// 10-byte body — unless a time shift was granted, in which case 4
+// bytes of ShiftMs follow. Only a subscriber that requested a shift
+// can be granted one, so the trailing section is never sent to a
+// legacy parser that would reject it. A redirect grants nothing, so
+// combining it with a shift is a marshalling error.
 func (s *SubAck) Marshal() ([]byte, error) {
 	if (s.Status == SubRedirect) != (s.Redirect != "") {
 		return nil, fmt.Errorf("%w: status %s with redirect %q", ErrBadPacket, s.Status, s.Redirect)
+	}
+	if s.Status == SubRedirect && s.ShiftMs != 0 {
+		return nil, fmt.Errorf("%w: redirect with shift grant", ErrBadPacket)
 	}
 	buf := make([]byte, headerLen+10, headerLen+10+1+len(s.Redirect))
 	putHeader(buf, TypeSubAck, s.Channel)
@@ -674,6 +720,11 @@ func (s *SubAck) Marshal() ([]byte, error) {
 	buf[headerLen+9] = s.Profile
 	if s.Status == SubRedirect {
 		return appendString(buf, s.Redirect)
+	}
+	if s.ShiftMs != 0 {
+		var sb [4]byte
+		binary.BigEndian.PutUint32(sb[:], s.ShiftMs)
+		buf = append(buf, sb[:]...)
 	}
 	return buf, nil
 }
@@ -706,9 +757,77 @@ func UnmarshalSubAck(data []byte) (*SubAck, error) {
 		if a.Redirect == "" {
 			return nil, fmt.Errorf("%w: redirect with empty address", ErrBadPacket)
 		}
+	} else if len(body) == 4 {
+		a.ShiftMs = binary.BigEndian.Uint32(body[0:4])
+		body = body[4:]
 	}
 	if len(body) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
 	}
 	return a, nil
+}
+
+// Pause freezes or resumes a subscriber's delivery on a DVR-enabled
+// relay. It rides the same return path as Subscribe — the subscriber
+// is the datagram's source address, and on an authenticated relay the
+// packet must arrive wrapped in the same §5.1 trailer. While paused
+// the relay stops delivering but its generation ring keeps recording;
+// Resume replays the gap through the catch-up path at faster than
+// realtime until the cursor converges on live. A relay without a ring
+// for the channel ignores the request — pause without history would
+// silently eat audio.
+type Pause struct {
+	Channel uint32 // channel identifier
+	Seq     uint32 // request sequence (for tracing; pause is not acked)
+	Paused  bool   // true freezes the cursor, false resumes it
+}
+
+// Pause state codes (the body's state byte).
+const (
+	PauseStateResume = 0
+	PauseStatePause  = 1
+)
+
+// Marshal encodes the pause packet: a 5-byte body of seq plus one
+// state byte.
+func (p *Pause) Marshal() ([]byte, error) {
+	buf := make([]byte, headerLen+5)
+	putHeader(buf, TypePause, p.Channel)
+	binary.BigEndian.PutUint32(buf[headerLen:headerLen+4], p.Seq)
+	if p.Paused {
+		buf[headerLen+4] = PauseStatePause
+	}
+	return buf, nil
+}
+
+// UnmarshalPause parses a pause packet. The state byte must be one of
+// the defined codes; anything else is malformed, leaving room for
+// future cursor verbs without silently misreading them.
+func UnmarshalPause(data []byte) (*Pause, error) {
+	t, ch, err := PeekType(data)
+	if err != nil {
+		return nil, err
+	}
+	if t != TypePause {
+		return nil, fmt.Errorf("%w: expected pause, got %s", ErrBadPacket, t)
+	}
+	body := data[headerLen:]
+	if len(body) < 5 {
+		return nil, ErrShort
+	}
+	if len(body) != 5 {
+		return nil, fmt.Errorf("%w: pause body of %d bytes", ErrBadPacket, len(body))
+	}
+	p := &Pause{
+		Channel: ch,
+		Seq:     binary.BigEndian.Uint32(body[0:4]),
+	}
+	switch body[4] {
+	case PauseStateResume:
+	case PauseStatePause:
+		p.Paused = true
+	default:
+		return nil, fmt.Errorf("%w: unknown pause state %d", ErrBadPacket, body[4])
+	}
+	return p, nil
 }

@@ -118,6 +118,10 @@ func TestSubscribeRoundTrip(t *testing.T) {
 		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304},
 		{Channel: 7, Seq: 99, LeaseMs: 30000, Profile: 2},
 		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304, Profile: 3},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, ShiftMs: 10000},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Profile: 2, ShiftMs: 10000},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304, ShiftMs: 1},
+		{Channel: 7, Seq: 99, LeaseMs: 30000, Hops: 3, PathID: 0xDEADBEEF01020304, Profile: 3, ShiftMs: 0xFFFFFFFF},
 	} {
 		data, err := s.Marshal()
 		if err != nil {
@@ -170,6 +174,25 @@ func TestSubscribeZeroPathMarshalsLegacyBody(t *testing.T) {
 	}
 	if got := len(pqdata) - 8; got != 18 {
 		t.Fatalf("pathed profile subscribe body = %d bytes, want 18", got)
+	}
+	// A time shift appends 4 bytes after the profile byte, which it
+	// forces present (even at Source) so the shift's offset is
+	// unambiguous: 13 bytes shifted-speaker, 22 shifted-pathed.
+	sh := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000, ShiftMs: 10000}
+	shdata, err := sh.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(shdata) - 8; got != 13 {
+		t.Fatalf("shifted subscribe body = %d bytes, want 13", got)
+	}
+	psh := &Subscribe{Channel: 1, Seq: 2, LeaseMs: 15000, Hops: 2, PathID: 7, ShiftMs: 10000}
+	pshdata, err := psh.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pshdata) - 8; got != 22 {
+		t.Fatalf("shifted pathed subscribe body = %d bytes, want 22", got)
 	}
 }
 
@@ -416,6 +439,74 @@ func TestSubscribeTrailingBytesRejected(t *testing.T) {
 	}
 }
 
+func TestSubAckShiftRoundTrip(t *testing.T) {
+	a := &SubAck{Channel: 7, Seq: 99, LeaseMs: 15000, Status: SubOK, Profile: 1, ShiftMs: 9500}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(data) - 8; got != 14 {
+		t.Fatalf("shifted suback body = %d bytes, want 10+4", got)
+	}
+	got, err := UnmarshalSubAck(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", a, got)
+	}
+	// A redirect grants nothing; smuggling a shift onto one must not
+	// marshal (the address would land where the shift bytes go).
+	r := &SubAck{Channel: 7, Seq: 99, Status: SubRedirect, Redirect: "10.0.0.9:5006", ShiftMs: 1}
+	if _, err := r.Marshal(); err == nil {
+		t.Fatal("redirect with shift grant marshalled")
+	}
+}
+
+func TestPauseRoundTrip(t *testing.T) {
+	for _, p := range []*Pause{
+		{Channel: 7, Seq: 4, Paused: true},
+		{Channel: 7, Seq: 5, Paused: false},
+	} {
+		data, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPause(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", p, got)
+		}
+	}
+}
+
+func TestPauseMalformed(t *testing.T) {
+	good, err := (&Pause{Channel: 1, Seq: 1, Paused: true}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An undefined state byte is malformed, not silently coerced: the
+	// state space is reserved for future cursor verbs.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] = 7
+	if _, err := UnmarshalPause(bad); err == nil {
+		t.Fatal("unknown pause state accepted")
+	}
+	if _, err := UnmarshalPause(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated pause accepted")
+	}
+	if _, err := UnmarshalPause(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("pause with trailing bytes accepted")
+	}
+	d := &Data{Channel: 1, Payload: []byte{1}}
+	ddata, _ := d.Marshal()
+	if _, err := UnmarshalPause(ddata); err == nil {
+		t.Fatal("pause parser accepted data packet")
+	}
+}
+
 func TestPeekRejectsBadHeader(t *testing.T) {
 	cases := [][]byte{
 		nil,
@@ -482,6 +573,7 @@ var parsers = []struct {
 	{"announce", func(b []byte) error { _, err := UnmarshalAnnounce(b); return err }},
 	{"subscribe", func(b []byte) error { _, err := UnmarshalSubscribe(b); return err }},
 	{"suback", func(b []byte) error { _, err := UnmarshalSubAck(b); return err }},
+	{"pause", func(b []byte) error { _, err := UnmarshalPause(b); return err }},
 	{"peek", func(b []byte) error { _, _, err := PeekType(b); return err }},
 }
 
@@ -517,8 +609,30 @@ func validPackets(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The time-shifted forms: 13-byte (profile + shift) and the full
+	// 22-byte (path + profile + shift) body.
+	ss := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Profile: 1, ShiftMs: 9000}
+	ssdata, err := ss.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps := &Subscribe{Channel: 1, Seq: 7, LeaseMs: 30000, Hops: 1, PathID: 99, Profile: 2, ShiftMs: 9000}
+	spsdata, err := sps.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	k := &SubAck{Channel: 1, Seq: 7, LeaseMs: 15000, Status: SubOK}
 	kdata, err := k.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := &SubAck{Channel: 1, Seq: 7, LeaseMs: 15000, Status: SubOK, ShiftMs: 8000}
+	ksdata, err := ks.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz := &Pause{Channel: 1, Seq: 3, Paused: true}
+	pzdata, err := pz.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -534,7 +648,9 @@ func validPackets(t *testing.T) map[string][]byte {
 	}
 	return map[string][]byte{
 		"control": cdata, "data": ddata, "announce": adata,
-		"subscribe": sdata, "subscribe-profile": spdata, "suback": kdata,
+		"subscribe": sdata, "subscribe-profile": spdata,
+		"subscribe-shift": ssdata, "subscribe-path-shift": spsdata,
+		"suback": kdata, "suback-shift": ksdata, "pause": pzdata,
 		"announce-load": aldata, "suback-redirect": rkdata,
 	}
 }
@@ -593,7 +709,8 @@ func TestTruncationsNeverPanic(t *testing.T) {
 	// the base kind's parser.
 	parserFor := map[string]string{
 		"announce-load": "announce", "suback-redirect": "suback",
-		"subscribe-profile": "subscribe",
+		"subscribe-profile": "subscribe", "subscribe-shift": "subscribe",
+		"subscribe-path-shift": "subscribe", "suback-shift": "suback",
 	}
 	announceLegacy := legacyAnnouncePrefixes(t)
 	for kind, full := range validPackets(t) {
@@ -617,12 +734,23 @@ func TestTruncationsNeverPanic(t *testing.T) {
 				// would send: a subscribe cut after seq+leasems is the
 				// legacy 8-byte body, cut one byte later it is the 9-byte
 				// profile form, cut after the path fields it is the
-				// 17-byte pathed form; the load-bearing announce cut at
-				// the end of its channel or relay-record section is a
-				// pre-relay or pre-load announce.
+				// 17-byte pathed form, and the shift-carrying bodies cut
+				// at any of the six accepted lengths (16/17/21/25/26
+				// total) parse as the corresponding shorter form — the
+				// 21-byte cut of a pathed shift reads the path prefix as
+				// a profile+shift, syntactically valid, semantically the
+				// sender's problem; a suback cut after its fixed 10-byte
+				// body is the shift-free grant; the load-bearing announce
+				// cut at the end of its channel or relay-record section
+				// is a pre-relay or pre-load announce.
 				legacy := kind == "subscribe" && p.name == "subscribe" &&
-					(i == 16 || i == 17 || i == 25) ||
+					(i == 16 || i == 17 || i == 21 || i == 25) ||
 					kind == "subscribe-profile" && p.name == "subscribe" && i == 16 ||
+					kind == "subscribe-shift" && p.name == "subscribe" &&
+						(i == 16 || i == 17) ||
+					kind == "subscribe-path-shift" && p.name == "subscribe" &&
+						(i == 16 || i == 17 || i == 21 || i == 25 || i == 26) ||
+					kind == "suback-shift" && p.name == "suback" && i == 18 ||
 					kind == "announce-load" && p.name == "announce" && announceLegacy[i]
 				if i < len(full) && err == nil && p.name != "peek" && !legacy {
 					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)
@@ -651,7 +779,7 @@ func TestRandomBytesNeverPanic(t *testing.T) {
 		n := rng.Intn(120)
 		data := append(append([]byte(nil), hdr...), make([]byte, n)...)
 		rng.Read(data[8:])
-		for _, typ := range []byte{1, 2, 3, 4, 5} {
+		for _, typ := range []byte{1, 2, 3, 4, 5, 6} {
 			data[3] = typ
 			for _, p := range parsers {
 				p.parse(data)
@@ -718,7 +846,7 @@ func TestAuthSchemeStrings(t *testing.T) {
 			t.Fatal("empty scheme name")
 		}
 	}
-	for _, p := range []PacketType{TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck, PacketType(9)} {
+	for _, p := range []PacketType{TypeControl, TypeData, TypeAnnounce, TypeSubscribe, TypeSubAck, TypePause, PacketType(9)} {
 		if p.String() == "" {
 			t.Fatal("empty type name")
 		}

@@ -81,6 +81,7 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"Announce":  uint8(TypeAnnounce),
 		"Subscribe": uint8(TypeSubscribe),
 		"SubAck":    uint8(TypeSubAck),
+		"Pause":     uint8(TypePause),
 	})
 	check("### Auth scheme codes", map[string]uint8{
 		"None":  uint8(AuthNone),
@@ -100,6 +101,10 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"ULaw":    uint8(codec.ProfileULaw),
 		"OVLHigh": uint8(codec.ProfileOVLHigh),
 		"OVLLow":  uint8(codec.ProfileOVLLow),
+	})
+	check("### Pause state codes", map[string]uint8{
+		"Resume": uint8(PauseStateResume),
+		"Pause":  uint8(PauseStatePause),
 	})
 
 	// The framing constants are documented literally.

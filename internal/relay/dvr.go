@@ -1,0 +1,302 @@
+package relay
+
+import (
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/dvr"
+	"repro/internal/lan"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// Time-shifted delivery: with Config.DVR set the relay records every
+// relayed packet into a bounded per-channel ring (internal/dvr) before
+// fanning it out. A subscriber joining with proto.Subscribe.ShiftMs is
+// started from a cursor into that ring — clamped to the ring's depth,
+// walked back to a Control packet so its decoder locks immediately —
+// and fed the backlog from the shard worker at up to Config.DVRBurst
+// packets per second until the cursor converges on the live head, at
+// which point it is handed back to the normal fan-out. Because every
+// packet is appended to the ring before fanout enqueues it, and both
+// the convergence flip and the enqueue serialize on the shard lock,
+// the backlog→live seam delivers every packet exactly once.
+//
+// Pause/resume (proto.Pause) rides the same cursor: pausing parks the
+// cursor at the live head (or wherever a catch-up had reached) and
+// resuming replays forward from there, again at the bounded burst
+// rate.
+
+// grantShift resolves a Subscribe's requested time shift against the
+// channel's ring: the granted shift (the age of the entry the cursor
+// actually landed on) is stored on the subscriber, echoed in the ack,
+// and — when there is backlog to replay — catch-up state is armed so
+// the shard worker feeds the subscriber from the ring instead of the
+// live fan-out. A request the ring cannot satisfy in full (deeper than
+// the recorded history, or nothing recorded at all) is clamped and
+// counted. Caller holds sh.mu and r.mu.
+func (r *Relay) grantShift(sub *subscriber, a *admission) {
+	ch := a.req.Channel
+	if ch == 0 {
+		ch = r.cfg.Channel
+	}
+	var ring *dvr.Ring
+	if ch != 0 {
+		ring = r.dvr.Peek(ch)
+	}
+	if ring == nil {
+		// Nothing recorded on the channel (or a wildcard subscribe on a
+		// wildcard relay, where no single ring can be chosen): the lease
+		// is granted live with a zero shift, and the clamp is counted.
+		r.stats.DVRClamped++
+		return
+	}
+	start, granted, clamped := ring.Clamp(time.Duration(a.req.ShiftMs) * time.Millisecond)
+	if clamped {
+		r.stats.DVRClamped++
+	}
+	sub.shiftMs = uint32(granted / time.Millisecond)
+	a.ack.ShiftMs = sub.shiftMs
+	if granted <= 0 {
+		return // quiet channel: nothing to replay, start live
+	}
+	sub.ring = ring
+	sub.cursor = start
+	sub.catchup = true
+	r.catchupActive.Add(1)
+}
+
+// dropCatchup settles the DVR accounting for a subscriber leaving the
+// table (or a loop refusal revoking its lease). Caller holds sh.mu.
+func (r *Relay) dropCatchup(sub *subscriber) {
+	if sub.catchup && !sub.paused {
+		r.catchupActive.Add(-1)
+	}
+	sub.catchup, sub.paused = false, false
+	sub.ring, sub.scratch = nil, nil
+}
+
+// handlePause applies one Pause packet: pause parks the subscriber's
+// cursor (at the live head when it was being served live, or wherever
+// its catch-up had reached) and stops all delivery; resume turns the
+// parked cursor into a normal catch-up, replaying everything recorded
+// since the pause at the bounded burst rate. The packet is verified
+// exactly like a Subscribe — pause creates server-side replay state,
+// so a forged pause from a spoofed source must not be able to silence
+// or redirect a subscriber's stream.
+func (r *Relay) handlePause(pkt lan.Packet) {
+	data := pkt.Data
+	if r.cfg.Auth != nil {
+		var ok bool
+		data, ok = r.cfg.Auth.Verify(pkt.Data)
+		if !ok {
+			r.count(func(s *Stats) { s.AuthDropped++ })
+			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(pkt.From), 0)
+			return
+		}
+	}
+	p, err := proto.UnmarshalPause(data)
+	if err != nil {
+		r.count(func(s *Stats) { s.Malformed++ })
+		r.tracer.Drop(obs.PathControl, obs.ReasonMalformed, string(pkt.From), 0)
+		return
+	}
+	if r.dvr == nil {
+		return // not recording: nothing to replay on resume
+	}
+	sh := r.shardFor(pkt.From)
+	var ringCreated bool
+	sh.mu.Lock()
+	sub, ok := sh.subs[pkt.From]
+	switch {
+	case !ok:
+		// No lease, nothing to pause.
+	case p.Paused && !sub.paused:
+		ch := sub.channel
+		if ch == 0 {
+			ch = r.cfg.Channel
+		}
+		if sub.catchup {
+			// Mid-catch-up: keep the cursor where it is; resume will
+			// continue the replay from the same position.
+			r.catchupActive.Add(-1)
+			sub.paused = true
+		} else if ch != 0 {
+			ring, created := r.dvr.Ring(ch)
+			ringCreated = created
+			sub.ring = ring
+			sub.cursor = ring.Head()
+			sub.catchup, sub.paused = true, true
+			// Packets already queued for this subscriber sit below the
+			// head (every packet is ringed before it is enqueued), so
+			// draining them and resuming from the head loses nothing
+			// and duplicates nothing.
+		}
+		// A wildcard subscriber on a wildcard relay has no single ring
+		// to park a cursor in; its pause is ignored.
+	case !p.Paused && sub.paused:
+		sub.paused = false
+		r.catchupActive.Add(1)
+		sh.work.Broadcast() // wake the worker: the replay starts now
+	}
+	sh.mu.Unlock()
+	if ringCreated {
+		r.count(func(s *Stats) { s.DVRRings++ })
+	}
+}
+
+// gatherCatchup serves at most one DVR backlog packet per catching-up
+// subscriber per gather pass, appending to the worker's batch exactly
+// like the live gather. Delivery is paced by a per-subscriber token
+// bucket refilled at Config.DVRBurst packets per second — backlog goes
+// out faster than realtime but never unboundedly, so one catching-up
+// subscriber cannot starve the live traffic sharing its shard. A
+// cursor the ring wrapped past is re-clamped to the oldest entry and
+// counted (the subscriber loses the oldest backlog, the fan-out worker
+// never blocks); a cursor reaching the live head flips the subscriber
+// back to normal fan-out. It returns whether any cursor moved and,
+// when every eligible subscriber is token-starved, the shortest refill
+// delay, so the worker can sleep exactly that long instead of waiting
+// for a wakeup that may never come. Caller holds sh.mu.
+func (r *Relay) gatherCatchup(sh *shard, dgs *[]lan.Datagram, owners *[]*subscriber, profs *[]codec.Profile, maxBatch int) (progress bool, wait time.Duration) {
+	var served, evicted int64
+	now := r.clock.Now()
+	rate := float64(r.cfg.DVRBurst)
+	burst := rate / 10 // 100 ms of backlog headroom between refills
+	if burst < 1 {
+		burst = 1
+	}
+	for _, sub := range sh.order {
+		if len(*dgs) >= maxBatch {
+			break
+		}
+		if !sub.catchup || sub.paused || sub.ring == nil || len(sub.queue) > 0 {
+			// A non-empty queue is pre-catch-up residue (a pause taken
+			// while live): drain it first so the stream stays in order.
+			continue
+		}
+		if sub.dvrAt.IsZero() {
+			sub.dvrAt, sub.dvrTokens = now, 1
+		}
+		sub.dvrTokens += now.Sub(sub.dvrAt).Seconds() * rate
+		sub.dvrAt = now
+		if sub.dvrTokens > burst {
+			sub.dvrTokens = burst
+		}
+		if sub.dvrTokens < 1 {
+			d := time.Duration((1 - sub.dvrTokens) / rate * float64(time.Second))
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			if wait == 0 || d < wait {
+				wait = d
+			}
+			continue
+		}
+		data, age, _, st := sub.ring.Read(sub.cursor, sub.scratch)
+		switch st {
+		case dvr.ReadEvicted:
+			// The ring wrapped (or aged) past the cursor while this
+			// subscriber fell behind: lose the oldest backlog, never
+			// block recording or the worker.
+			sub.cursor = sub.ring.Tail()
+			evicted++
+			progress = true
+			continue
+		case dvr.ReadCaughtUp:
+			// Converged on live: hand the subscriber back to the normal
+			// fan-out. The flip is under sh.mu and every packet is
+			// ringed before fanout enqueues it, so nothing is lost or
+			// doubled across the seam.
+			sub.catchup = false
+			sub.ring, sub.scratch = nil, nil
+			r.catchupActive.Add(-1)
+			continue
+		}
+		// The read grew (or reused) the subscriber's scratch buffer;
+		// keep it. The reference handed to the batch stays valid until
+		// the flush completes, which happens before this worker's next
+		// gather pass can touch the buffer again.
+		sub.scratch = data
+		sub.dvrTokens--
+		sub.cursor++
+		pd, pf := data, codec.ProfileSource
+		if sub.profile != codec.ProfileSource {
+			ch := sub.channel
+			if ch == 0 {
+				ch = r.cfg.Channel
+			}
+			if b := r.transcodeFor(ch, data, sub.profile); b != nil {
+				pd, pf = b, sub.profile
+			}
+		}
+		r.catchupLag.Observe(age)
+		*dgs = append(*dgs, lan.Datagram{To: sub.addr, Data: pd})
+		*owners = append(*owners, sub)
+		*profs = append(*profs, pf)
+		served++
+		progress = true
+	}
+	if served+evicted > 0 {
+		r.count(func(s *Stats) {
+			s.DVRBacklog += served
+			s.DVREvictions += evicted
+		})
+	}
+	return progress, wait
+}
+
+// transcodeFor re-encodes one recorded packet for a single delivery
+// tier — the catch-up analog of buildProfilePayloads, which encodes
+// once per active profile for the whole fan-out. Backlog is positioned
+// per subscriber, so it is encoded per subscriber instead, bounded by
+// the burst rate. The derived epoch matches the live path's exactly
+// (profileEpoch), so the decoder cannot tell where the backlog ends
+// and live begins. Backlog recorded under an earlier stream
+// configuration (epoch mismatch against the learned stream) falls back
+// to the source payload — the decoder handles the epoch change the
+// same way it handles any reconfiguration. nil means "serve the source
+// payload".
+func (r *Relay) transcodeFor(ch uint32, data []byte, p codec.Profile) []byte {
+	t, _, err := proto.PeekType(data)
+	if err != nil {
+		return nil
+	}
+	r.txMu.Lock()
+	defer r.txMu.Unlock()
+	st := r.streams[ch]
+	if st == nil || st.tx[p] == nil {
+		return nil
+	}
+	switch t {
+	case proto.TypeControl:
+		ctl, err := proto.UnmarshalControl(data)
+		if err != nil || ctl.Epoch != st.ctl.Epoch {
+			return nil
+		}
+		name, quality := p.CodecSpec()
+		nc := *ctl
+		nc.Epoch = profileEpoch(ctl.Epoch, p)
+		nc.Codec = name
+		nc.Quality = uint8(quality)
+		if b, err := nc.Marshal(); err == nil {
+			return b
+		}
+	case proto.TypeData:
+		d, err := proto.UnmarshalData(data)
+		if err != nil || d.Epoch != st.ctl.Epoch {
+			return nil
+		}
+		payload, err := st.tx[p].Transcode(d.Payload)
+		if err != nil {
+			return nil
+		}
+		nd := *d
+		nd.Epoch = profileEpoch(d.Epoch, p)
+		nd.Payload = payload
+		if b, err := nd.Marshal(); err == nil {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package relay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/lan"
+	"repro/internal/proto"
+)
+
+// shiftSubPkt builds an inbound subscribe packet asking for ShiftMs of
+// history.
+func shiftSubPkt(t *testing.T, from lan.Addr, channel, seq, leaseMs, shiftMs uint32) lan.Packet {
+	t.Helper()
+	data, err := (&proto.Subscribe{
+		Channel: channel, Seq: seq, LeaseMs: leaseMs, ShiftMs: shiftMs,
+	}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lan.Packet{From: from, To: "10.0.0.1:5006", Data: data}
+}
+
+// feedStream injects seconds worth of upstream traffic — one Control
+// per second, data at 100 ms spacing — through the relay's normal
+// receive path, advancing the sim clock as it goes. Must run inside a
+// sim goroutine.
+func feedStream(t *testing.T, r *Relay, ch uint32, seconds int) {
+	t.Helper()
+	sim := r.clock
+	seq := uint64(1)
+	for s := 0; s < seconds; s++ {
+		r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: controlPkt(t, ch, 1)})
+		for i := 0; i < 10; i++ {
+			r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: dataPkt(t, ch, 1, seq, 320)})
+			seq++
+			sim.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// drainCatchup drives the shard worker's DVR gather by hand (no worker
+// runs in white-box tests) until the subscriber converges on live or
+// the pass budget runs out. Must run inside a sim goroutine so token
+// refills see time move.
+func drainCatchup(t *testing.T, r *Relay, addr lan.Addr, passes int) (served int) {
+	t.Helper()
+	sh := r.shardFor(addr)
+	for i := 0; i < passes; i++ {
+		var dgs []lan.Datagram
+		var owners []*subscriber
+		var profs []codec.Profile
+		sh.mu.Lock()
+		r.gatherCatchup(sh, &dgs, &owners, &profs, 32)
+		done := !sh.subs[addr].catchup
+		sh.mu.Unlock()
+		served += len(dgs)
+		if done {
+			return served
+		}
+		r.clock.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("catch-up did not converge in %d passes (%d served)", passes, served)
+	return served
+}
+
+// TestDVRShiftGrantAndClamp covers the grant-time edges: a shift asked
+// of a channel with nothing recorded starts live and is counted as
+// clamped; a shift deeper than the recorded history is clamped to the
+// oldest entry; a shift the ring can satisfy is granted at least what
+// was asked (the control walk-back may grant slightly more).
+func TestDVRShiftGrantAndClamp(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRDepth: 4 * time.Second})
+	sim.Go("test", func() {
+		// Nothing recorded yet: live grant, clamp counted.
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 1, 60_000, 9_000))
+		subs := r.Subscribers()
+		if len(subs) != 1 || subs[0].Shift != 0 || subs[0].CatchingUp {
+			t.Errorf("quiet-channel grant = %+v, want live with zero shift", subs)
+		}
+		if st := r.Stats(); st.DVRClamped != 1 {
+			t.Errorf("DVRClamped = %d, want 1", st.DVRClamped)
+		}
+
+		feedStream(t, r, 1, 2) // 2 s recorded, depth 4 s
+
+		// Deeper than what exists: clamped to the oldest entry.
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.3:5004", 1, 1, 60_000, 60_000))
+		subs = r.Subscribers()
+		if len(subs) != 2 {
+			t.Fatalf("subscribers = %d", len(subs))
+		}
+		deep := subs[1]
+		if !deep.CatchingUp || deep.Shift <= 0 || deep.Shift > 4*time.Second {
+			t.Errorf("deep shift granted %v catching-up=%v, want clamp within recorded history",
+				deep.Shift, deep.CatchingUp)
+		}
+		if st := r.Stats(); st.DVRClamped != 2 {
+			t.Errorf("DVRClamped = %d, want 2", st.DVRClamped)
+		}
+
+		// Satisfiable: granted at least the ask, no clamp.
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.4:5004", 1, 1, 60_000, 1_000))
+		subs = r.Subscribers()
+		ok := subs[2]
+		if !ok.CatchingUp || ok.Shift < time.Second {
+			t.Errorf("1s shift granted %v catching-up=%v", ok.Shift, ok.CatchingUp)
+		}
+		if st := r.Stats(); st.DVRClamped != 2 {
+			t.Errorf("DVRClamped = %d after satisfiable grant, want still 2", st.DVRClamped)
+		}
+		if st := r.Stats(); st.DVRCatchupActive != 2 {
+			t.Errorf("DVRCatchupActive = %d, want 2", st.DVRCatchupActive)
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestDVRRingWrapMidCatchupEvicts parks a catch-up cursor, lets the
+// ring age past it, and checks the worker's response: the cursor is
+// re-clamped to the oldest surviving entry (counted as an eviction),
+// the remaining backlog is served, and the subscriber converges — the
+// recording path is never blocked by a slow reader.
+func TestDVRRingWrapMidCatchupEvicts(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRDepth: time.Second, DVRBurst: 1000})
+	sim.Go("test", func() {
+		// Half a second of history, then a catch-up cursor into it.
+		r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: controlPkt(t, 1, 1)})
+		for i := uint64(1); i <= 5; i++ {
+			r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: dataPkt(t, 1, 1, i, 320)})
+			sim.Sleep(100 * time.Millisecond)
+		}
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 1, 60_000, 500))
+		if subs := r.Subscribers(); len(subs) != 1 || !subs[0].CatchingUp {
+			t.Fatalf("subscriber not catching up: %+v", subs)
+		}
+
+		// The subscriber reads nothing while the stream keeps going for
+		// well past the 1 s depth: its cursor's entries age out.
+		sim.Sleep(1500 * time.Millisecond)
+		r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: controlPkt(t, 1, 1)})
+		for i := uint64(6); i <= 10; i++ {
+			r.handlePacket(lan.Packet{From: "10.0.9.9:5004", To: testGroup, Data: dataPkt(t, 1, 1, i, 320)})
+		}
+
+		served := drainCatchup(t, r, "10.0.0.2:5004", 100)
+		st := r.Stats()
+		if st.DVREvictions != 1 {
+			t.Errorf("DVREvictions = %d, want 1", st.DVREvictions)
+		}
+		// Everything older than the depth was trimmed by the appends
+		// above, so exactly the surviving control + 5 data remain.
+		if served != 6 || st.DVRBacklog != 6 {
+			t.Errorf("served = %d, DVRBacklog = %d, want 6 each", served, st.DVRBacklog)
+		}
+		if st.DVRCatchupActive != 0 {
+			t.Errorf("DVRCatchupActive = %d after convergence, want 0", st.DVRCatchupActive)
+		}
+		if subs := r.Subscribers(); subs[0].CatchingUp {
+			t.Error("subscriber still marked catching-up after convergence")
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestDVRCatchupNeverBlocksWorker starves a catch-up subscriber's
+// token bucket and checks the gather degrades to a bounded wait hint —
+// not a block — while live fan-out to other subscribers on the shard
+// keeps flowing.
+func TestDVRCatchupNeverBlocksWorker(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRBurst: 1, Shards: 1, QueueLen: 16})
+	sim.Go("test", func() {
+		feedStream(t, r, 1, 1)
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 1, 60_000, 1_000))
+		r.handleSubscribe(subscribePkt(t, "10.0.0.3:5004", 1, 1, 60_000))
+
+		sh := r.shardFor("10.0.0.2:5004")
+		gather := func() (int, time.Duration) {
+			var dgs []lan.Datagram
+			var owners []*subscriber
+			var profs []codec.Profile
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			_, wait := r.gatherCatchup(sh, &dgs, &owners, &profs, 32)
+			return len(dgs), wait
+		}
+		// First pass spends the single seed token; the second must not
+		// serve, must not block, and must hand back a refill delay.
+		if n, _ := gather(); n != 1 {
+			t.Fatalf("first pass served %d, want 1", n)
+		}
+		n, wait := gather()
+		if n != 0 || wait <= 0 || wait > time.Second {
+			t.Fatalf("starved pass served %d with wait %v, want 0 served and a bounded refill hint", n, wait)
+		}
+
+		// Live traffic still reaches the live subscriber and skips the
+		// catching-up one.
+		r.fanout(1, dataPkt(t, 1, 1, 100, 320))
+		subs := r.Subscribers()
+		var live, dvr SubscriberInfo
+		for _, s := range subs {
+			if s.Addr == "10.0.0.3:5004" {
+				live = s
+			} else {
+				dvr = s
+			}
+		}
+		if live.Queued != 1 {
+			t.Errorf("live subscriber queued = %d, want 1", live.Queued)
+		}
+		if dvr.Queued != 0 {
+			t.Errorf("catching-up subscriber queued = %d, want 0 (fanout must skip it)", dvr.Queued)
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestDVRPauseAcrossLeaseRefresh pauses a catching-up subscriber,
+// refreshes its lease while paused, and resumes: the pause must
+// survive the refresh (no delivery restarts behind the listener's
+// back), the refresh ack must echo the originally granted shift, and
+// resume must pick the replay up where it parked.
+func TestDVRPauseAcrossLeaseRefresh(t *testing.T) {
+	sim, seg, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRDepth: 10 * time.Second})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvAck := func() *proto.SubAck {
+		t.Helper()
+		pkt, err := cc.Recv(time.Second)
+		if err != nil {
+			t.Fatalf("no ack: %v", err)
+		}
+		ack, err := proto.UnmarshalSubAck(pkt.Data)
+		if err != nil {
+			t.Fatalf("bad ack: %v", err)
+		}
+		return ack
+	}
+	sim.Go("test", func() {
+		defer cc.Close()
+		feedStream(t, r, 1, 6)
+
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 1, 60_000, 5_000))
+		first := recvAck()
+		if first.Status != proto.SubOK || first.ShiftMs < 5_000 {
+			t.Errorf("grant ack = %+v, want OK with >= 5000 ms shift", first)
+		}
+		if st := r.Stats(); st.DVRClamped != 0 || st.DVRCatchupActive != 1 {
+			t.Errorf("stats after grant = clamped %d active %d, want 0/1", st.DVRClamped, st.DVRCatchupActive)
+		}
+
+		pauseData, _ := (&proto.Pause{Channel: 1, Seq: 1, Paused: true}).Marshal()
+		r.handlePacket(lan.Packet{From: "10.0.0.2:5004", To: "10.0.0.1:5006", Data: pauseData})
+		if subs := r.Subscribers(); !subs[0].Paused {
+			t.Fatalf("subscriber not paused: %+v", subs)
+		}
+		if st := r.Stats(); st.DVRCatchupActive != 0 {
+			t.Errorf("DVRCatchupActive while paused = %d, want 0", st.DVRCatchupActive)
+		}
+
+		// Refresh mid-pause: lease extends, pause and shift survive.
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 2, 60_000, 5_000))
+		refresh := recvAck()
+		if refresh.ShiftMs != first.ShiftMs {
+			t.Errorf("refresh ack shift = %d, want echo of granted %d", refresh.ShiftMs, first.ShiftMs)
+		}
+		subs := r.Subscribers()
+		if !subs[0].Paused || !subs[0].CatchingUp {
+			t.Errorf("after refresh paused=%v catching-up=%v, want both true", subs[0].Paused, subs[0].CatchingUp)
+		}
+		if st := r.Stats(); st.Refreshes != 1 {
+			t.Errorf("refreshes = %d, want 1", st.Refreshes)
+		}
+		// Paused subscribers get nothing — not live, not backlog.
+		r.fanout(1, dataPkt(t, 1, 1, 200, 320))
+		if n := drainPasses(r, "10.0.0.2:5004"); n != 0 {
+			t.Errorf("paused subscriber served %d backlog packets, want 0", n)
+		}
+		if subs := r.Subscribers(); subs[0].Queued != 0 {
+			t.Errorf("paused subscriber queued = %d, want 0", subs[0].Queued)
+		}
+
+		resumeData, _ := (&proto.Pause{Channel: 1, Seq: 2, Paused: false}).Marshal()
+		r.handlePacket(lan.Packet{From: "10.0.0.2:5004", To: "10.0.0.1:5006", Data: resumeData})
+		if st := r.Stats(); st.DVRCatchupActive != 1 {
+			t.Errorf("DVRCatchupActive after resume = %d, want 1", st.DVRCatchupActive)
+		}
+		served := drainCatchup(t, r, "10.0.0.2:5004", 400)
+		if served == 0 {
+			t.Error("resume replayed nothing; expected the parked backlog")
+		}
+	})
+	sim.WaitIdle()
+}
+
+// drainPasses runs one DVR gather pass and reports how many packets it
+// put in the batch. Caller must be on a sim goroutine.
+func drainPasses(r *Relay, addr lan.Addr) int {
+	sh := r.shardFor(addr)
+	var dgs []lan.Datagram
+	var owners []*subscriber
+	var profs []codec.Profile
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r.gatherCatchup(sh, &dgs, &owners, &profs, 32)
+	return len(dgs)
+}

@@ -76,7 +76,13 @@ type Subscriber struct {
 	// serves (the relay's quality ladder may sit below the request).
 	profile codec.Profile
 	current codec.Profile
-	seq     uint32
+	// shift is the time shift requested in every subscribe ("from this
+	// long ago", served from the relay's DVR ring); curShift is the
+	// shift the relay's last grant said it actually honored, clamped to
+	// what its ring still held.
+	shift    time.Duration
+	curShift time.Duration
+	seq      uint32
 	// ackFloor is the seq of the first subscribe sent to the current
 	// target: only acks echoing a seq in [ackFloor, seq] answer a
 	// request this target was actually asked. Anything below is a late
@@ -152,6 +158,64 @@ func (s *Subscriber) CurrentProfile() codec.Profile {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.current
+}
+
+// SetShift sets the time shift requested by every subsequent subscribe
+// packet: "start my stream from this long ago", served out of the
+// relay's DVR generation ring. Zero — the default — is live, and on
+// the wire indistinguishable from a pre-DVR subscriber. The relay
+// clamps the request to the history it actually holds; read the truth
+// with GrantedShift. Set it before the first Subscribe: the relay
+// honors a shift when the lease is created, not on a refresh.
+func (s *Subscriber) SetShift(d time.Duration) {
+	s.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	s.shift = d
+	s.mu.Unlock()
+}
+
+// GrantedShift returns the time shift the relay's most recent grant
+// actually honored — clamped to its ring depth, zero from a relay
+// without a DVR. It resets on re-targeting and means nothing until the
+// first grant.
+func (s *Subscriber) GrantedShift() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curShift
+}
+
+// Pause asks the relay to freeze this subscription's delivery cursor.
+// The relay's DVR ring keeps recording the channel, so a later Resume
+// replays the gap at faster than realtime. Best effort, like Cancel:
+// the packet is signed when an authenticator is installed, and a relay
+// without a DVR ring for the channel ignores it.
+func (s *Subscriber) Pause() { s.sendPause(true) }
+
+// Resume unfreezes a paused subscription: the relay replays everything
+// recorded since the Pause through its catch-up path, then hands the
+// subscription back to live delivery.
+func (s *Subscriber) Resume() { s.sendPause(false) }
+
+func (s *Subscriber) sendPause(paused bool) {
+	s.mu.Lock()
+	target, channel := s.target, s.channel
+	auth := s.auth
+	s.seq++
+	req := proto.Pause{Channel: channel, Seq: s.seq, Paused: paused}
+	s.mu.Unlock()
+	if target == "" {
+		return
+	}
+	data, err := req.Marshal()
+	if err != nil {
+		return
+	}
+	if auth != nil {
+		data = auth.Sign(data)
+	}
+	s.conn.Send(target, data)
 }
 
 // SetInstruments installs the control-plane histograms: rtt observes
@@ -336,7 +400,8 @@ func (s *Subscriber) apply(ack *proto.SubAck) (st proto.SubStatus, follow lan.Ad
 		s.stats.Redirects++
 		s.target = next
 		s.granted = 0
-		s.current = 0 // the sibling's ladder starts fresh
+		s.current = 0  // the sibling's ladder starts fresh
+		s.curShift = 0 // and so does its DVR ring
 		// Acks from the shedding relay (or any earlier target) must not
 		// install a grant against the new one.
 		s.ackFloor = s.seq + 1
@@ -352,8 +417,11 @@ func (s *Subscriber) apply(ack *proto.SubAck) (st proto.SubStatus, follow lan.Ad
 		// Every OK grant extends the wall-clock expiry, even when the
 		// duration is unchanged — that is what a refresh does. The
 		// grant also reports the delivery tier actually served, which
-		// the relay's ladder may have stepped below the request.
+		// the relay's ladder may have stepped below the request, and
+		// the time shift actually honored, which the relay's DVR ring
+		// may have clamped below it.
 		s.current = codec.Profile(ack.Profile)
+		s.curShift = time.Duration(ack.ShiftMs) * time.Millisecond
 		s.expiresWall = time.Now().Add(granted)
 		s.redirects = 0 // landed: a later shed starts a fresh chain
 		if granted != s.granted {
@@ -393,6 +461,7 @@ func (s *Subscriber) send(target lan.Addr, channel uint32, lease time.Duration) 
 		Hops:    hops,
 		PathID:  pathID,
 		Profile: uint8(s.profile),
+		ShiftMs: uint32(s.shift / time.Millisecond),
 	}
 	auth := s.auth
 	s.stats.Subscribes++

@@ -52,6 +52,7 @@ func (r *Relay) RegisterObs(reg *obs.Registry) {
 	reg.Histogram(r.transcodeLatency)
 	reg.Histogram(r.upRTT)
 	reg.Histogram(r.leaseMargin)
+	reg.Histogram(r.catchupLag)
 	reg.Tracer("es_relay", r.tracer)
 
 	reg.Info("es_relay_info", "relay identity", func() []obs.KV {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/dvr"
 	"repro/internal/lan"
 	"repro/internal/obs"
 	"repro/internal/proto"
@@ -75,6 +76,13 @@ const (
 	// recvTimeout bounds how long Run waits for any packet before
 	// re-checking liveness.
 	recvTimeout = 5 * time.Second
+	// DefaultDVRBurst caps how fast a catching-up subscriber is fed
+	// backlog, in packets per second. At the paper's nominal 100
+	// packets/s stream rate this replays five seconds of backlog per
+	// wall second — convergence within depth/4 seconds of joining —
+	// while bounding the extra load one time-shifted join can put on
+	// its shard.
+	DefaultDVRBurst = 500
 )
 
 // Config parameterizes a relay.
@@ -177,6 +185,20 @@ type Config struct {
 	// each delivery group by destination, so a subscriber owed several
 	// same-size packets costs one kernel send instead of several.
 	GSO bool
+	// DVR enables time-shifted delivery: every relayed packet is
+	// recorded into a bounded per-channel ring before fan-out, and a
+	// Subscribe carrying a time shift (proto.Subscribe.ShiftMs) is
+	// started from a cursor into that ring and fed the backlog at a
+	// bounded faster-than-realtime rate until it converges on live.
+	// Pause/resume (proto.Pause) rides the same cursor.
+	DVR bool
+	// DVRDepth bounds each ring's recorded history in seconds of
+	// arrival time; 0 uses dvr.DefaultDepth. The packet capacity is
+	// derived from the depth (see dvr.NewRing).
+	DVRDepth time.Duration
+	// DVRBurst overrides DefaultDVRBurst: the catch-up delivery rate
+	// cap, in packets per second per catching-up subscriber.
+	DVRBurst int
 }
 
 func (c *Config) applyDefaults() {
@@ -223,6 +245,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ShedPressure > 255 {
 		c.ShedPressure = 255 // the score saturates there
+	}
+	if c.DVRDepth <= 0 {
+		c.DVRDepth = dvr.DefaultDepth
+	}
+	if c.DVRBurst <= 0 {
+		c.DVRBurst = DefaultDVRBurst
 	}
 }
 
@@ -284,6 +312,16 @@ type Stats struct {
 	// RecvBatchPackets / RecvBatches is the achieved ingest batch size.
 	RecvBatches      int64 `mib:"es.relay.recv.batches" help:"batched receive passes (recvmmsg) on the relay socket"`
 	RecvBatchPackets int64 `mib:"es.relay.recv.packets" help:"packets delivered by batched receive passes"`
+
+	// Time-shift (DVR) telemetry (nonzero only with Config.DVR set).
+	// DVRCatchupActive is a gauge snapshot — subscribers currently
+	// replaying backlog — folded in by Stats(), so it falls as cursors
+	// converge on live.
+	DVRRings         int64 `mib:"es.relay.dvr.rings" help:"per-channel DVR rings created"`
+	DVRBacklog       int64 `mib:"es.relay.dvr.backlog.packets" help:"backlog packets served from the DVR rings to catching-up subscribers"`
+	DVRCatchupActive int64 `mib:"es.relay.dvr.catchup.active" help:"subscribers currently replaying backlog toward the live head"`
+	DVRClamped       int64 `mib:"es.relay.dvr.clamped" help:"time-shift requests granted less history than asked (ring depth or nothing recorded)"`
+	DVREvictions     int64 `mib:"es.relay.dvr.evictions" help:"catch-up cursors the ring wrapped past (subscriber fell behind; re-clamped to the oldest entry)"`
 }
 
 // SubscriberInfo is one subscriber's public accounting snapshot.
@@ -297,6 +335,9 @@ type SubscriberInfo struct {
 	Dropped    int64         // packets dropped by this subscriber's queue
 	Queued     int           // packets currently queued
 	Expires    time.Time
+	Shift      time.Duration // granted time shift (DVR; 0 = joined live)
+	CatchingUp bool          // currently replaying DVR backlog
+	Paused     bool          // delivery parked by a Pause packet
 }
 
 // queued is one packet waiting in a subscriber queue, stamped with its
@@ -329,6 +370,22 @@ type subscriber struct {
 	reqProfile  codec.Profile
 	ladderDrops int64
 	ladderAt    time.Time
+
+	// Time-shift (DVR) state: while catchup is set the subscriber is
+	// fed from ring at cursor by the shard worker instead of the live
+	// fan-out (which skips it), paced by the token bucket
+	// dvrTokens/dvrAt; paused parks the cursor entirely. shiftMs is
+	// the granted shift, echoed on refresh acks. scratch is the reused
+	// ring-read buffer — safe to hand to a batch because the worker's
+	// flush completes before its next gather pass.
+	ring      *dvr.Ring
+	cursor    uint64
+	shiftMs   uint32
+	catchup   bool
+	paused    bool
+	dvrTokens float64
+	dvrAt     time.Time
+	scratch   []byte
 }
 
 // shard is one slice of the subscriber table with its own fan-out
@@ -396,7 +453,16 @@ type Relay struct {
 	transcodeLatency *obs.Histogram // per-profile payload encode time
 	upRTT            *obs.Histogram // upstream Subscribe→SubAck RTT (chained)
 	leaseMargin      *obs.Histogram // upstream refresh margin (chained)
+	catchupLag       *obs.Histogram // DVR backlog packet age when served
 	tracer           *obs.Tracer
+
+	// Time-shift store (nil unless Config.DVR): the per-channel rings
+	// handlePacket records into before fanning out. catchupActive is
+	// the live count of subscribers replaying backlog (lock-free, like
+	// profCount, because converge/pause flips happen under shard locks
+	// while Stats() snapshots under r.mu).
+	dvr           *dvr.Store
+	catchupActive atomic.Int64
 
 	// Per-profile delivery state. profCount holds the live subscriber
 	// count per tier (lock-free so fanout can snapshot the active set
@@ -474,7 +540,12 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		"upstream Subscribe→SubAck round trip (chained relays only)", nil)
 	r.leaseMargin = obs.NewHistogram("es_relay_lease_margin_seconds",
 		"upstream lease time remaining at each refresh (chained relays only)", nil)
+	r.catchupLag = obs.NewHistogram("es_relay_dvr_catchup_lag_seconds",
+		"age of each DVR backlog packet when served to a catching-up subscriber", nil)
 	r.tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceRing)
+	if cfg.DVR {
+		r.dvr = dvr.NewStore(clock, cfg.DVRDepth, 0)
+	}
 	if cfg.Upstream != "" {
 		r.upstreamHost = cfg.Upstream.Host()
 		r.up = lease.New(clock, conn, "relay-upstream-"+string(conn.LocalAddr()))
@@ -681,6 +752,7 @@ func (r *Relay) Stats() Stats {
 		st.RecvBatches = rs.Batches
 		st.RecvBatchPackets = rs.Packets
 	}
+	st.DVRCatchupActive = r.catchupActive.Load()
 	return st
 }
 
@@ -718,6 +790,7 @@ type Instruments struct {
 	TranscodeLatency *obs.Histogram
 	UpstreamRTT      *obs.Histogram
 	LeaseMargin      *obs.Histogram
+	CatchupLag       *obs.Histogram
 	Tracer           *obs.Tracer
 }
 
@@ -729,6 +802,7 @@ func (r *Relay) Instruments() Instruments {
 		TranscodeLatency: r.transcodeLatency,
 		UpstreamRTT:      r.upRTT,
 		LeaseMargin:      r.leaseMargin,
+		CatchupLag:       r.catchupLag,
 		Tracer:           r.tracer,
 	}
 }
@@ -759,6 +833,9 @@ func (r *Relay) Subscribers() []SubscriberInfo {
 				Dropped:    sub.dropped,
 				Queued:     len(sub.queue),
 				Expires:    sub.expires,
+				Shift:      time.Duration(sub.shiftMs) * time.Millisecond,
+				CatchingUp: sub.catchup,
+				Paused:     sub.paused,
 			})
 		}
 		sh.mu.Unlock()
@@ -951,6 +1028,17 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 			r.stats.UpstreamData++
 		}
 		r.mu.Unlock()
+		if r.dvr != nil {
+			// Record before fan-out: the seam between a catch-up replay
+			// and live delivery is exactly once only if every packet a
+			// converging cursor could miss is already in the ring by the
+			// time fanout can skip-or-enqueue its subscriber.
+			ring, created := r.dvr.Ring(ch)
+			ring.Append(pkt.Data, t == proto.TypeControl)
+			if created {
+				r.count(func(s *Stats) { s.DVRRings++ })
+			}
+		}
 		r.fanout(ch, pkt.Data)
 	case proto.TypeSubAck:
 		// Chained: our upstream answering our own lease. The lease layer
@@ -972,6 +1060,8 @@ func (r *Relay) handlePacket(pkt lan.Packet) {
 				r.mu.Unlock()
 			}
 		}
+	case proto.TypePause:
+		r.handlePause(pkt)
 	default:
 		// Announce traffic is not ours to forward.
 	}
@@ -1209,6 +1299,10 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 				// The ack reports the tier actually served — under ladder
 				// pressure that may sit below the requested profile.
 				a.ack.Profile = uint8(sub.profile)
+				// The granted shift is decided at lease creation; a
+				// refresh echoes it without restarting the catch-up (or
+				// disturbing a pause taken across the refresh).
+				a.ack.ShiftMs = sub.shiftMs
 				refreshes++
 				continue
 			}
@@ -1254,6 +1348,16 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 				}
 				r.profCount[prof].Add(1)
 				a.ack.Profile = uint8(prof)
+				if r.dvr != nil && a.req.ShiftMs != 0 {
+					r.grantShift(sub, a)
+					if sub.catchup {
+						// Catch-up is driven by the shard worker, which on a
+						// quiet channel may be parked with nothing to fan
+						// out. Wake it so the backlog starts flowing now
+						// rather than at the next live packet.
+						sh.work.Broadcast()
+					}
+				}
 				sh.subs[a.from] = sub
 				sh.order = append(sh.order, sub)
 			}
@@ -1448,6 +1552,7 @@ func (r *Relay) unsubscribe(addr lan.Addr) {
 	sub, ok := sh.subs[addr]
 	if ok {
 		r.profCount[sub.profile].Add(-1)
+		r.dropCatchup(sub)
 		sh.remove(sub)
 	}
 	sh.mu.Unlock()
@@ -1475,6 +1580,11 @@ func (r *Relay) fanout(ch uint32, data []byte) {
 		sh.mu.Lock()
 		for _, sub := range sh.order {
 			if sub.channel != 0 && sub.channel != ch {
+				continue
+			}
+			if sub.catchup || sub.paused {
+				// Fed from the DVR ring (or parked) — and this packet is
+				// already in the ring, appended before fanout ran.
 				continue
 			}
 			if len(sub.queue) >= r.cfg.QueueLen {
@@ -1579,6 +1689,12 @@ func (r *Relay) shardWorker(sh *shard) {
 					progress = true
 				}
 			}
+			var dvrWait time.Duration
+			if r.dvr != nil && len(dgs) < maxBatch && !sh.stopped {
+				var dvrProgress bool
+				dvrProgress, dvrWait = r.gatherCatchup(sh, &dgs, &owners, &profs, maxBatch)
+				progress = progress || dvrProgress
+			}
 			if len(dgs) >= maxBatch {
 				trigger = flushSize
 				break
@@ -1601,6 +1717,13 @@ func (r *Relay) shardWorker(sh *shard) {
 					trigger = flushDeadline
 					break
 				}
+				continue
+			}
+			if dvrWait > 0 {
+				// Token-starved catch-up and nothing else to do: sleep
+				// until the bucket refills rather than waiting for a
+				// signal that may never come.
+				sh.work.WaitTimeout(&sh.mu, dvrWait)
 				continue
 			}
 			sh.work.Wait(&sh.mu)
@@ -1721,6 +1844,7 @@ func (r *Relay) sweep() {
 			for _, sub := range append([]*subscriber(nil), sh.order...) {
 				if !sub.expires.After(now) {
 					r.profCount[sub.profile].Add(-1)
+					r.dropCatchup(sub)
 					sh.remove(sub)
 					expired++
 				}
