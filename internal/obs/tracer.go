@@ -45,6 +45,7 @@ const (
 	ReasonMalformed                   // unparseable packet
 	ReasonForeign                     // packet from a source the relay does not accept
 	ReasonTableFull                   // subscriber table at capacity
+	ReasonStale                       // control packet replaying an already-consumed sequence
 	numReasons
 )
 
@@ -68,6 +69,8 @@ func (r Reason) String() string {
 		return "foreign"
 	case ReasonTableFull:
 		return "table-full"
+	case ReasonStale:
+		return "stale"
 	}
 	return "unknown"
 }

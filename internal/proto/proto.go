@@ -777,9 +777,14 @@ func UnmarshalSubAck(data []byte) (*SubAck, error) {
 // for the channel ignores the request — pause without history would
 // silently eat audio.
 type Pause struct {
-	Channel uint32 // channel identifier
-	Seq     uint32 // request sequence (for tracing; pause is not acked)
-	Paused  bool   // true freezes the cursor, false resumes it
+	Channel uint32 // channel identifier; must name the leased channel (0 = wildcard)
+	// Seq must strictly increase across the pauses one subscriber
+	// sends: the relay rejects a seq at or below the last one it
+	// consumed, so a captured-and-replayed pause (which verifies — it
+	// was once genuine) cannot re-park the subscriber later. Pause is
+	// not acked; the seq doubles as the tracing handle.
+	Seq    uint32
+	Paused bool // true freezes the cursor, false resumes it
 }
 
 // Pause state codes (the body's state byte).

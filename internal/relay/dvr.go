@@ -83,7 +83,14 @@ func (r *Relay) dropCatchup(sub *subscriber) {
 // since the pause at the bounded burst rate. The packet is verified
 // exactly like a Subscribe — pause creates server-side replay state,
 // so a forged pause from a spoofed source must not be able to silence
-// or redirect a subscriber's stream.
+// or redirect a subscriber's stream. Verification proves the packet
+// was once genuine, not that it is fresh, so the seq is enforced too:
+// a pause must carry a seq above every pause this lease has already
+// consumed, closing the capture-and-replay variant of the same attack
+// (an on-path recorder re-parking the subscriber with an old signed
+// pause for as long as the lease keeps refreshing). The channel must
+// name the leased channel (0 is a wildcard) — a pause addressed to
+// some other channel leaves this lease alone.
 func (r *Relay) handlePause(pkt lan.Packet) {
 	data := pkt.Data
 	if r.cfg.Auth != nil {
@@ -106,16 +113,26 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 	}
 	sh := r.shardFor(pkt.From)
 	var ringCreated bool
+	var dropReason obs.Reason
 	sh.mu.Lock()
 	sub, ok := sh.subs[pkt.From]
+	var ch uint32
+	if ok {
+		if ch = sub.channel; ch == 0 {
+			ch = r.cfg.Channel
+		}
+	}
 	switch {
 	case !ok:
 		// No lease, nothing to pause.
+	case p.Channel != 0 && ch != 0 && p.Channel != ch:
+		// Addressed to a channel this lease does not carry.
+		dropReason = obs.ReasonChannelFilter
+	case p.Seq <= sub.pauseSeq:
+		// Replay or reorder of an already-consumed pause.
+		dropReason = obs.ReasonStale
 	case p.Paused && !sub.paused:
-		ch := sub.channel
-		if ch == 0 {
-			ch = r.cfg.Channel
-		}
+		sub.pauseSeq = p.Seq
 		if sub.catchup {
 			// Mid-catch-up: keep the cursor where it is; resume will
 			// continue the replay from the same position.
@@ -135,13 +152,22 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 		// A wildcard subscriber on a wildcard relay has no single ring
 		// to park a cursor in; its pause is ignored.
 	case !p.Paused && sub.paused:
+		sub.pauseSeq = p.Seq
 		sub.paused = false
 		r.catchupActive.Add(1)
 		sh.work.Broadcast() // wake the worker: the replay starts now
+	default:
+		// State-wise a no-op (pause while paused, resume while live),
+		// but the seq is still consumed: a duplicate of this packet
+		// must not be replayable later, after the state has moved.
+		sub.pauseSeq = p.Seq
 	}
 	sh.mu.Unlock()
 	if ringCreated {
 		r.count(func(s *Stats) { s.DVRRings++ })
+	}
+	if dropReason != obs.ReasonNone {
+		r.tracer.Drop(obs.PathControl, dropReason, string(pkt.From), p.Channel)
 	}
 }
 
@@ -213,11 +239,6 @@ func (r *Relay) gatherCatchup(sh *shard, dgs *[]lan.Datagram, owners *[]*subscri
 			r.catchupActive.Add(-1)
 			continue
 		}
-		// The read grew (or reused) the subscriber's scratch buffer;
-		// keep it. The reference handed to the batch stays valid until
-		// the flush completes, which happens before this worker's next
-		// gather pass can touch the buffer again.
-		sub.scratch = data
 		sub.dvrTokens--
 		sub.cursor++
 		pd, pf := data, codec.ProfileSource
@@ -229,6 +250,19 @@ func (r *Relay) gatherCatchup(sh *shard, dgs *[]lan.Datagram, owners *[]*subscri
 			if b := r.transcodeFor(ch, data, sub.profile); b != nil {
 				pd, pf = b, sub.profile
 			}
+		}
+		// Buffer ownership: the worker's gather loop can run this
+		// function again before the batch is flushed (tokens permitting),
+		// and Read recycles sub.scratch in place — so a buffer the batch
+		// still references must never be read into again. When the batch
+		// took the ring read itself (pf is Source: passthrough, or a
+		// transcode that fell back), ownership moves to the batch and
+		// scratch is dropped so the next read allocates afresh; when the
+		// batch took a transcoded copy, the read buffer is free to reuse.
+		if pf == codec.ProfileSource {
+			sub.scratch = nil
+		} else {
+			sub.scratch = data
 		}
 		r.catchupLag.Observe(age)
 		*dgs = append(*dgs, lan.Datagram{To: sub.addr, Data: pd})

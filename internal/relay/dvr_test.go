@@ -297,6 +297,128 @@ func TestDVRPauseAcrossLeaseRefresh(t *testing.T) {
 	sim.WaitIdle()
 }
 
+// TestDVRCatchupBatchBuffersDistinct is the regression test for the
+// scratch-aliasing bug: the shard worker's gather loop calls
+// gatherCatchup repeatedly before one flush, and whenever the token
+// bucket held more than one token the second ring read reused
+// sub.scratch in place — overwriting the bytes an earlier entry of the
+// still-un-flushed batch referenced, so the subscriber received the
+// same backlog packet twice instead of two consecutive ones. Every
+// entry gathered into one batch must keep its own payload.
+func TestDVRCatchupBatchBuffersDistinct(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRDepth: 10 * time.Second, DVRBurst: 1000})
+	sim.Go("test", func() {
+		feedStream(t, r, 1, 2)
+		r.handleSubscribe(shiftSubPkt(t, "10.0.0.2:5004", 1, 1, 60_000, 2_000))
+		sh := r.shardFor("10.0.0.2:5004")
+
+		// One un-flushed batch, gathered across several passes with time
+		// moving in between — exactly the worker's inner loop while the
+		// batch has room and tokens keep refilling.
+		var dgs []lan.Datagram
+		var owners []*subscriber
+		var profs []codec.Profile
+		for pass := 0; pass < 4; pass++ {
+			sh.mu.Lock()
+			r.gatherCatchup(sh, &dgs, &owners, &profs, 32)
+			sh.mu.Unlock()
+			sim.Sleep(20 * time.Millisecond)
+		}
+		if len(dgs) < 3 {
+			t.Fatalf("gathered %d backlog packets, want >= 3 to exercise reuse", len(dgs))
+		}
+
+		// No two batch entries may share a backing array...
+		buffers := make(map[*byte]int)
+		for i := range dgs {
+			p := &dgs[i].Data[0]
+			if j, dup := buffers[p]; dup {
+				t.Fatalf("batch entries %d and %d alias one buffer", j, i)
+			}
+			buffers[p] = i
+		}
+		// ...and the payloads must be the recorded stream in order: one
+		// Control (the decodable replay start), then strictly ascending
+		// Data seqs. Aliased buffers would parse as duplicated seqs.
+		var lastSeq uint64
+		for i := range dgs {
+			typ, _, err := proto.PeekType(dgs[i].Data)
+			if err != nil {
+				t.Fatalf("entry %d unparseable: %v", i, err)
+			}
+			if typ != proto.TypeData {
+				continue
+			}
+			d, err := proto.UnmarshalData(dgs[i].Data)
+			if err != nil {
+				t.Fatalf("entry %d: %v", i, err)
+			}
+			if d.Seq <= lastSeq {
+				t.Fatalf("entry %d has seq %d after seq %d: backlog duplicated or reordered", i, d.Seq, lastSeq)
+			}
+			lastSeq = d.Seq
+		}
+	})
+	sim.WaitIdle()
+}
+
+// TestPauseReplayAndWrongChannelIgnored covers the pause packet's
+// freshness and addressing checks: a pause naming a channel the lease
+// does not carry leaves it alone, a replayed (non-increasing seq)
+// pause cannot re-park a subscriber that already resumed, and a
+// wildcard-channel pause with a fresh seq still applies.
+func TestPauseReplayAndWrongChannelIgnored(t *testing.T) {
+	sim, _, r := newTestRelay(t, Config{Channel: 1, DVR: true, DVRDepth: 10 * time.Second})
+	pauseAt := func(ch, seq uint32, paused bool) {
+		data, err := (&proto.Pause{Channel: ch, Seq: seq, Paused: paused}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.handlePacket(lan.Packet{From: "10.0.0.2:5004", To: "10.0.0.1:5006", Data: data})
+	}
+	paused := func() bool {
+		subs := r.Subscribers()
+		if len(subs) != 1 {
+			t.Fatalf("subscribers = %d, want 1", len(subs))
+		}
+		return subs[0].Paused
+	}
+	sim.Go("test", func() {
+		feedStream(t, r, 1, 1)
+		r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 1, 1, 60_000))
+
+		// Addressed to a channel this lease does not carry: ignored.
+		pauseAt(9, 1, true)
+		if paused() {
+			t.Fatal("pause for channel 9 parked a channel-1 lease")
+		}
+
+		// Park, then resume, both with fresh seqs.
+		pauseAt(1, 2, true)
+		if !paused() {
+			t.Fatal("genuine pause did not park the subscriber")
+		}
+		pauseAt(1, 3, false)
+		if paused() {
+			t.Fatal("genuine resume did not unpark the subscriber")
+		}
+
+		// An on-path recorder replaying the captured seq-2 pause — it
+		// verifies, it was once genuine — must not re-park the stream.
+		pauseAt(1, 2, true)
+		if paused() {
+			t.Fatal("replayed pause re-parked the subscriber")
+		}
+
+		// A wildcard-channel pause with a fresh seq still applies.
+		pauseAt(0, 4, true)
+		if !paused() {
+			t.Fatal("wildcard-channel pause with a fresh seq was ignored")
+		}
+	})
+	sim.WaitIdle()
+}
+
 // drainPasses runs one DVR gather pass and reports how many packets it
 // put in the batch. Caller must be on a sim goroutine.
 func drainPasses(r *Relay, addr lan.Addr) int {

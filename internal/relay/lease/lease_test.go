@@ -274,6 +274,81 @@ func TestAckWhileDetachedIgnored(t *testing.T) {
 	sim.WaitIdle()
 }
 
+// TestShiftFallbackToLiveAgainstPreDVRRelay: a relay predating the
+// time-shift extension rejects the 13-byte shifted Subscribe body as
+// malformed and answers nothing at all, so a shifted join against it
+// used to retry silently forever. After ShiftFallbackAfter unanswered
+// shifted attempts the subscriber must drop the shift, join live, and
+// report the zero truth through GrantedShift.
+func TestShiftFallbackToLiveAgainstPreDVRRelay(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	seg := lan.NewSegment(sim, lan.SegmentConfig{})
+	cc, err := seg.Attach("10.0.0.2:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relayConn, err := seg.Attach("10.0.0.1:5006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := New(sim, cc, "shift-fallback-test")
+	var shifted, live int
+	sim.Go("relay", func() {
+		for {
+			pkt, err := relayConn.Recv(0)
+			if err != nil {
+				return
+			}
+			req, err := proto.UnmarshalSubscribe(pkt.Data)
+			if err != nil || req.LeaseMs == 0 {
+				continue
+			}
+			if req.ShiftMs != 0 {
+				// The pre-DVR behavior: the extended body reads as
+				// malformed, nothing is answered.
+				shifted++
+				continue
+			}
+			live++
+			ack, _ := (&proto.SubAck{Seq: req.Seq, Status: proto.SubOK, LeaseMs: 1000}).Marshal()
+			relayConn.Send(pkt.From, ack)
+		}
+	})
+	sim.Go("rx", func() {
+		for {
+			pkt, err := cc.Recv(0)
+			if err != nil {
+				return
+			}
+			sub.HandleAckData(pkt.From, pkt.Data)
+		}
+	})
+	sim.Go("sub", func() {
+		sub.SetShift(10 * time.Second)
+		sub.Subscribe("10.0.0.1:5006", 1, 3*time.Second)
+		sim.Sleep(10 * time.Second)
+		if g := sub.Granted(); g != time.Second {
+			t.Errorf("granted = %v, want the 1s live lease after the fallback", g)
+		}
+		if s := sub.GrantedShift(); s != 0 {
+			t.Errorf("granted shift = %v, want 0 (live fallback)", s)
+		}
+		sub.Close()
+		relayConn.Close()
+		cc.Close()
+	})
+	sim.WaitIdle()
+	if shifted != ShiftFallbackAfter {
+		t.Errorf("relay saw %d shifted subscribes, want exactly ShiftFallbackAfter = %d", shifted, ShiftFallbackAfter)
+	}
+	if live == 0 {
+		t.Error("relay never saw a live (shift-free) subscribe after the fallback")
+	}
+	if st := sub.Stats(); st.ShiftFallbacks != 1 {
+		t.Errorf("ShiftFallbacks = %d, want 1", st.ShiftFallbacks)
+	}
+}
+
 // redirectAck builds one SubRedirect ack for seq naming to.
 func redirectAck(t *testing.T, seq uint32, to string) []byte {
 	t.Helper()

@@ -375,12 +375,16 @@ type subscriber struct {
 	// fed from ring at cursor by the shard worker instead of the live
 	// fan-out (which skips it), paced by the token bucket
 	// dvrTokens/dvrAt; paused parks the cursor entirely. shiftMs is
-	// the granted shift, echoed on refresh acks. scratch is the reused
-	// ring-read buffer — safe to hand to a batch because the worker's
-	// flush completes before its next gather pass.
+	// the granted shift, echoed on refresh acks. pauseSeq is the
+	// highest Pause.Seq consumed — replayed or reordered pauses are
+	// rejected against it. scratch is the ring-read buffer; it is
+	// reused only while no un-flushed batch references it (ownership
+	// moves to the batch when a read is handed over un-transcoded, see
+	// gatherCatchup).
 	ring      *dvr.Ring
 	cursor    uint64
 	shiftMs   uint32
+	pauseSeq  uint32
 	catchup   bool
 	paused    bool
 	dvrTokens float64
