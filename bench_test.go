@@ -272,6 +272,12 @@ func BenchmarkRelayFanout(b *testing.B) {
 			})
 		}
 	}
+	// The scale row: a metro-sized flash crowd on one relay, batched.
+	// Unbatched at this size would only measure the simulator, so only
+	// the batch=64 point is recorded.
+	b.Run("subs=50000/batch=64", func(b *testing.B) {
+		benchRelayFanout(b, 50000, 64, 1, nil, nil)
+	})
 	b.Run("subs=1000/batch=64/hops=2", func(b *testing.B) {
 		benchRelayFanout(b, 1000, 64, 2, nil, nil)
 	})
@@ -625,20 +631,27 @@ func benchUDPBatch(b *testing.B, gso bool) {
 }
 
 // BenchmarkJoinStorm measures the relay's admission path under a flash
-// crowd: 2,000 HMAC-signed Subscribes arrive in the same instant and
-// the benchmark times the wall clock until every one holds a lease.
+// crowd: 2,000 signed Subscribes arrive in the same instant and the
+// benchmark times the wall clock until every one holds a lease.
 // admit=1 is the per-packet baseline (each Subscribe verified, acked,
 // and inserted alone); admit=256 is the batched path (one
 // BatchAuthenticator pass per gather, coalesced SubAck signing, one
 // shard-lock acquisition per shard per pass, one WriteBatch). The
+// auth=ident row reruns the batched storm with per-subscriber
+// credentials — every Subscribe signed by a distinct identity,
+// batch-verified under per-identity keys with the source bound in —
+// to price the identity upgrade against shared-key admission. The
 // headline metric is subscribes/sec; ns/subscribe records the same
 // curve per admission for the trajectory file.
 func BenchmarkJoinStorm(b *testing.B) {
 	for _, admit := range []int{1, 256} {
 		b.Run(fmt.Sprintf("subs=2000/admit=%d", admit), func(b *testing.B) {
-			benchJoinStorm(b, 2000, admit)
+			benchJoinStorm(b, 2000, admit, "hmac")
 		})
 	}
+	b.Run("subs=2000/admit=256/auth=ident", func(b *testing.B) {
+		benchJoinStorm(b, 2000, 256, "ident")
+	})
 }
 
 // stormRow is one BenchmarkJoinStorm row in the perf-trajectory file.
@@ -652,8 +665,18 @@ type stormRow struct {
 	AdmitBatches float64 `json:"admit_batches"`
 }
 
-func benchJoinStorm(b *testing.B, subscribers, admitBatch int) {
-	auth := security.NewHMAC([]byte("bench control key"))
+func benchJoinStorm(b *testing.B, subscribers, admitBatch int, scheme string) {
+	var auth security.Authenticator
+	var ring *security.Keyring
+	switch scheme {
+	case "hmac":
+		auth = security.NewHMAC([]byte("bench control key"))
+	case "ident":
+		ring = security.NewKeyring([]byte("bench master key"))
+		auth = ring.Relay()
+	default:
+		b.Fatalf("unknown bench auth scheme %q", scheme)
+	}
 	var active time.Duration
 	var batches int64
 	for i := 0; i < b.N; i++ {
@@ -678,18 +701,32 @@ func benchJoinStorm(b *testing.B, subscribers, admitBatch int) {
 			}
 			conns = append(conns, conn)
 		}
-		sys.Clock.Go("storm", func() {
-			// One signed request reused by every source: the window below
-			// times the relay's admission work, not 2,000 client signings.
-			sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
-			if err != nil {
-				b.Error(err)
-				return
+		// The requests are pre-signed outside the timed window: the
+		// window below times the relay's admission work, not thousands
+		// of client signings. Shared-key rows reuse one signed request;
+		// the identity row needs one per source, because the tag binds
+		// the subscriber's identity, sequence, and UDP source.
+		reqs := make([][]byte, len(conns))
+		sub, err := (&proto.Subscribe{Channel: 1, Seq: 1, LeaseMs: 60000}).Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ring != nil {
+			for s, conn := range conns {
+				signer := security.NewIdentitySignerAt(
+					ring.Credential(uint32(s+1)), uint32(s+1), string(conn.LocalAddr()), 1)
+				reqs[s] = signer.Sign(sub)
 			}
-			sub = auth.Sign(sub)
+		} else {
+			signed := auth.Sign(sub)
+			for s := range reqs {
+				reqs[s] = signed
+			}
+		}
+		sys.Clock.Go("storm", func() {
 			start := time.Now()
-			for _, conn := range conns {
-				if err := conn.Send(r.Addr(), sub); err != nil {
+			for s, conn := range conns {
+				if err := conn.Send(r.Addr(), reqs[s]); err != nil {
 					b.Error(err)
 					return
 				}

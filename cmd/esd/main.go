@@ -14,7 +14,14 @@
 // address instead — or the literal 'discover', which picks a relay for
 // -channel from the §4.3 catalog at boot. Against an authenticated
 // relay (relayd -auth hmac), pass the same -auth hmac -key-file so the
-// speaker signs its subscribes and verifies the granted lease.
+// speaker signs its subscribes and verifies the granted lease. Against
+// a relay running per-subscriber credentials (relayd -auth ident),
+// pass -auth ident -identity N -key-file <credential file>, where the
+// credential was minted by the relay operator (relayd -mint-identity N)
+// — each speaker then holds only its own key, and the relay pins the
+// lease to it. The signature binds this speaker's -local address as the
+// relay sees it, so -auth ident needs a routable -local bind, not a
+// wildcard.
 package main
 
 import (
@@ -44,8 +51,9 @@ func main() {
 		local    = flag.String("local", "0.0.0.0:5004", "local bind address")
 		mgmtAt   = flag.String("mgmt", "", "management agent bind address (empty disables)")
 		name     = flag.String("name", "es", "speaker name")
-		authFlag = flag.String("auth", "none", "relay control-plane auth scheme: none, or hmac with -key-file (must match the relay's -auth)")
-		keyFile  = flag.String("key-file", "", "file holding the shared relay control-plane key (with -auth hmac)")
+		authFlag = flag.String("auth", "none", "relay control-plane auth scheme: none, hmac, or ident (must match the relay's -auth)")
+		keyFile  = flag.String("key-file", "", "file holding the shared relay key (-auth hmac) or this speaker's hex credential (-auth ident; mint with relayd -mint-identity)")
+		identity = flag.Uint("identity", 0, "this speaker's subscriber identity (with -auth ident; needs a routable -local, the relay binds the signature to it)")
 		out      = flag.String("out", "-", "raw PCM output: '-' for stdout, or a file path")
 		statsI   = flag.Duration("stats", 10*time.Second, "stats report interval (0 disables)")
 		opsAddr  = flag.String("ops-addr", "", "ops HTTP endpoint: /metrics, /snapshot, /trace, /healthz, /debug/pprof (empty = off)")
@@ -54,7 +62,16 @@ func main() {
 	log.SetPrefix("esd: ")
 	log.SetFlags(0)
 
-	relayAuth, err := security.LoadControlAuth(*authFlag, *keyFile)
+	if *authFlag == "ident" {
+		// The identity signature covers the source address the relay
+		// observes; a wildcard bind signs for an address the subscribe
+		// never appears to come from, so every request would be dropped.
+		if ip := stdnet.ParseIP(lan.Addr(*local).Host()); ip == nil || ip.IsUnspecified() {
+			log.Fatalf("-auth ident needs a routable -local address, not %q: the relay verifies the signature against the source address it sees", *local)
+		}
+	}
+	relayAuth, err := security.LoadClientAuth(*authFlag, *keyFile,
+		uint32(*identity), string(lan.Addr(*local)), uint64(time.Now().UnixNano()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +100,7 @@ func main() {
 		// the catalog group but not the channel's own.
 		ri, err := relay.Discover(clock, net,
 			lan.Addr(stdnet.JoinHostPort(lan.Addr(*local).Host(), "0")),
-			lan.Addr(*catalog), uint32(*chanID), 15*time.Second, nil)
+			lan.Addr(*catalog), uint32(*chanID), 15*time.Second, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

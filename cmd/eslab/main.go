@@ -160,6 +160,13 @@ func main() {
 			}
 			experiments.E18DVR(w, behind)
 		}},
+		{"adversary", "E19 (§5.1): per-subscriber identities — forgery, replay, and steering all refused", func(q bool) {
+			secs := 4
+			if q {
+				secs = 2
+			}
+			experiments.E19Adversary(w, secs)
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].name < exps[j].name })
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rebroadcast"
 	"repro/internal/relay"
+	"repro/internal/security"
 	"repro/internal/vad"
 	"repro/internal/vclock"
 )
@@ -53,6 +54,8 @@ func main() {
 		dvrAddr  = flag.String("dvr-listen", "0.0.0.0:5007", "unicast address the embedded DVR relay leases subscribers from (with -dvr)")
 		dvrDepth = flag.Duration("dvr-depth", 0, "recorded history in the embedded relay's ring (0 = the built-in 30s default; with -dvr)")
 		dvrBurst = flag.Int("dvr-burst", 0, "catch-up delivery rate in packets/s per subscriber (0 = the built-in default; with -dvr)")
+		authFlag = flag.String("auth", "none", "control-plane auth for the embedded DVR relay: none, hmac, or ident (per-subscriber credentials) with -key-file")
+		keyFile  = flag.String("key-file", "", "file holding the control-plane key: the shared key (-auth hmac) or the chain master key (-auth ident); with -dvr")
 	)
 	flag.Parse()
 	log.SetPrefix("rebroadcastd: ")
@@ -84,6 +87,10 @@ func main() {
 	// delivery at the source, with no separate relayd to deploy.
 	var dvrRelay *relay.Relay
 	if *dvrOn {
+		auth, _, err := security.LoadRelayAuth(*authFlag, *keyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
 		rconn, err := net.Attach(lan.Addr(*dvrAddr))
 		if err != nil {
 			log.Fatal(err)
@@ -92,6 +99,7 @@ func main() {
 		dvrRelay, err = relay.New(clock, rconn, relay.Config{
 			Group:    lan.Addr(*group),
 			Channel:  uint32(*id),
+			Auth:     auth,
 			DVR:      true,
 			DVRDepth: *dvrDepth,
 			DVRBurst: *dvrBurst,
@@ -102,6 +110,9 @@ func main() {
 		clock.Go("dvr-relay", dvrRelay.Run)
 		defer dvrRelay.Stop()
 		log.Printf("time-shift relay at %s", dvrRelay.Addr())
+		if auth != nil {
+			log.Printf("DVR control plane authenticated (%s); unsigned subscribes are dropped silently", auth.Scheme())
+		}
 	}
 
 	if *opsAddr != "" {

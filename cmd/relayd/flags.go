@@ -29,8 +29,11 @@ type options struct {
 	shardSk  bool
 	auth     string
 	keyFile  string
+	identity uint
+	mintID   uint
 	shedSubs int
 	shedPres int
+	shedTier bool
 	admitB   int
 
 	ladder          bool
@@ -66,10 +69,13 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.batch, "batch", relay.DefaultBatch, "fan-out batch size in datagrams (1 = unbatched)")
 	fs.DurationVar(&o.flush, "flush", relay.DefaultFlushInterval, "max age of a partial batch before it is flushed")
 	fs.BoolVar(&o.shardSk, "shard-sockets", false, "per-shard ephemeral send sockets (higher throughput, but data no longer originates from -listen: breaks NATed subscribers)")
-	fs.StringVar(&o.auth, "auth", "none", "control-plane auth scheme: none, or hmac with -key-file (§5.1; forged subscribes are dropped silently)")
-	fs.StringVar(&o.keyFile, "key-file", "", "file holding the shared control-plane key (with -auth hmac)")
+	fs.StringVar(&o.auth, "auth", "none", "control-plane auth scheme: none, hmac, or ident (per-subscriber credentials) with -key-file (§5.1; forged subscribes are dropped silently)")
+	fs.StringVar(&o.keyFile, "key-file", "", "file holding the control-plane key: the shared key (-auth hmac) or the chain master key (-auth ident)")
+	fs.UintVar(&o.identity, "identity", 0, "this relay's subscriber identity for its upstream lease (with -auth ident and -upstream; credentials derive from the master key)")
+	fs.UintVar(&o.mintID, "mint-identity", 0, "print the hex credential for this subscriber identity (derived from -key-file's master key) and exit")
 	fs.IntVar(&o.shedSubs, "shed-subscribers", 0, "shed new subscribers (SubRedirect to a catalog sibling) at this subscriber count (0 = off; needs -advertise so siblings are watched)")
 	fs.IntVar(&o.shedPres, "shed-pressure", 0, "shed new subscribers at this queue-pressure score, 1-255 (0 = off; needs -advertise so siblings are watched)")
+	fs.BoolVar(&o.shedTier, "shed-tier", false, "redirect subscribers the quality ladder has pushed to the bottom rung to a less-loaded catalog sibling at their next refresh (needs -ladder and -advertise)")
 	fs.IntVar(&o.admitB, "admit-batch", relay.DefaultAdmitBatch, "subscribe admission batch size (1 = per-packet verification)")
 	fs.BoolVar(&o.ladder, "ladder", false, "adaptive quality ladder: transcode congested subscribers down the profile tiers, recover after a clean dwell")
 	fs.IntVar(&o.ladderDownDrops, "ladder-down-drops", relay.DefaultLadderDownDrops, "queue drops per sweep that push a subscriber one ladder tier down (with -ladder)")
@@ -88,9 +94,10 @@ func parseFlags(args []string) (*options, error) {
 }
 
 // relayConfig shapes the parsed flags into the relay.Config main hands
-// to relay.New. auth and sourceHops arrive resolved — key loading and
-// catalog discovery are side effects the flag layer stays out of.
-func (o *options) relayConfig(auth security.Authenticator, sourceHops int) relay.Config {
+// to relay.New. auth, upstreamAuth, and sourceHops arrive resolved —
+// key loading and catalog discovery are side effects the flag layer
+// stays out of.
+func (o *options) relayConfig(auth, upstreamAuth security.Authenticator, sourceHops int) relay.Config {
 	cfg := relay.Config{
 		Group:           lan.Addr(o.group),
 		Upstream:        lan.Addr(o.upstream),
@@ -103,9 +110,11 @@ func (o *options) relayConfig(auth security.Authenticator, sourceHops int) relay
 		Batch:           o.batch,
 		FlushInterval:   o.flush,
 		Auth:            auth,
+		UpstreamAuth:    upstreamAuth,
 		TraceSample:     o.traceN,
 		ShedSubscribers: o.shedSubs,
 		ShedPressure:    o.shedPres,
+		ShedTier:        o.shedTier,
 		AdmitBatch:      o.admitB,
 		SourceHops:      sourceHops,
 		Ladder:          o.ladder,

@@ -23,7 +23,7 @@ func TestFlagsShapeRelayConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := o.relayConfig(nil, 0)
+	cfg := o.relayConfig(nil, nil, 0)
 	if cfg.Channel != 3 {
 		t.Errorf("Channel = %d, want 3", cfg.Channel)
 	}
@@ -45,7 +45,7 @@ func TestFlagDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := o.relayConfig(nil, 0)
+	cfg := o.relayConfig(nil, nil, 0)
 	if cfg.DVR || cfg.Ladder {
 		t.Errorf("DVR/Ladder default on: %v/%v", cfg.DVR, cfg.Ladder)
 	}
@@ -64,7 +64,7 @@ func TestFlagDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccfg := chained.relayConfig(nil, 2)
+	ccfg := chained.relayConfig(nil, nil, 2)
 	if ccfg.Group != "" || ccfg.Upstream != "192.0.2.1:5006" || ccfg.SourceHops != 2 {
 		t.Errorf("chained config = group %q upstream %q hops %d", ccfg.Group, ccfg.Upstream, ccfg.SourceHops)
 	}

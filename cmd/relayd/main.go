@@ -52,7 +52,19 @@
 // creates forwarding state (forged ones are dropped silently — no
 // SubAck, so a spoofed request reflects nothing at a victim) and signs
 // every SubAck. Subscribers (esd, downstream relayds) must carry the
-// same key. See "Securing a relay" in docs/RELAY-OPS.md.
+// same key. -auth ident upgrades the shared key to per-subscriber
+// credentials: -key-file then holds the chain master key, each
+// subscriber signs with its own derived credential (mint one with
+// -mint-identity N), and the relay pins every lease to the identity
+// that opened it — a compromised speaker's credential cannot cancel,
+// pause, or redirect anyone else's session, and a per-session replay
+// window drops captured control packets. With -auth ident the catalog
+// announce is signed too, so discovery cannot be steered by a forged
+// record. A chained relay under ident needs -identity (its own
+// subscriber identity for the upstream lease) and a routable -listen:
+// the upstream binds the signature to the source address it sees. See
+// "Securing a relay" and "Provisioning subscriber credentials" in
+// docs/RELAY-OPS.md.
 package main
 
 import (
@@ -77,13 +89,49 @@ func main() {
 	log.SetPrefix("relayd: ")
 	log.SetFlags(0)
 
-	auth, err := security.LoadControlAuth(o.auth, o.keyFile)
+	auth, ring, err := security.LoadRelayAuth(o.auth, o.keyFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	if o.mintID != 0 {
+		// Provisioning helper: print the hex credential for a subscriber
+		// identity and exit. The output goes to the subscriber's key file
+		// (esd -auth ident -identity N -key-file <file>).
+		if ring == nil {
+			log.Fatal("-mint-identity needs -auth ident with the master -key-file")
+		}
+		os.Stdout.WriteString(security.FormatCredential(ring.Credential(uint32(o.mintID))) + "\n")
+		return
+	}
+
 	clock := vclock.System
 	net := &lan.UDPNetwork{}
+
+	// With per-subscriber credentials the catalog is signed too: forged
+	// or unsigned announces must not steer this relay's discovery or its
+	// shedding sibling set.
+	var announceVerifier *security.AnnounceVerifier
+	if ring != nil {
+		announceVerifier = ring.AnnounceVerifier()
+	}
+
+	var upstreamAuth security.Authenticator
+	if ring != nil && o.upstream != "" {
+		// A chained relay is itself a subscriber upstream: it signs its
+		// own lease traffic with a credential derived from -identity. The
+		// upstream binds that signature to the UDP source it observes,
+		// which is this relay's -listen address — a wildcard bind would
+		// sign for an address the packets never appear to come from.
+		if o.identity == 0 {
+			log.Fatal("-auth ident with -upstream needs -identity: the upstream lease is signed per subscriber")
+		}
+		if ip := stdnet.ParseIP(lan.Addr(o.listen).Host()); ip == nil || ip.IsUnspecified() {
+			log.Fatalf("-auth ident with -upstream needs a routable -listen address, not %q: the upstream verifies the signature against the source address it sees", o.listen)
+		}
+		upstreamAuth = ring.SignerAt(uint32(o.identity), string(lan.Addr(o.listen)),
+			uint64(time.Now().UnixNano()))
+	}
 
 	sourceHops := 0
 	if o.upstream == "discover" {
@@ -98,7 +146,7 @@ func main() {
 		ri, err := relay.Discover(clock, net,
 			lan.Addr(stdnet.JoinHostPort(lan.Addr(o.listen).Host(), "0")),
 			lan.Addr(o.catalog), uint32(o.channel), 15*time.Second,
-			relay.ExcludeChainOf(lan.Addr(o.listen)))
+			relay.ExcludeChainOf(lan.Addr(o.listen)), announceVerifier)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -117,7 +165,7 @@ func main() {
 	}
 	defer conn.Close()
 
-	cfg := o.relayConfig(auth, sourceHops)
+	cfg := o.relayConfig(auth, upstreamAuth, sourceHops)
 	if o.shardSk {
 		// Per-shard send sockets: each shard batches through its own
 		// ephemeral-port socket. Data then comes from those ports, not
@@ -169,11 +217,16 @@ func main() {
 		// (subscribers, queue pressure, hops from source) as of that
 		// cycle, which is what discovery ranks candidates by.
 		cat.SetRelayFunc(r.Info)
+		if ring != nil {
+			// Sign what we publish: a verifying segment refuses unsigned
+			// records, and our sibling relays verify before steering.
+			cat.SetSigner(ring.AnnounceSigner().Sign)
+		}
 		clock.Go("advertise", cat.Run)
 		defer cat.Stop()
 		log.Printf("advertising on %s", o.adverts)
 
-		if o.shedSubs > 0 || o.shedPres > 0 {
+		if o.shedSubs > 0 || o.shedPres > 0 || o.shedTier {
 			// Shedding needs somewhere to steer: watch the same catalog
 			// group for sibling relays and feed live snapshots to the
 			// redirect picker.
@@ -183,14 +236,19 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			if announceVerifier != nil {
+				// The sibling set is a redirect target list: only signed
+				// announces may populate it.
+				w.SetVerifier(announceVerifier)
+			}
 			r.SetSiblings(w.Snapshot)
 			clock.Go("sibling-watch", w.Run)
 			defer w.Stop()
-			log.Printf("shedding enabled (subscribers>=%d, pressure>=%d); steering to catalog siblings", o.shedSubs, o.shedPres)
+			log.Printf("shedding enabled (subscribers>=%d, pressure>=%d, tier=%v); steering to catalog siblings", o.shedSubs, o.shedPres, o.shedTier)
 		}
 	}
-	if (o.shedSubs > 0 || o.shedPres > 0) && o.adverts == "" {
-		log.Printf("warning: -shed-subscribers/-shed-pressure set without -advertise: no sibling watch, so the relay admits normally instead of shedding")
+	if (o.shedSubs > 0 || o.shedPres > 0 || o.shedTier) && o.adverts == "" {
+		log.Printf("warning: -shed-subscribers/-shed-pressure/-shed-tier set without -advertise: no sibling watch, so the relay admits normally instead of shedding")
 	}
 
 	if o.report > 0 {

@@ -123,7 +123,7 @@ func e13Run(hops int) E13Result {
 	p := mono16
 	sys.Clock.Go("player", func() {
 		discovered, discoverErr = relay.Discover(sys.Clock, sys.Net, "10.0.98.2:5003",
-			core.CatalogGroup, 1, 5*time.Second, nil)
+			core.CatalogGroup, 1, 5*time.Second, nil, nil)
 		sys.Clock.Go("audio-1", func() {
 			ch1.Play(p, audio.NewTone(p.SampleRate, p.Channels, 440, 0.5), 4*time.Second)
 		})

@@ -485,3 +485,39 @@ func TestE18Shape(t *testing.T) {
 		t.Fatalf("drops/evictions = %d/%d: %+v", res.FanoutDropped, res.Evictions, res)
 	}
 }
+
+func TestE19Shape(t *testing.T) {
+	res := E19Adversary(io.Discard, 2)
+	// The legitimate chain played through every attack: the victim held
+	// its lease and kept receiving, and the chained relay kept its
+	// upstream grants flowing.
+	if res.SpeakerData == 0 || res.SpeakerAcks == 0 || res.ChainAcks == 0 {
+		t.Fatalf("signed chain did not play (data=%d acks=%d chain=%d): %+v",
+			res.SpeakerData, res.SpeakerAcks, res.ChainAcks, res)
+	}
+	// Both cross-subscriber forgeries (the cancel and the pause signed
+	// by a valid credential claiming the victim's source) were pinned
+	// out by the lease's identity.
+	if res.ForgedDrops < 2 {
+		t.Fatalf("forged cancel/pause drops = %d, want >= 2: %+v", res.ForgedDrops, res)
+	}
+	// The captured subscribe gained nothing: auth-dropped from a spoofed
+	// source (and nothing reflected at the bystander), replay-dropped
+	// from its true source.
+	if !res.SpoofedDropped || res.SpoofedData != 0 {
+		t.Fatalf("spoofed-source replay: dropped=%v bystander-data=%d: %+v",
+			res.SpoofedDropped, res.SpoofedData, res)
+	}
+	if res.ReplayDrops == 0 {
+		t.Fatalf("same-source replay was not dropped: %+v", res)
+	}
+	// Forged and unsigned announces never steered verified discovery.
+	if res.RogueSteered || res.DiscoveredAddr == "" {
+		t.Fatalf("discovery steered to %q (rogue=%v): %+v",
+			res.DiscoveredAddr, res.RogueSteered, res)
+	}
+	// With signing off, legacy unsigned peers interoperate unchanged.
+	if res.LegacyData == 0 {
+		t.Fatalf("legacy unsigned pair did not play: %+v", res)
+	}
+}

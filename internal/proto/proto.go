@@ -72,6 +72,12 @@ const (
 	AuthHMAC  AuthScheme = 1
 	AuthChain AuthScheme = 2
 	AuthHORS  AuthScheme = 3
+	// AuthIdentity is the per-subscriber control-plane scheme: the
+	// trailer carries the sender's identity ID and a monotonic sequence,
+	// and the tag binds the datagram's UDP source address, so a captured
+	// request neither replays from a spoofed source nor forges another
+	// subscriber's control actions.
+	AuthIdentity AuthScheme = 4
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +91,8 @@ func (a AuthScheme) String() string {
 		return "chain"
 	case AuthHORS:
 		return "hors"
+	case AuthIdentity:
+		return "ident"
 	default:
 		return fmt.Sprintf("auth(%d)", uint8(a))
 	}
@@ -170,6 +178,19 @@ type Announce struct {
 	Seq      uint64
 	Channels []ChannelInfo
 	Relays   []RelayInfo
+
+	// Signature section (absent on legacy announcers): a forged catalog
+	// record is the one remaining way to steer subscribers to a rogue
+	// relay, so a catalog may sign each announce with a few-time key.
+	// The signature covers every byte that precedes the section plus
+	// SigGen, the key generation it was made under (announces outlive
+	// any single few-time key, so signers rotate generations and
+	// verifiers derive or look up the matching public key). An unsigned
+	// announce still parses — whether it is *accepted* is the
+	// receiver's policy, not the grammar's.
+	SigScheme AuthScheme // scheme the signature uses (AuthNone = unsigned)
+	SigGen    uint32     // signing key generation
+	Sig       []byte     // signature over the preceding bytes + SigGen
 }
 
 // putHeader writes the common header.
@@ -352,7 +373,10 @@ func UnmarshalData(data []byte) (*Data, error) {
 
 // Marshal encodes the announce packet. A catalog with no relays omits
 // the relay section entirely, staying byte-compatible with pre-relay
-// parsers.
+// parsers. A signature section, when present, is always last; Marshal
+// emits one when Sig is nonempty (signers usually marshal unsigned and
+// append via AppendAnnounceSig, since the signature covers the
+// marshaled prefix).
 func (a *Announce) Marshal() ([]byte, error) {
 	if len(a.Channels) > 255 {
 		return nil, fmt.Errorf("%w: %d channels", ErrBadPacket, len(a.Channels))
@@ -382,65 +406,126 @@ func (a *Announce) Marshal() ([]byte, error) {
 		}
 		buf = appendParams(buf, ci.Params)
 	}
-	if len(a.Relays) == 0 {
+	if len(a.Relays) > 0 {
+		buf = append(buf, byte(len(a.Relays)))
+		for _, ri := range a.Relays {
+			if buf, err = appendString(buf, ri.Addr); err != nil {
+				return nil, err
+			}
+			if buf, err = appendString(buf, ri.Group); err != nil {
+				return nil, err
+			}
+			var chb [4]byte
+			binary.BigEndian.PutUint32(chb[:], ri.Channel)
+			buf = append(buf, chb[:]...)
+		}
+		hasLoad := false
+		for _, ri := range a.Relays {
+			if ri.HasLoad {
+				hasLoad = true
+				break
+			}
+		}
+		if hasLoad {
+			// Load section: a count byte (must match the relay count)
+			// then one flags byte per record, followed by the 6-byte
+			// load vector when flags bit 0 is set. Per-record flags let
+			// a catalog mix live records (which stamp load) with static
+			// ones (which cannot).
+			buf = append(buf, byte(len(a.Relays)))
+			for _, ri := range a.Relays {
+				if !ri.HasLoad {
+					buf = append(buf, 0)
+					continue
+				}
+				var lb [7]byte
+				lb[0] = 1
+				binary.BigEndian.PutUint32(lb[1:5], ri.Subs)
+				lb[5] = ri.Pressure
+				lb[6] = ri.Hops
+				buf = append(buf, lb[:]...)
+			}
+		}
+	}
+	if len(a.Sig) == 0 {
+		// Unsigned: omit the section entirely, staying byte-compatible
+		// with pre-signature parsers.
 		return buf, nil
 	}
-	buf = append(buf, byte(len(a.Relays)))
-	for _, ri := range a.Relays {
-		if buf, err = appendString(buf, ri.Addr); err != nil {
-			return nil, err
-		}
-		if buf, err = appendString(buf, ri.Group); err != nil {
-			return nil, err
-		}
-		var chb [4]byte
-		binary.BigEndian.PutUint32(chb[:], ri.Channel)
-		buf = append(buf, chb[:]...)
+	if a.SigScheme == AuthNone {
+		return nil, fmt.Errorf("%w: signature without a scheme", ErrBadPacket)
 	}
-	hasLoad := false
-	for _, ri := range a.Relays {
-		if ri.HasLoad {
-			hasLoad = true
-			break
-		}
+	return AppendAnnounceSig(buf, a.SigScheme, a.SigGen, a.Sig)
+}
+
+// AppendAnnounceSig appends the signature section to an announce
+// marshaled without one. The section is always last and opens with a
+// zero marker byte — a value no relay-count or load-count byte the
+// parser could confuse it with ever takes (both sections are omitted
+// entirely when empty) — so signed and unsigned announces coexist at
+// every section combination:
+//
+//	0x00 marker || u8 scheme || u32 gen || u16 siglen || sig
+//
+// The signature must cover pkt plus gen; AppendAnnounceSig only frames
+// it.
+func AppendAnnounceSig(pkt []byte, scheme AuthScheme, gen uint32, sig []byte) ([]byte, error) {
+	if scheme == AuthNone {
+		return nil, fmt.Errorf("%w: signature without a scheme", ErrBadPacket)
 	}
-	if !hasLoad {
-		// No record carries load: omit the section entirely, staying
-		// byte-compatible with pre-load parsers.
-		return buf, nil
+	if len(sig) == 0 || len(sig) > 65535 {
+		return nil, fmt.Errorf("%w: signature of %d bytes", ErrBadPacket, len(sig))
 	}
-	// Load section: a count byte (must match the relay count) then one
-	// flags byte per record, followed by the 6-byte load vector when
-	// flags bit 0 is set. Per-record flags let a catalog mix live
-	// records (which stamp load) with static ones (which cannot).
-	buf = append(buf, byte(len(a.Relays)))
-	for _, ri := range a.Relays {
-		if !ri.HasLoad {
-			buf = append(buf, 0)
-			continue
-		}
-		var lb [7]byte
-		lb[0] = 1
-		binary.BigEndian.PutUint32(lb[1:5], ri.Subs)
-		lb[5] = ri.Pressure
-		lb[6] = ri.Hops
-		buf = append(buf, lb[:]...)
-	}
-	return buf, nil
+	out := make([]byte, 0, len(pkt)+8+len(sig))
+	out = append(out, pkt...)
+	var fixed [8]byte
+	fixed[0] = 0 // section marker
+	fixed[1] = byte(scheme)
+	binary.BigEndian.PutUint32(fixed[2:6], gen)
+	binary.BigEndian.PutUint16(fixed[6:8], uint16(len(sig)))
+	out = append(out, fixed[:]...)
+	return append(out, sig...), nil
 }
 
 // UnmarshalAnnounce parses an announce packet.
 func UnmarshalAnnounce(data []byte) (*Announce, error) {
+	a, _, err := unmarshalAnnounce(data)
+	return a, err
+}
+
+// SplitAnnounceSig splits a marshaled announce into the prefix its
+// signature covers and the signature fields. For a legacy unsigned
+// announce signed is false and prefix is the whole packet. The packet
+// is fully parsed, so a malformed announce errors here exactly as it
+// would in UnmarshalAnnounce.
+func SplitAnnounceSig(data []byte) (prefix []byte, scheme AuthScheme, gen uint32, sig []byte, signed bool, err error) {
+	a, sigStart, err := unmarshalAnnounce(data)
+	if err != nil {
+		return nil, AuthNone, 0, nil, false, err
+	}
+	if a.SigScheme == AuthNone {
+		return data, AuthNone, 0, nil, false, nil
+	}
+	return data[:sigStart], a.SigScheme, a.SigGen, a.Sig, true, nil
+}
+
+// unmarshalAnnounce parses an announce and reports where its signature
+// section starts (len(data) when unsigned) so verifiers can recover the
+// signed prefix. Each optional section is recognized by its first byte:
+// the relay and load sections open with a nonzero count (both are
+// omitted entirely when empty), the signature section with a zero
+// marker.
+func unmarshalAnnounce(data []byte) (*Announce, int, error) {
 	t, _, err := PeekType(data)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if t != TypeAnnounce {
-		return nil, fmt.Errorf("%w: expected announce, got %s", ErrBadPacket, t)
+		return nil, 0, fmt.Errorf("%w: expected announce, got %s", ErrBadPacket, t)
 	}
 	body := data[headerLen:]
 	if len(body) < 9 {
-		return nil, ErrShort
+		return nil, 0, ErrShort
 	}
 	a := &Announce{Seq: binary.BigEndian.Uint64(body[0:8])}
 	count := int(body[8])
@@ -448,64 +533,64 @@ func UnmarshalAnnounce(data []byte) (*Announce, error) {
 	for i := 0; i < count; i++ {
 		var ci ChannelInfo
 		if len(body) < 4 {
-			return nil, ErrShort
+			return nil, 0, ErrShort
 		}
 		ci.ID = binary.BigEndian.Uint32(body[0:4])
 		body = body[4:]
 		if ci.Name, body, err = readString(body); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if ci.Group, body, err = readString(body); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if ci.Codec, body, err = readString(body); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if ci.Params, body, err = readParams(body); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		a.Channels = append(a.Channels, ci)
 	}
-	if len(body) > 0 {
+	if len(body) > 0 && body[0] != 0 {
 		// Relay section (absent in pre-relay announces).
 		rcount := int(body[0])
 		body = body[1:]
 		for i := 0; i < rcount; i++ {
 			var ri RelayInfo
 			if ri.Addr, body, err = readString(body); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if ri.Group, body, err = readString(body); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if len(body) < 4 {
-				return nil, ErrShort
+				return nil, 0, ErrShort
 			}
 			ri.Channel = binary.BigEndian.Uint32(body[0:4])
 			body = body[4:]
 			a.Relays = append(a.Relays, ri)
 		}
-		if len(body) > 0 {
+		if len(body) > 0 && body[0] != 0 {
 			// Load section (absent in pre-load announces).
 			if int(body[0]) != rcount {
-				return nil, fmt.Errorf("%w: load section counts %d relays, record section %d",
+				return nil, 0, fmt.Errorf("%w: load section counts %d relays, record section %d",
 					ErrBadPacket, body[0], rcount)
 			}
 			body = body[1:]
 			for i := 0; i < rcount; i++ {
 				if len(body) < 1 {
-					return nil, ErrShort
+					return nil, 0, ErrShort
 				}
 				flags := body[0]
 				body = body[1:]
 				if flags&^byte(1) != 0 {
-					return nil, fmt.Errorf("%w: unknown load flags %#x", ErrBadPacket, flags)
+					return nil, 0, fmt.Errorf("%w: unknown load flags %#x", ErrBadPacket, flags)
 				}
 				if flags&1 == 0 {
 					continue
 				}
 				if len(body) < 6 {
-					return nil, ErrShort
+					return nil, 0, ErrShort
 				}
 				ri := &a.Relays[i]
 				ri.HasLoad = true
@@ -516,10 +601,33 @@ func UnmarshalAnnounce(data []byte) (*Announce, error) {
 			}
 		}
 	}
-	if len(body) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
+	sigStart := len(data) - len(body)
+	if len(body) > 0 {
+		// Signature section (absent in pre-signature announces): the
+		// zero marker byte, then scheme, generation, and the signature.
+		if len(body) < 8 {
+			return nil, 0, ErrShort
+		}
+		a.SigScheme = AuthScheme(body[1])
+		if a.SigScheme == AuthNone {
+			return nil, 0, fmt.Errorf("%w: signature without a scheme", ErrBadPacket)
+		}
+		a.SigGen = binary.BigEndian.Uint32(body[2:6])
+		slen := int(binary.BigEndian.Uint16(body[6:8]))
+		body = body[8:]
+		if slen == 0 {
+			return nil, 0, fmt.Errorf("%w: empty signature", ErrBadPacket)
+		}
+		if len(body) < slen {
+			return nil, 0, ErrShort
+		}
+		a.Sig = append([]byte(nil), body[:slen]...)
+		body = body[slen:]
 	}
-	return a, nil
+	if len(body) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, len(body))
+	}
+	return a, sigStart, nil
 }
 
 // SubStatus is the relay's verdict on a subscription request.

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -646,12 +647,24 @@ func validPackets(t *testing.T) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The signed announce: the load-bearing packet with the trailing
+	// signature section, so the truncation table walks through the
+	// marker, scheme, generation, length, and signature bytes.
+	asn := loadAnnounce(3)
+	asn.SigScheme = AuthHORS
+	asn.SigGen = 2
+	asn.Sig = bytes.Repeat([]byte{0xAB}, 40)
+	asndata, err := asn.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string][]byte{
 		"control": cdata, "data": ddata, "announce": adata,
 		"subscribe": sdata, "subscribe-profile": spdata,
 		"subscribe-shift": ssdata, "subscribe-path-shift": spsdata,
 		"suback": kdata, "suback-shift": ksdata, "pause": pzdata,
 		"announce-load": aldata, "suback-redirect": rkdata,
+		"announce-signed": asndata,
 	}
 }
 
@@ -685,12 +698,13 @@ func loadAnnounce(sections int) *Announce {
 
 // legacyAnnouncePrefixes returns the lengths at which truncating the
 // load-bearing announce yields a valid older-format packet: the end of
-// the channel section (a pre-relay announce) and the end of the relay
-// records (a pre-load announce).
+// the channel section (a pre-relay announce), the end of the relay
+// records (a pre-load announce), and — for the signed form — the end of
+// the load vectors (the full unsigned announce).
 func legacyAnnouncePrefixes(t *testing.T) map[int]bool {
 	t.Helper()
 	out := make(map[int]bool)
-	for _, sections := range []int{1, 2} {
+	for _, sections := range []int{1, 2, 3} {
 		data, err := loadAnnounce(sections).Marshal()
 		if err != nil {
 			t.Fatal(err)
@@ -711,6 +725,7 @@ func TestTruncationsNeverPanic(t *testing.T) {
 		"announce-load": "announce", "suback-redirect": "suback",
 		"subscribe-profile": "subscribe", "subscribe-shift": "subscribe",
 		"subscribe-path-shift": "subscribe", "suback-shift": "suback",
+		"announce-signed": "announce",
 	}
 	announceLegacy := legacyAnnouncePrefixes(t)
 	for kind, full := range validPackets(t) {
@@ -742,7 +757,9 @@ func TestTruncationsNeverPanic(t *testing.T) {
 				// sender's problem; a suback cut after its fixed 10-byte
 				// body is the shift-free grant; the load-bearing announce
 				// cut at the end of its channel or relay-record section
-				// is a pre-relay or pre-load announce.
+				// is a pre-relay or pre-load announce, and the signed
+				// announce additionally cut before its signature section
+				// is the full unsigned packet.
 				legacy := kind == "subscribe" && p.name == "subscribe" &&
 					(i == 16 || i == 17 || i == 21 || i == 25) ||
 					kind == "subscribe-profile" && p.name == "subscribe" && i == 16 ||
@@ -751,7 +768,8 @@ func TestTruncationsNeverPanic(t *testing.T) {
 					kind == "subscribe-path-shift" && p.name == "subscribe" &&
 						(i == 16 || i == 17 || i == 21 || i == 25 || i == 26) ||
 					kind == "suback-shift" && p.name == "suback" && i == 18 ||
-					kind == "announce-load" && p.name == "announce" && announceLegacy[i]
+					kind == "announce-load" && p.name == "announce" && announceLegacy[i] ||
+					kind == "announce-signed" && p.name == "announce" && announceLegacy[i]
 				if i < len(full) && err == nil && p.name != "peek" && !legacy {
 					t.Errorf("%s parser accepted truncated %s[:%d]", p.name, kind, i)
 				}
@@ -840,8 +858,52 @@ func TestStringLimits(t *testing.T) {
 	}
 }
 
+// TestAnnounceSigRoundTrip: the signature section survives a
+// marshal/unmarshal cycle, SplitAnnounceSig recovers exactly the bytes
+// the signature covers, and the framing helper refuses the encodings
+// the parser could not distinguish.
+func TestAnnounceSigRoundTrip(t *testing.T) {
+	a := loadAnnounce(3)
+	a.SigScheme = AuthHORS
+	a.SigGen = 7
+	a.Sig = bytes.Repeat([]byte{0xCD}, 33)
+	plain, err := loadAnnounce(3).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalAnnounce(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SigScheme != AuthHORS || got.SigGen != 7 || !bytes.Equal(got.Sig, a.Sig) {
+		t.Fatalf("sig fields lost: scheme=%v gen=%d siglen=%d", got.SigScheme, got.SigGen, len(got.Sig))
+	}
+	prefix, scheme, gen, sig, signed, err := SplitAnnounceSig(data)
+	if err != nil || !signed || scheme != AuthHORS || gen != 7 {
+		t.Fatalf("split = (signed=%v scheme=%v gen=%d err=%v)", signed, scheme, gen, err)
+	}
+	if !bytes.Equal(prefix, plain) || !bytes.Equal(sig, a.Sig) {
+		t.Fatal("split did not recover the unsigned prefix and signature")
+	}
+	// The unsigned packet splits as legacy.
+	if _, _, _, _, signed, err := SplitAnnounceSig(plain); err != nil || signed {
+		t.Fatalf("unsigned announce: signed=%v err=%v", signed, err)
+	}
+	// Unframeable signatures are refused at marshal time.
+	if _, err := AppendAnnounceSig(plain, AuthNone, 1, []byte{1}); err == nil {
+		t.Fatal("signature without a scheme accepted")
+	}
+	if _, err := AppendAnnounceSig(plain, AuthHORS, 1, nil); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+}
+
 func TestAuthSchemeStrings(t *testing.T) {
-	for _, a := range []AuthScheme{AuthNone, AuthHMAC, AuthChain, AuthHORS, AuthScheme(9)} {
+	for _, a := range []AuthScheme{AuthNone, AuthHMAC, AuthChain, AuthHORS, AuthIdentity, AuthScheme(9)} {
 		if a.String() == "" {
 			t.Fatal("empty scheme name")
 		}

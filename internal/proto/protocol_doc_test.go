@@ -84,10 +84,11 @@ func TestProtocolDocMatchesConstants(t *testing.T) {
 		"Pause":     uint8(TypePause),
 	})
 	check("### Auth scheme codes", map[string]uint8{
-		"None":  uint8(AuthNone),
-		"HMAC":  uint8(AuthHMAC),
-		"Chain": uint8(AuthChain),
-		"HORS":  uint8(AuthHORS),
+		"None":     uint8(AuthNone),
+		"HMAC":     uint8(AuthHMAC),
+		"Chain":    uint8(AuthChain),
+		"HORS":     uint8(AuthHORS),
+		"Identity": uint8(AuthIdentity),
 	})
 	check("### Subscription status codes", map[string]uint8{
 		"OK":        uint8(SubOK),

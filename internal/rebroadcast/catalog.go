@@ -27,9 +27,24 @@ type Catalog struct {
 	channels map[uint32]proto.ChannelInfo
 	relays   map[string]proto.RelayInfo        // by unicast address
 	live     map[string]func() proto.RelayInfo // by the provider's initial Addr
+	signer   func([]byte) ([]byte, error)
 	seq      uint64
 	stop     bool
 	sent     int64
+}
+
+// SetSigner installs an announce signer (security.AnnounceSigner.Sign,
+// typically): every marshaled announce is passed through it before the
+// send, so verifying receivers can reject forged catalog records — the
+// one steering input no control-plane authenticator covers. A cycle
+// whose signing fails is skipped rather than sent unsigned: a verifying
+// segment would reject it anyway, and a silently unsigned announce
+// downgrades every legacy receiver too. Nil (the default) announces
+// unsigned.
+func (c *Catalog) SetSigner(sign func([]byte) ([]byte, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.signer = sign
 }
 
 // NewCatalog creates a catalog announcer on the given multicast group.
@@ -128,6 +143,7 @@ func (c *Catalog) Run() {
 		for _, fn := range c.live {
 			fns = append(fns, fn)
 		}
+		sign := c.signer
 		c.sent++
 		c.mu.Unlock()
 		// Live providers run outside c.mu: they read the relay's own
@@ -146,7 +162,12 @@ func (c *Catalog) Run() {
 			a.Relays = append(a.Relays, relays[addr])
 		}
 		if pkt, err := a.Marshal(); err == nil {
-			c.conn.Send(c.group, pkt)
+			if sign != nil {
+				pkt, err = sign(pkt)
+			}
+			if err == nil {
+				c.conn.Send(c.group, pkt)
+			}
 		}
 		c.clock.Sleep(c.interval)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/rebroadcast"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -44,6 +45,12 @@ const discoverStale = 2 * rebroadcast.DefaultCatalogInterval
 // any downstream, at any depth, builds a chain that SubLoop then
 // refuses but that churns on every refresh instead of ever converging.
 //
+// verifier, when non-nil, demands a valid catalog signature on every
+// announce before any record in it is considered: unsigned (legacy)
+// and forged announces alike are skipped, so a rogue host on the LAN
+// cannot steer discovery at a relay of its choosing. Nil accepts
+// everything — the pre-signing catalog.
+//
 // Discover does not take the first acceptable record at face value:
 // it collects records (all channels — an off-channel hop still forms a
 // cycle) for discoverSettle after the first eligible one, re-applies
@@ -60,7 +67,8 @@ const discoverStale = 2 * rebroadcast.DefaultCatalogInterval
 // the settle window would only delay every tune-in.
 func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 	channel uint32, timeout time.Duration,
-	exclude func(proto.RelayInfo) bool) (proto.RelayInfo, error) {
+	exclude func(proto.RelayInfo) bool,
+	verifier *security.AnnounceVerifier) (proto.RelayInfo, error) {
 	conn, err := network.Attach(local)
 	if err != nil {
 		return proto.RelayInfo{}, fmt.Errorf("relay: discover: %w", err)
@@ -108,6 +116,11 @@ func Discover(clock vclock.Clock, network lan.Network, local, catalog lan.Addr,
 		}
 		if err != nil {
 			return proto.RelayInfo{}, fmt.Errorf("relay: discover: %w", err)
+		}
+		if verifier != nil {
+			if ok, _ := verifier.VerifyAnnounce(pkt.Data); !ok {
+				continue // unsigned or forged: not a steer source
+			}
 		}
 		a, err := proto.UnmarshalAnnounce(pkt.Data)
 		if err != nil {

@@ -44,7 +44,7 @@ func TestDiscoverExcludesOwnAnnounce(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.3:5003", testCatalog, 0,
-			2*time.Second, ExcludeAddrs("10.0.0.1:5006"))
+			2*time.Second, ExcludeAddrs("10.0.0.1:5006"), nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -67,7 +67,7 @@ func TestDiscoverAllExcludedTimesOut(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		_, err = Discover(sim, seg, "10.0.0.3:5003", testCatalog, 0,
-			time.Second, ExcludeAddrs("10.0.0.1:5006"))
+			time.Second, ExcludeAddrs("10.0.0.1:5006"), nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -95,7 +95,7 @@ func TestDiscoverExcludesTransitiveDownstream(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)))
+			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)), nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -125,7 +125,7 @@ func TestDiscoverRanksByLoad(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, nil)
+			30*time.Second, nil, nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -154,7 +154,7 @@ func TestDiscoverPressureAndHopsBreakTies(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, nil)
+			30*time.Second, nil, nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -186,7 +186,7 @@ func TestDiscoverStaleLoadAgesOut(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, nil)
+			30*time.Second, nil, nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -215,7 +215,7 @@ func TestDiscoverExcludeVetoesLeastLoaded(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)))
+			30*time.Second, ExcludeChainOf(lan.Addr(self.Addr)), nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -243,7 +243,7 @@ func TestDiscoverTieBreakDeterministic(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, nil)
+			30*time.Second, nil, nil)
 		cat.Stop()
 	})
 	sim.WaitIdle()
@@ -269,7 +269,7 @@ func TestDiscoverLegacyFastPath(t *testing.T) {
 	var err error
 	sim.Go("discover", func() {
 		got, err = Discover(sim, seg, "10.0.0.4:5003", testCatalog, 0,
-			30*time.Second, nil)
+			30*time.Second, nil, nil)
 		took = sim.Now().Sub(start)
 		cat.Stop()
 	})

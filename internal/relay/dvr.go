@@ -8,6 +8,7 @@ import (
 	"repro/internal/lan"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/security"
 )
 
 // Time-shifted delivery: with Config.DVR set the relay records every
@@ -93,7 +94,21 @@ func (r *Relay) dropCatchup(sub *subscriber) {
 // some other channel leaves this lease alone.
 func (r *Relay) handlePause(pkt lan.Packet) {
 	data := pkt.Data
-	if r.cfg.Auth != nil {
+	var identity uint32
+	var seq uint64
+	session := false
+	if sa, ok := r.cfg.Auth.(security.SessionAuthenticator); ok {
+		// Per-subscriber identity: verified under the claimed identity's
+		// credential with the UDP source bound in; the identity and
+		// trailer sequence are then checked against the lease below.
+		data, identity, seq, ok = sa.VerifySession(pkt.Data, string(pkt.From))
+		if !ok {
+			r.count(func(s *Stats) { s.AuthDropped++ })
+			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(pkt.From), 0)
+			return
+		}
+		session = true
+	} else if r.cfg.Auth != nil {
 		var ok bool
 		data, ok = r.cfg.Auth.Verify(pkt.Data)
 		if !ok {
@@ -114,6 +129,7 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 	sh := r.shardFor(pkt.From)
 	var ringCreated bool
 	var dropReason obs.Reason
+	var mismatch, replay bool
 	sh.mu.Lock()
 	sub, ok := sh.subs[pkt.From]
 	var ch uint32
@@ -122,17 +138,30 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 			ch = r.cfg.Channel
 		}
 	}
+	// The session sequence to consume: the identity trailer's in session
+	// mode (shared by every control action on this lease), the pause
+	// body's otherwise.
+	nseq := uint64(p.Seq)
+	if session {
+		nseq = seq
+	}
 	switch {
 	case !ok:
 		// No lease, nothing to pause.
+	case session && sub.identity != identity:
+		// Signed by some valid credential, but not this lease's: a
+		// forged cross-subscriber pause.
+		mismatch = true
+		dropReason = obs.ReasonAuth
 	case p.Channel != 0 && ch != 0 && p.Channel != ch:
 		// Addressed to a channel this lease does not carry.
 		dropReason = obs.ReasonChannelFilter
-	case p.Seq <= sub.pauseSeq:
-		// Replay or reorder of an already-consumed pause.
+	case nseq <= sub.ctlSeq:
+		// Replay or reorder of an already-consumed control action.
+		replay = session
 		dropReason = obs.ReasonStale
 	case p.Paused && !sub.paused:
-		sub.pauseSeq = p.Seq
+		sub.ctlSeq = nseq
 		if sub.catchup {
 			// Mid-catch-up: keep the cursor where it is; resume will
 			// continue the replay from the same position.
@@ -152,7 +181,7 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 		// A wildcard subscriber on a wildcard relay has no single ring
 		// to park a cursor in; its pause is ignored.
 	case !p.Paused && sub.paused:
-		sub.pauseSeq = p.Seq
+		sub.ctlSeq = nseq
 		sub.paused = false
 		r.catchupActive.Add(1)
 		sh.work.Broadcast() // wake the worker: the replay starts now
@@ -160,11 +189,17 @@ func (r *Relay) handlePause(pkt lan.Packet) {
 		// State-wise a no-op (pause while paused, resume while live),
 		// but the seq is still consumed: a duplicate of this packet
 		// must not be replayable later, after the state has moved.
-		sub.pauseSeq = p.Seq
+		sub.ctlSeq = nseq
 	}
 	sh.mu.Unlock()
 	if ringCreated {
 		r.count(func(s *Stats) { s.DVRRings++ })
+	}
+	if mismatch {
+		r.count(func(s *Stats) { s.IdentityMismatch++ })
+	}
+	if replay {
+		r.count(func(s *Stats) { s.ReplayDropped++ })
 	}
 	if dropReason != obs.ReasonNone {
 		r.tracer.Drop(obs.PathControl, dropReason, string(pkt.From), p.Channel)

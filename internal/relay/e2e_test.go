@@ -345,7 +345,7 @@ func TestThreeHopRelayChainDeliversAudio(t *testing.T) {
 	p := audio.Params{SampleRate: 44100, Channels: 1, Encoding: audio.EncodingSLinear16LE}
 	sys.Clock.Go("player", func() {
 		discovered, discoverErr = relay.Discover(sys.Clock, sys.Net, "10.0.88.1:5003",
-			core.CatalogGroup, 1, 5*time.Second, nil)
+			core.CatalogGroup, 1, 5*time.Second, nil, nil)
 		ch.Play(p, &core.PositionSource{Channels: 1}, 4*time.Second)
 		sys.Clock.Sleep(6 * time.Second)
 		sys.Shutdown()

@@ -207,6 +207,14 @@ func (r *Relay) ladderStep(sh *shard, now time.Time) (down, up int64) {
 			sub.profile = sub.profile.Down()
 			r.profCount[sub.profile].Add(1)
 			sub.ladderAt = now
+			if r.cfg.ShedTier && sub.profile == codec.ProfileOVLLow {
+				// The ladder just hit its floor: the relay already serves
+				// this subscriber the cheapest tier there is and its queue
+				// still drops. Mark it for steering — its next refresh is
+				// answered with a redirect to a less-loaded sibling (see
+				// admitBatch) instead of a lease.
+				sub.shedPending = true
+			}
 			down++
 		case delta == 0 && sub.profile > sub.reqProfile &&
 			now.Sub(sub.ladderAt) >= r.cfg.LadderDwell:

@@ -303,3 +303,97 @@ func TestSubAckCarriesGrantedProfile(t *testing.T) {
 		t.Fatalf("ack 2 = %+v, want granted source for unknown request", acks[1])
 	}
 }
+
+// TestTierShedRedirectsLadderFloorSubscriber: with Config.ShedTier, a
+// subscriber the ladder has already pushed to the bottom rung is
+// answered at its next refresh with a redirect to a less-loaded
+// sibling — and with no eligible sibling it keeps being served; the
+// relay never sheds into the void.
+func TestTierShedRedirectsLadderFloorSubscriber(t *testing.T) {
+	sim, seg, r := newTestRelay(t, Config{
+		QueueLen:        4,
+		Ladder:          true,
+		ShedTier:        true,
+		SweepInterval:   100 * time.Millisecond,
+		LadderDwell:     time.Hour,
+		LadderDownDrops: 4,
+	})
+	// Two subscribers one rung above the floor: a single congested
+	// sweep lands both on ovl-low and marks them for steering.
+	if !r.subscribe("10.0.0.2:5004", &proto.Subscribe{Profile: uint8(codec.ProfileOVLHigh)}, time.Hour) ||
+		!r.subscribe("10.0.0.3:5004", &proto.Subscribe{Profile: uint8(codec.ProfileOVLHigh)}, time.Hour) {
+		t.Fatal("subscribe failed")
+	}
+	sub3, err := seg.Attach("10.0.0.3:5004")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var floor codec.Profile
+	var noSibStats, shedStats Stats
+	var nsubs int
+	var ack *proto.SubAck
+	sim.Go("sweep", r.sweep)
+	sim.Go("test", func() {
+		defer sub3.Close()
+		r.fanout(0, controlPkt(t, 0, 1))
+		// No shard worker is draining: 20 packets against QueueLen 4
+		// are guaranteed drops, the ladder's downgrade signal.
+		for i := 0; i < 20; i++ {
+			r.fanout(0, dataPkt(t, 0, 1, uint64(i), 100))
+		}
+		sim.Sleep(150 * time.Millisecond) // one sweep
+		floor = r.Subscribers()[0].Profile
+		// No sibling list installed: the floor-rung refresh is served
+		// normally, not redirected.
+		r.handleSubscribe(subscribePkt(t, "10.0.0.2:5004", 0, 2, 10000))
+		noSibStats = r.Stats()
+		r.SetSiblings(func() []proto.RelayInfo {
+			return []proto.RelayInfo{
+				{Addr: "10.0.0.8:5006", Group: string(testGroup), HasLoad: true, Subs: 40},
+				{Addr: "10.0.0.9:5006", Group: string(testGroup), HasLoad: true, Subs: 2},
+				{Addr: string(r.Addr()), Group: string(testGroup)}, // self: never a steer target
+			}
+		})
+		// The second floor-rung subscriber refreshes over the wire so
+		// the redirect ack is observable.
+		data, err := (&proto.Subscribe{Channel: 0, Seq: 2, LeaseMs: 10000}).Marshal()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sub3.Send(r.Addr(), data); err != nil {
+			t.Error(err)
+			return
+		}
+		if pkt, err := r.conn.Recv(time.Second); err == nil {
+			r.handlePacket(pkt)
+		}
+		apkt, err := sub3.Recv(time.Second)
+		if err != nil {
+			t.Errorf("no ack: %v", err)
+		} else if ack, err = proto.UnmarshalSubAck(apkt.Data); err != nil {
+			t.Errorf("bad ack: %v", err)
+		}
+		shedStats = r.Stats()
+		nsubs = r.NumSubscribers()
+		r.Stop()
+	})
+	sim.WaitIdle()
+
+	if floor != codec.ProfileOVLLow {
+		t.Fatalf("profile after congested sweep = %v, want the ovl-low floor", floor)
+	}
+	if noSibStats.TierSheds != 0 || noSibStats.Refreshes != 1 {
+		t.Fatalf("no-sibling refresh stats = %+v, want served with 0 tier sheds", noSibStats)
+	}
+	if ack == nil || ack.Status != proto.SubRedirect || ack.Redirect != "10.0.0.9:5006" || ack.LeaseMs != 0 {
+		t.Fatalf("ack = %+v, want a zero-lease redirect to the least-loaded sibling", ack)
+	}
+	if shedStats.TierSheds != 1 {
+		t.Fatalf("TierSheds = %d, want 1", shedStats.TierSheds)
+	}
+	if nsubs != 1 {
+		t.Fatalf("subscribers = %d after tier shed, want 1", nsubs)
+	}
+}

@@ -137,7 +137,22 @@ type Config struct {
 	// grants), so one shared key secures a whole chain. The
 	// authenticator must be safe for concurrent use (the HMAC scheme
 	// is; one-way stream signers are not).
+	//
+	// When Auth implements security.SessionAuthenticator (the
+	// per-subscriber identity scheme), admission verifies each request
+	// under its own credential with the packet's UDP source bound into
+	// the tag, every lease remembers the identity that created it, and
+	// refresh/cancel/pause must present that identity with a sequence
+	// above everything the session has already consumed — closing both
+	// cross-subscriber forgery and capture-and-replay.
 	Auth security.Authenticator
+	// UpstreamAuth, when set, is the authenticator for the chained
+	// upstream lease instead of Auth: what this relay signs its own
+	// subscribes with. The shared-key schemes use one authenticator for
+	// both directions, but with per-subscriber identities they differ —
+	// admission holds the whole keyring while the upstream lease signs
+	// as this relay's own identity. Nil falls back to Auth.
+	UpstreamAuth security.Authenticator
 	// TraceSample sets the packet tracer's 1-in-N sampling rate for
 	// send events (drop events always hit the exact reason counters;
 	// sampling only thins the event ring). 0 uses obs.DefaultTraceSample;
@@ -157,6 +172,14 @@ type Config struct {
 	// relay's queue-pressure score (0-255; see Info) is at or above
 	// this value. 0 disables pressure-based shedding.
 	ShedPressure int
+	// ShedTier steers away subscribers the quality ladder has run out
+	// of room for: when a downgrade lands a subscriber on the bottom
+	// rung — the relay is already serving it the cheapest tier there is
+	// and its queue still drops — its next refresh is answered with
+	// SubRedirect to a less-loaded sibling (when SetSiblings knows one)
+	// instead of a lease. Requires Ladder; with no eligible sibling the
+	// subscriber is served normally, exactly like the other shed modes.
+	ShedTier bool
 	// AdmitBatch overrides DefaultAdmitBatch. 1 disables admission
 	// batching: every Subscribe is verified, admitted, and acked on its
 	// own (the pre-batching baseline, kept for comparison benchmarks).
@@ -260,21 +283,24 @@ func (c *Config) applyDefaults() {
 // a new field is published on every surface by adding it here, and the
 // coverage test in internal/mgmt fails if a field lacks its tag.
 type Stats struct {
-	UpstreamControl int64 `mib:"es.relay.upstream.control" help:"control packets taken off the group"`
-	UpstreamData    int64 `mib:"es.relay.upstream.data" help:"data packets taken off the group"`
-	UpstreamForeign int64 `mib:"es.relay.upstream.foreign" help:"packets refused as not-from-the-group (injection attempts) or for a foreign channel"`
-	Malformed       int64 `mib:"es.relay.malformed" help:"unparseable packets (any direction)"`
-	Subscribes      int64 `mib:"es.relay.subscribes" help:"new subscriptions granted"`
-	Refreshes       int64 `mib:"es.relay.refreshes" help:"lease refreshes"`
-	Unsubscribes    int64 `mib:"es.relay.unsubscribes" help:"explicit lease cancellations"`
-	Expired         int64 `mib:"es.relay.expired" help:"leases expired for silence"`
-	Rejected        int64 `mib:"es.relay.rejected" help:"refused subscribe requests"`
-	Loops           int64 `mib:"es.relay.loops" help:"subscribes refused with SubLoop (path revisits or too deep)"`
-	Redirects       int64 `mib:"es.relay.redirects" help:"new subscribes answered with SubRedirect (load shed to a sibling relay)"`
-	AuthDropped     int64 `mib:"es.relay.auth.dropped" help:"subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)"`
-	FanoutSent      int64 `mib:"es.relay.fanout.sent" help:"unicast packets delivered"`
-	FanoutDropped   int64 `mib:"es.relay.fanout.dropped" help:"packets dropped by queue backpressure"`
-	SendErrors      int64 `mib:"es.relay.senderrors" help:"unicast send failures"`
+	UpstreamControl  int64 `mib:"es.relay.upstream.control" help:"control packets taken off the group"`
+	UpstreamData     int64 `mib:"es.relay.upstream.data" help:"data packets taken off the group"`
+	UpstreamForeign  int64 `mib:"es.relay.upstream.foreign" help:"packets refused as not-from-the-group (injection attempts) or for a foreign channel"`
+	Malformed        int64 `mib:"es.relay.malformed" help:"unparseable packets (any direction)"`
+	Subscribes       int64 `mib:"es.relay.subscribes" help:"new subscriptions granted"`
+	Refreshes        int64 `mib:"es.relay.refreshes" help:"lease refreshes"`
+	Unsubscribes     int64 `mib:"es.relay.unsubscribes" help:"explicit lease cancellations"`
+	Expired          int64 `mib:"es.relay.expired" help:"leases expired for silence"`
+	Rejected         int64 `mib:"es.relay.rejected" help:"refused subscribe requests"`
+	Loops            int64 `mib:"es.relay.loops" help:"subscribes refused with SubLoop (path revisits or too deep)"`
+	Redirects        int64 `mib:"es.relay.redirects" help:"new subscribes answered with SubRedirect (load shed to a sibling relay)"`
+	AuthDropped      int64 `mib:"es.relay.auth.dropped" help:"subscribes dropped by control-plane verification (forged or unsigned; no SubAck sent)"`
+	IdentityMismatch int64 `mib:"es.relay.identity.mismatch" help:"control requests signed by a valid credential other than the lease holder's (cross-subscriber forgery; dropped silently)"`
+	ReplayDropped    int64 `mib:"es.relay.replay.dropped" help:"control requests dropped by the per-session replay window (sequence at or below the last consumed)"`
+	TierSheds        int64 `mib:"es.relay.ladder.sheds" help:"ladder-floor subscribers redirected to a less-loaded sibling at refresh (Config.ShedTier)"`
+	FanoutSent       int64 `mib:"es.relay.fanout.sent" help:"unicast packets delivered"`
+	FanoutDropped    int64 `mib:"es.relay.fanout.dropped" help:"packets dropped by queue backpressure"`
+	SendErrors       int64 `mib:"es.relay.senderrors" help:"unicast send failures"`
 
 	// Chaining telemetry (nonzero only with Config.Upstream set): the
 	// relay's own lease against its upstream relay.
@@ -362,29 +388,43 @@ type subscriber struct {
 	sent    int64
 	dropped int64
 
+	// Control-session state: identity is the subscriber credential the
+	// lease was created under (identity scheme only; 0 otherwise), and
+	// ctlSeq the highest control sequence this session has consumed —
+	// refresh, cancel, and pause must all present the lease's identity
+	// with a sequence above it, which closes both cross-subscriber
+	// forgery (any valid credential can sign a packet claiming any
+	// source) and same-source capture-and-replay. In legacy shared-key
+	// mode ctlSeq tracks Pause.Seq alone, widened to u64.
+	identity uint32
+	ctlSeq   uint64
+
 	// Quality-ladder state: profile is the tier currently served,
 	// reqProfile the subscribe-time request the ladder may not exceed.
 	// ladderDrops/ladderAt anchor the per-sweep drop delta and the
 	// drop-free dwell (sim clock, like every protocol timer here).
+	// shedPending marks a subscriber a downgrade just landed on the
+	// bottom rung while Config.ShedTier is set: its next refresh is
+	// answered with a redirect to a less-loaded sibling (when one
+	// exists) instead of a lease.
 	profile     codec.Profile
 	reqProfile  codec.Profile
 	ladderDrops int64
 	ladderAt    time.Time
+	shedPending bool
 
 	// Time-shift (DVR) state: while catchup is set the subscriber is
 	// fed from ring at cursor by the shard worker instead of the live
 	// fan-out (which skips it), paced by the token bucket
 	// dvrTokens/dvrAt; paused parks the cursor entirely. shiftMs is
-	// the granted shift, echoed on refresh acks. pauseSeq is the
-	// highest Pause.Seq consumed — replayed or reordered pauses are
-	// rejected against it. scratch is the ring-read buffer; it is
-	// reused only while no un-flushed batch references it (ownership
-	// moves to the batch when a read is handed over un-transcoded, see
-	// gatherCatchup).
+	// the granted shift, echoed on refresh acks. Replayed or reordered
+	// pauses are rejected against ctlSeq above. scratch is the
+	// ring-read buffer; it is reused only while no un-flushed batch
+	// references it (ownership moves to the batch when a read is handed
+	// over un-transcoded, see gatherCatchup).
 	ring      *dvr.Ring
 	cursor    uint64
 	shiftMs   uint32
-	pauseSeq  uint32
 	catchup   bool
 	paused    bool
 	dvrTokens float64
@@ -554,10 +594,16 @@ func New(clock vclock.Clock, conn lan.Conn, cfg Config) (*Relay, error) {
 		r.upstreamHost = cfg.Upstream.Host()
 		r.up = lease.New(clock, conn, "relay-upstream-"+string(conn.LocalAddr()))
 		r.up.SetPath(r.pathInfo)
-		// One shared authenticator secures the whole chain: this relay
-		// signs its upstream subscribes and verifies the upstream's
-		// grants with the same scheme it demands of its own subscribers.
-		r.up.SetAuth(cfg.Auth)
+		// One authenticator secures the whole chain: this relay signs
+		// its upstream subscribes and verifies the upstream's grants
+		// with the same scheme it demands of its own subscribers —
+		// except with per-subscriber identities, where UpstreamAuth
+		// carries this relay's own derived credential.
+		ua := cfg.UpstreamAuth
+		if ua == nil {
+			ua = cfg.Auth
+		}
+		r.up.SetAuth(ua)
 		r.up.SetInstruments(r.upRTT, r.leaseMargin)
 	}
 	r.workersIdle = clock.NewCond()
@@ -1155,6 +1201,12 @@ type admission struct {
 	req  *proto.Subscribe
 	ack  proto.SubAck
 	send bool // an ack goes out (auth failures and cancels stay silent)
+	// Session identity (identity scheme only): who signed the request
+	// and with what sequence. session gates the per-lease identity and
+	// replay checks — without it the fields are zero and unchecked.
+	identity uint32
+	seq      uint64
+	session  bool
 }
 
 // admitBatch verifies, admits, and acks one gather pass of Subscribe
@@ -1173,25 +1225,39 @@ type admission struct {
 // lease. Refreshes, cancels, and loop refusals are never shed.
 func (r *Relay) admitBatch(pkts []lan.Packet) {
 	// Verify. The no-auth and single-packet paths share the loop below;
-	// only the signature check itself is batched.
+	// only the signature check itself is batched. A session scheme
+	// verifies the whole mixed-identity pass in one call, each packet
+	// under its own credential with its UDP source bound into the tag.
 	datas := make([][]byte, len(pkts))
 	verified := make([]bool, len(pkts))
+	var ids []uint32
+	var seqs []uint64
+	session := false
 	if r.cfg.Auth == nil {
 		for i := range pkts {
 			datas[i], verified[i] = pkts[i].Data, true
 		}
+	} else if sa, ok := r.cfg.Auth.(security.SessionAuthenticator); ok {
+		raw := make([][]byte, len(pkts))
+		srcs := make([]string, len(pkts))
+		for i := range pkts {
+			raw[i], srcs[i] = pkts[i].Data, string(pkts[i].From)
+		}
+		datas, ids, seqs, verified = sa.VerifySessionBatch(raw, srcs)
+		session = true
 	} else if ba, ok := r.cfg.Auth.(security.BatchAuthenticator); ok && len(pkts) > 1 {
 		raw := make([][]byte, len(pkts))
 		for i := range pkts {
 			raw[i] = pkts[i].Data
 		}
-		datas, verified = ba.VerifyBatch(raw)
+		datas, verified = ba.VerifyBatch(raw, nil)
 	} else {
 		for i := range pkts {
 			datas[i], verified[i] = r.cfg.Auth.Verify(pkts[i].Data)
 		}
 	}
 	var authDropped, malformed, rejected, loops, refreshes, redirects int64
+	var identityMismatch, replays, tierSheds int64
 	admissions := make([]admission, 0, len(pkts))
 	for i := range pkts {
 		if !verified[i] {
@@ -1205,7 +1271,11 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 			r.tracer.Drop(obs.PathControl, obs.ReasonMalformed, string(pkts[i].From), 0)
 			continue
 		}
-		admissions = append(admissions, admission{from: pkts[i].From, req: req})
+		adm := admission{from: pkts[i].From, req: req, session: session}
+		if session {
+			adm.identity, adm.seq = ids[i], seqs[i]
+		}
+		admissions = append(admissions, adm)
 	}
 
 	// Shed state, sampled once per pass: the load thresholds move on
@@ -1224,7 +1294,10 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 	// it is configured the sibling list is fetched up front and the
 	// count re-checked per insert below — otherwise one gather pass
 	// would overshoot the operator's cap by up to a full batch.
-	if sibfn != nil && (shedding || r.cfg.ShedSubscribers > 0) {
+	// Tier shedding answers at refresh time, so with ShedTier on the
+	// sibling list is needed whether or not the relay is shedding
+	// newcomers right now.
+	if sibfn != nil && (shedding || r.cfg.ShedSubscribers > 0 || r.cfg.ShedTier) {
 		sibs = r.eligibleSiblings(sibfn())
 	}
 
@@ -1249,13 +1322,30 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 			// the subscriber already holds — a refresh is how an
 			// established loop announces itself, and expiry alone would
 			// keep the cycle spinning for a full lease.
+			if mm, rp := r.revokeLease(a); mm || rp {
+				// Verified, but not by the lease holder (or a replay):
+				// silent, like every other auth failure — an attacker
+				// holding some valid credential must not be able to
+				// revoke another subscriber's lease, nor draw a reply
+				// to a spoofed source.
+				if mm {
+					identityMismatch++
+				} else {
+					replays++
+				}
+				a.send = false
+				continue
+			}
 			a.ack.Status = proto.SubLoop
-			r.unsubscribe(a.from)
 			rejected++
 			loops++
 			r.tracer.Drop(obs.PathControl, obs.ReasonLoop, string(a.from), req.Channel)
 		case req.LeaseMs == 0:
-			r.unsubscribe(a.from)
+			if mm, rp := r.revokeLease(a); mm {
+				identityMismatch++
+			} else if rp {
+				replays++
+			}
 			a.send = false
 		default:
 			sh := r.shardFor(a.from)
@@ -1285,6 +1375,49 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 			}
 			a.ack.LeaseMs = uint32(lease / time.Millisecond)
 			if sub, ok := sh.subs[a.from]; ok {
+				if a.session {
+					// The refresh must come from the identity that holds
+					// the lease, with a sequence the session has not seen:
+					// any valid credential can sign a packet claiming any
+					// source, so without these checks one subscriber could
+					// hijack or replay-extend another's session.
+					if sub.identity != a.identity {
+						identityMismatch++
+						a.send = false
+						r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(a.from), 0)
+						continue
+					}
+					if a.seq <= sub.ctlSeq {
+						replays++
+						a.send = false
+						r.tracer.Drop(obs.PathControl, obs.ReasonStale, string(a.from), 0)
+						continue
+					}
+					sub.ctlSeq = a.seq
+				}
+				if sub.shedPending {
+					// The ladder ran out of rungs for this subscriber; a
+					// refresh is the one packet a redirect may answer (the
+					// lease layer ignores unsolicited acks), so steer it
+					// now — or, with no eligible sibling, keep serving.
+					var to string
+					r.mu.Lock()
+					if len(sibs) > 0 {
+						to = r.pickSibling(sibs, a.req.Channel)
+					}
+					r.mu.Unlock()
+					sub.shedPending = false
+					if to != "" {
+						a.ack.Status = proto.SubRedirect
+						a.ack.Redirect = to
+						a.ack.LeaseMs = 0
+						r.profCount[sub.profile].Add(-1)
+						r.dropCatchup(sub)
+						sh.remove(sub)
+						tierSheds++
+						continue
+					}
+				}
 				// Refresh: an established subscriber is served even when
 				// the relay is shedding — steering moves newcomers.
 				sub.expires = now.Add(lease)
@@ -1347,6 +1480,7 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 				sub := &subscriber{
 					addr: a.from, channel: a.req.Channel,
 					hops: a.req.Hops, pathID: a.req.PathID,
+					identity: a.identity, ctlSeq: a.seq,
 					profile: prof, reqProfile: prof, ladderAt: now,
 					expires: now.Add(time.Duration(a.ack.LeaseMs) * time.Millisecond),
 				}
@@ -1374,6 +1508,10 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 	// WriteBatch. Prefix semantics as in flush: a failing datagram is
 	// skipped and the rest retried.
 	outs := make([]lan.Datagram, 0, len(admissions))
+	var ackIDs []uint32 // parallel to outs; identity scheme only
+	if session {
+		ackIDs = make([]uint32, 0, len(admissions))
+	}
 	for i := range admissions {
 		a := &admissions[i]
 		if !a.send {
@@ -1384,9 +1522,22 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 			continue
 		}
 		outs = append(outs, lan.Datagram{To: a.from, Data: out})
+		if session {
+			ackIDs = append(ackIDs, a.identity)
+		}
 	}
 	if r.cfg.Auth != nil && len(outs) > 0 {
-		if ba, ok := r.cfg.Auth.(security.BatchAuthenticator); ok && len(outs) > 1 {
+		if sa, ok := r.cfg.Auth.(security.SessionAuthenticator); ok && session {
+			// Each ack is signed under its recipient's own credential, so
+			// only that subscriber can validate its grant.
+			raw := make([][]byte, len(outs))
+			for i := range outs {
+				raw[i] = outs[i].Data
+			}
+			for i, signed := range sa.SignForBatch(ackIDs, raw) {
+				outs[i].Data = signed
+			}
+		} else if ba, ok := r.cfg.Auth.(security.BatchAuthenticator); ok && len(outs) > 1 {
 			raw := make([][]byte, len(outs))
 			for i := range outs {
 				raw[i] = outs[i].Data
@@ -1416,16 +1567,60 @@ func (r *Relay) admitBatch(pkts []lan.Packet) {
 		}
 		sendErrors++
 	}
-	r.count(func(s *Stats) {
-		s.AuthDropped += authDropped
-		s.Malformed += malformed
-		s.Rejected += rejected
-		s.Loops += loops
-		s.Refreshes += refreshes
-		s.Redirects += redirects
-		s.SendErrors += sendErrors
-		s.AdmitBatches++
-	})
+	r.mu.Lock()
+	r.stats.AuthDropped += authDropped
+	r.stats.Malformed += malformed
+	r.stats.Rejected += rejected
+	r.stats.Loops += loops
+	r.stats.Refreshes += refreshes
+	r.stats.Redirects += redirects
+	r.stats.IdentityMismatch += identityMismatch
+	r.stats.ReplayDropped += replays
+	r.stats.TierSheds += tierSheds
+	r.stats.SendErrors += sendErrors
+	r.stats.AdmitBatches++
+	r.nsubs -= int(tierSheds)
+	r.mu.Unlock()
+}
+
+// revokeLease removes a.from's lease on behalf of one verified control
+// request — an explicit cancel (LeaseMs 0) or a loop refusal. In
+// session mode the lease is only dropped when the request was signed by
+// the identity that holds it and carries a fresh sequence; any valid
+// credential can produce a verifiable packet claiming any source, so
+// without this check one subscriber could cancel another's lease with a
+// spoofed source and its own key. The refusal reasons are returned for
+// the caller's counters; with no lease present both are false and the
+// revoke is a no-op.
+func (r *Relay) revokeLease(a *admission) (mismatch, replay bool) {
+	sh := r.shardFor(a.from)
+	sh.mu.Lock()
+	sub, ok := sh.subs[a.from]
+	if ok && a.session {
+		if sub.identity != a.identity {
+			sh.mu.Unlock()
+			r.tracer.Drop(obs.PathControl, obs.ReasonAuth, string(a.from), 0)
+			return true, false
+		}
+		if a.seq <= sub.ctlSeq {
+			sh.mu.Unlock()
+			r.tracer.Drop(obs.PathControl, obs.ReasonStale, string(a.from), 0)
+			return false, true
+		}
+	}
+	if ok {
+		r.profCount[sub.profile].Add(-1)
+		r.dropCatchup(sub)
+		sh.remove(sub)
+	}
+	sh.mu.Unlock()
+	if ok {
+		r.mu.Lock()
+		r.stats.Unsubscribes++
+		r.nsubs--
+		r.mu.Unlock()
+	}
+	return false, false
 }
 
 // eligibleSiblings filters and ranks the steer candidates: not this

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/lan"
 	"repro/internal/proto"
+	"repro/internal/security"
 	"repro/internal/vclock"
 )
 
@@ -23,10 +24,36 @@ type Watcher struct {
 	clock vclock.Clock
 	conn  lan.Conn
 
-	mu      sync.Mutex
-	records map[string]proto.RelayInfo
-	heard   map[string]time.Time
-	stopped bool
+	mu       sync.Mutex
+	records  map[string]proto.RelayInfo
+	heard    map[string]time.Time
+	verifier *security.AnnounceVerifier
+	rejected int64 // announces refused: signature present but invalid
+	legacy   int64 // announces refused: no signature at all
+	stopped  bool
+}
+
+// SetVerifier makes the watcher demand a valid catalog signature on
+// every announce before its records enter the sibling set: a forged
+// record would otherwise become a redirect target, handing the
+// attacker exactly the steering a rogue relay wants. Unsigned (legacy)
+// and forged announces are dropped and counted separately — a nonzero
+// legacy count on a signing segment is a peer that needs provisioning,
+// a nonzero rejected count is an attack or a key mismatch. Nil (the
+// default) accepts everything.
+func (w *Watcher) SetVerifier(v *security.AnnounceVerifier) {
+	w.mu.Lock()
+	w.verifier = v
+	w.mu.Unlock()
+}
+
+// AnnounceStats reports the verification drop counts: announces with
+// an invalid signature, and announces with none at all. Both are zero
+// until SetVerifier installs a verifier.
+func (w *Watcher) AnnounceStats() (rejected, legacy int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rejected, w.legacy
 }
 
 // NewWatcher attaches a catalog listener at local and joins the
@@ -63,6 +90,21 @@ func (w *Watcher) Run() {
 		}
 		if err != nil {
 			return
+		}
+		w.mu.Lock()
+		v := w.verifier
+		w.mu.Unlock()
+		if v != nil {
+			if ok, legacy := v.VerifyAnnounce(pkt.Data); !ok {
+				w.mu.Lock()
+				if legacy {
+					w.legacy++
+				} else {
+					w.rejected++
+				}
+				w.mu.Unlock()
+				continue
+			}
 		}
 		a, err := proto.UnmarshalAnnounce(pkt.Data)
 		if err != nil {

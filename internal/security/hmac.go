@@ -54,8 +54,9 @@ func (a *HMACAuth) Verify(pkt []byte) ([]byte, bool) {
 // between packets, instead of a fresh HMAC construction (two hash
 // states plus the key schedule) per packet. After the first Sum the
 // hmac package caches the padded-key states, so every subsequent
-// packet costs only the data hashing itself.
-func (a *HMACAuth) VerifyBatch(pkts [][]byte) ([][]byte, []bool) {
+// packet costs only the data hashing itself. The shared-key tag does
+// not bind the source address, so srcs is ignored.
+func (a *HMACAuth) VerifyBatch(pkts [][]byte, _ []string) ([][]byte, []bool) {
 	inners := make([][]byte, len(pkts))
 	oks := make([]bool, len(pkts))
 	m := hmac.New(sha256.New, a.key)

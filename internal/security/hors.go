@@ -18,6 +18,12 @@ const (
 	horsK = 16
 )
 
+// HORSBudget is the safe signature count for one key: past ~t/(2k)
+// uses enough secrets are revealed that forging by digest collision
+// becomes realistic, so signers refuse (emitting an unverifiable
+// trailer, like an exhausted hash chain) rather than silently weaken.
+const HORSBudget = horsT / (2 * horsK)
+
 // HORSKey is a few-time signing key.
 type HORSKey struct {
 	secrets [horsT][]byte
@@ -58,9 +64,46 @@ func (k *HORSKey) Public() *HORSPublicKey {
 	return p
 }
 
-// Uses returns how many signatures this key has produced; rotate keys
-// well before ~t/(2k) uses.
+// Uses returns how many signatures this key has produced; the key
+// refuses to sign past HORSBudget of them.
 func (k *HORSKey) Uses() int { return k.used }
+
+// Exhausted reports whether the key has spent its safe signature
+// budget. Rotate before this turns true; past it Sign emits only
+// unverifiable trailers.
+func (k *HORSKey) Exhausted() bool { return k.used >= HORSBudget }
+
+// sign reveals the k secrets a message's digest selects, or nil when
+// the budget is spent.
+func (k *HORSKey) sign(msg []byte) []byte {
+	if k.Exhausted() {
+		return nil
+	}
+	idx := horsIndices(msg)
+	sig := make([]byte, 0, horsK*sha256.Size)
+	for _, i := range idx {
+		sig = append(sig, k.secrets[i]...)
+	}
+	k.used++
+	return sig
+}
+
+// verify checks a raw k×32-byte signature over msg against the public
+// key.
+func (p *HORSPublicKey) verify(msg, sig []byte) bool {
+	if len(sig) != horsK*sha256.Size {
+		return false
+	}
+	idx := horsIndices(msg)
+	for j, i := range idx {
+		secret := sig[j*sha256.Size : (j+1)*sha256.Size]
+		h := sha256.Sum256(secret)
+		if !hmac.Equal(h[:], p.pub[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // horsIndices maps a message digest to k secret indices.
 func horsIndices(msg []byte) [horsK]int {
@@ -83,17 +126,20 @@ type HORSAuth struct {
 func (a *HORSAuth) Scheme() proto.AuthScheme { return proto.AuthHORS }
 
 // Sign implements Authenticator. Trailer: k×32-byte revealed secrets.
+// A nil key — and a key past its safe signature budget (HORSBudget) —
+// emits an unverifiable zero trailer instead: receivers drop it, which
+// fails loud at the receiver counters instead of silently degrading the
+// scheme packet by packet. Operators must rotate keys before
+// exhaustion, exactly as with a spent hash chain.
 func (a *HORSAuth) Sign(pkt []byte) []byte {
 	if a.Key == nil {
 		return wrap(proto.AuthHORS, pkt, make([]byte, horsK*sha256.Size))
 	}
-	idx := horsIndices(pkt)
-	trailer := make([]byte, 0, horsK*sha256.Size)
-	for _, i := range idx {
-		trailer = append(trailer, a.Key.secrets[i]...)
+	sig := a.Key.sign(pkt)
+	if sig == nil {
+		return wrap(proto.AuthHORS, pkt, make([]byte, horsK*sha256.Size))
 	}
-	a.Key.used++
-	return wrap(proto.AuthHORS, pkt, trailer)
+	return wrap(proto.AuthHORS, pkt, sig)
 }
 
 // Verify implements Authenticator: k hash evaluations, no bignum math —
@@ -103,16 +149,8 @@ func (a *HORSAuth) Verify(pkt []byte) ([]byte, bool) {
 		return nil, false
 	}
 	inner, trailer, ok := unwrap(proto.AuthHORS, pkt)
-	if !ok || len(trailer) != horsK*sha256.Size {
+	if !ok || !a.Pub.verify(inner, trailer) {
 		return nil, false
-	}
-	idx := horsIndices(inner)
-	for j, i := range idx {
-		secret := trailer[j*sha256.Size : (j+1)*sha256.Size]
-		h := sha256.Sum256(secret)
-		if !hmac.Equal(h[:], a.Pub.pub[i]) {
-			return nil, false
-		}
 	}
 	return inner, true
 }

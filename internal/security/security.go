@@ -24,13 +24,41 @@ type Authenticator interface {
 // scheme, the keyed hash construction — across the whole batch. The
 // verdicts are bitwise identical to per-packet Verify/Sign; batching
 // changes cost, never outcome.
+//
+// The batch may mix identities: srcs[i] is the UDP source address
+// pkts[i] arrived from, which source-binding schemes (the per-subscriber
+// identity scheme) fold into the verified payload. Schemes that do not
+// bind the source (HMAC) ignore it.
 type BatchAuthenticator interface {
 	Authenticator
 	// VerifyBatch verifies every packet: inners[i] is pkts[i] unwrapped
-	// when oks[i], nil otherwise.
-	VerifyBatch(pkts [][]byte) (inners [][]byte, oks []bool)
+	// when oks[i], nil otherwise. srcs[i] is pkts[i]'s UDP source; nil
+	// srcs is allowed for schemes that ignore it.
+	VerifyBatch(pkts [][]byte, srcs []string) (inners [][]byte, oks []bool)
 	// SignBatch wraps every packet with its authentication trailer.
 	SignBatch(pkts [][]byte) [][]byte
+}
+
+// SessionAuthenticator is the relay-side face of the per-subscriber
+// identity scheme (AuthIdentity): requests carry the sender's identity
+// ID and a monotonic sequence, and the tag binds the datagram's UDP
+// source address. The relay keeps the last-seen sequence in the
+// subscriber session and uses identity + sequence as its replay window;
+// replies are signed per recipient identity.
+type SessionAuthenticator interface {
+	Authenticator
+	// VerifySession unwraps a request that arrived from src, returning
+	// the claimed identity and trailer sequence alongside the inner
+	// packet. ok is false when the tag does not verify for that
+	// identity, source, and sequence.
+	VerifySession(pkt []byte, src string) (inner []byte, id uint32, seq uint64, ok bool)
+	// VerifySessionBatch is the batched form of VerifySession over a
+	// mixed-identity admission batch.
+	VerifySessionBatch(pkts [][]byte, srcs []string) (inners [][]byte, ids []uint32, seqs []uint64, oks []bool)
+	// SignFor wraps a reply addressed to the named identity.
+	SignFor(id uint32, pkt []byte) []byte
+	// SignForBatch wraps each reply for its recipient identity.
+	SignForBatch(ids []uint32, pkts [][]byte) [][]byte
 }
 
 // wrap appends trailer, its length, and the scheme byte.

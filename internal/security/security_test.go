@@ -375,7 +375,7 @@ func TestHMACBatchMatchesPerPacket(t *testing.T) {
 		[]byte("ga"), // too short to even unwrap
 		a.Sign([]byte("")),
 	}
-	inners, oks := a.VerifyBatch(pkts)
+	inners, oks := a.VerifyBatch(pkts, nil)
 	if len(inners) != len(pkts) || len(oks) != len(pkts) {
 		t.Fatalf("batch sizes: %d inners, %d oks for %d packets", len(inners), len(oks), len(pkts))
 	}

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Run the relay perf benchmarks and record the trajectory as
-# BENCH_9.json: the fan-out table (ns/pkt plus the relay's own hot-path
+# BENCH_10.json: the fan-out table (ns/pkt plus the relay's own hot-path
 # histogram percentiles, measured with the ops endpoint live and being
 # scraped — the numbers price the relay as deployed), the join-storm
-# admission table (subscribes/sec, batched vs per-packet verification),
-# and the DVR catch-up table (backlog replay throughput and the
-# catch-up-lag histogram for a time-shifted join).
+# admission table (subscribes/sec, batched vs per-packet verification,
+# shared-key vs per-subscriber-identity), and the DVR catch-up table
+# (backlog replay throughput and the catch-up-lag histogram for a
+# time-shifted join).
 #
 # Usage:
 #   scripts/bench.sh                 # quick pass (-benchtime 1x), used by CI
@@ -14,7 +15,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 : "${BENCHTIME:=1x}"
-: "${BENCH_OUT:=BENCH_9.json}"
+: "${BENCH_OUT:=BENCH_10.json}"
 BENCH_JSON="$BENCH_OUT" go test -run '^$' -bench '^(BenchmarkRelayFanout|BenchmarkJoinStorm|BenchmarkDVRCatchup)$' \
 	-benchtime "$BENCHTIME" .
 echo "wrote $BENCH_OUT:"
